@@ -1,0 +1,34 @@
+// Shared helpers for the figure/table reproduction harnesses: uniform
+// headers and PASS/FAIL shape checks against the paper's qualitative
+// claims.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+namespace speedlight::bench {
+
+inline int g_checks_failed = 0;
+
+inline void banner(const std::string& title, const std::string& paper_claim) {
+  std::cout << "==============================================================\n"
+            << title << "\n"
+            << "Paper: " << paper_claim << "\n"
+            << "==============================================================\n";
+}
+
+inline void check(bool ok, const std::string& what) {
+  std::cout << (ok ? "[PASS] " : "[FAIL] ") << what << "\n";
+  if (!ok) ++g_checks_failed;
+}
+
+inline int finish() {
+  if (g_checks_failed == 0) {
+    std::cout << "\nAll shape checks passed.\n";
+    return 0;
+  }
+  std::cout << "\n" << g_checks_failed << " shape check(s) FAILED.\n";
+  return 1;
+}
+
+}  // namespace speedlight::bench

@@ -1,0 +1,91 @@
+// Figure 10: maximum sustained snapshot rate before notification queue
+// buildup, versus router port count {4, 8, 16, 32, 64}. The bottleneck is
+// the control plane's per-notification service time; the paper sustains
+// >70 snapshots/s at 64 ports (a full linecard).
+#include <cmath>
+#include <iostream>
+#include <string>
+
+#include "bench_common.hpp"
+#include "core/experiment.hpp"
+#include "core/network.hpp"
+#include "net/topology.hpp"
+
+namespace {
+
+using namespace speedlight;
+
+/// Run `count` snapshots at `rate_hz` on a single switch with `ports`
+/// ports; returns true when the notification queue never builds up across
+/// snapshots (max backlog stays within a single snapshot's burst of 2*ports
+/// notifications) and nothing is dropped — the paper's criterion of "the
+/// highest frequency without [notification] drops / queue buildup".
+bool sustains(int ports, double rate_hz, std::size_t count) {
+  core::NetworkOptions opt;
+  opt.seed = 7;
+  opt.timing.notification_buffer_capacity = 4096;
+  opt.observer.completion_timeout = sim::sec(5.0);
+  core::Network net(net::make_star(static_cast<std::size_t>(ports)), opt);
+
+  const auto interval =
+      static_cast<sim::Duration>(sim::kSecond / rate_hz);
+  core::run_snapshot_campaign(net, count, interval, sim::msec(1),
+                              sim::msec(100));
+  auto& notif = net.switch_at(0).notifications();
+  const std::size_t one_burst =
+      2 * static_cast<std::size_t>(ports) + 4;  // ingress+egress per port
+  return notif.dropped_overflow() == 0 && notif.max_backlog() <= one_burst;
+}
+
+double max_rate(int ports) {
+  constexpr std::size_t kSnapshots = 25;
+  double lo = 1.0;      // Always sustainable.
+  double hi = 20000.0;  // Never sustainable.
+  for (int iter = 0; iter < 14; ++iter) {
+    const double mid = std::sqrt(lo * hi);  // Log-scale bisection.
+    if (sustains(ports, mid, kSnapshots)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "Figure 10 — max sustained snapshot rate vs ports/router",
+      ">70 snapshots/s at 64 ports; rate falls roughly linearly in port "
+      "count on a log-log scale (control-plane service time bottleneck)");
+
+  std::cout << "\n  ports   max sustained rate (Hz)\n";
+  double rates[5];
+  const int ports[5] = {4, 8, 16, 32, 64};
+  for (int i = 0; i < 5; ++i) {
+    rates[i] = max_rate(ports[i]);
+    std::cout << "  " << ports[i] << "\t" << rates[i] << "\n";
+  }
+  std::cout << "\n";
+
+  bench::check(rates[4] > 70.0,
+               "64-port router sustains >70 snapshots/s (paper's claim)");
+  bench::check(rates[0] > 500.0, "4-port router sustains hundreds of Hz");
+  for (int i = 1; i < 5; ++i) {
+    bench::check(rates[i] < rates[i - 1],
+                 "rate decreases with port count (" +
+                     std::to_string(ports[i - 1]) + " -> " +
+                     std::to_string(ports[i]) + " ports)");
+  }
+  // Log-log linearity: doubling ports roughly halves the rate.
+  for (int i = 1; i < 5; ++i) {
+    const double ratio = rates[i - 1] / rates[i];
+    bench::check(ratio > 1.4 && ratio < 2.9,
+                 "doubling ports roughly halves the sustainable rate (" +
+                     std::to_string(ports[i]) + " ports: ratio " +
+                     std::to_string(ratio) + ")");
+  }
+
+  return bench::finish();
+}

@@ -1,0 +1,116 @@
+// Microbenchmarks (google-benchmark) for the hot paths: the per-packet
+// snapshot logic, notification channel, statistics kernels, and the
+// end-to-end simulator packet rate. Not a paper figure — engineering
+// numbers for users embedding the library.
+#include <benchmark/benchmark.h>
+
+#include "core/network.hpp"
+#include "net/topology.hpp"
+#include "snapshot/dataplane.hpp"
+#include "stats/spearman.hpp"
+#include "workload/basic.hpp"
+
+namespace {
+
+using namespace speedlight;
+
+snap::DataplaneUnit make_unit(bool channel_state) {
+  snap::SnapshotConfig config;
+  config.channel_state = channel_state;
+  config.value_slots = 64;
+  static std::uint64_t state = 0;
+  return snap::DataplaneUnit(
+      {1, 1, net::Direction::Ingress}, config, 2, 1, []() { return ++state; },
+      [](const snap::PacketView&) { return std::uint64_t{1}; },
+      [](const snap::Notification&) {});
+}
+
+void BM_DataplaneSameEpoch(benchmark::State& state) {
+  auto unit = make_unit(true);
+  unit.on_initiation(1, 0);
+  snap::PacketView view;
+  view.wire_sid = 1;
+  sim::SimTime now = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(unit.on_packet(view, 0, ++now));
+  }
+}
+BENCHMARK(BM_DataplaneSameEpoch);
+
+void BM_DataplaneInFlight(benchmark::State& state) {
+  auto unit = make_unit(true);
+  snap::WireSid sid = 0;
+  snap::PacketView in_flight;
+  sim::SimTime now = 0;
+  for (auto _ : state) {
+    unit.on_initiation(++sid, ++now);  // Advance...
+    in_flight.wire_sid = sid - 1;      // ...then one in-flight booking.
+    benchmark::DoNotOptimize(unit.on_packet(in_flight, 0, ++now));
+  }
+}
+BENCHMARK(BM_DataplaneInFlight);
+
+void BM_DataplaneAdvanceNoCs(benchmark::State& state) {
+  auto unit = make_unit(false);
+  snap::WireSid sid = 0;
+  sim::SimTime now = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(unit.on_initiation(++sid, ++now));
+  }
+}
+BENCHMARK(BM_DataplaneAdvanceNoCs);
+
+void BM_SpearmanN100(benchmark::State& state) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  sim::Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    xs.push_back(rng.uniform());
+    ys.push_back(rng.uniform());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::spearman(xs, ys));
+  }
+}
+BENCHMARK(BM_SpearmanN100);
+
+void BM_EcmpRouteComputationFatTree8(benchmark::State& state) {
+  const net::TopologySpec spec = net::make_fat_tree(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::compute_ecmp_routes(spec));
+  }
+}
+BENCHMARK(BM_EcmpRouteComputationFatTree8);
+
+void BM_EndToEndPacketRate(benchmark::State& state) {
+  // Simulated packets per wall-clock second through a loaded leaf-spine.
+  core::NetworkOptions opt;
+  opt.snapshot.channel_state = true;
+  core::Network net(net::make_leaf_spine(2, 2, 3), opt);
+  wl::CbrGenerator gen(net.simulator(), net.host(0), net.host_id(5), 1, 5e9,
+                       1500);
+  gen.start(net.now());
+  std::uint64_t delivered = 0;
+  for (auto _ : state) {
+    const auto before = net.host(5).packets_received();
+    net.run_for(sim::msec(1));
+    delivered += net.host(5).packets_received() - before;
+  }
+  state.counters["sim_pkts/s"] = benchmark::Counter(
+      static_cast<double>(delivered), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EndToEndPacketRate);
+
+void BM_SnapshotRoundTrip(benchmark::State& state) {
+  // Wall-clock cost of one complete network snapshot on the testbed topo.
+  core::NetworkOptions opt;
+  core::Network net(net::make_leaf_spine(2, 2, 3), opt);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.take_snapshot());
+  }
+}
+BENCHMARK(BM_SnapshotRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Table 1: resource usage of the Speedlight data plane on the Tofino, for
+// the three variants (packet count / + wraparound / + channel state),
+// plus the 14-port configuration quoted in Section 7.1.
+#include <cmath>
+#include <iomanip>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "resources/tofino_model.hpp"
+
+int main() {
+  using namespace speedlight;
+  using res::Variant;
+
+  bench::banner(
+      "Table 1 — Speedlight data plane resource usage (Tofino)",
+      "64-port snapshots occupy <25% of any dedicated resource; "
+      "wraparound and channel state cost more logic and memory");
+
+  res::print_table1(std::cout, 64);
+  std::cout << "\n";
+
+  const auto pc = res::estimate(Variant::PacketCount, 64);
+  const auto wa = res::estimate(Variant::WrapAround, 64);
+  const auto cs = res::estimate(Variant::ChannelState, 64);
+
+  bench::check(pc.stateless_alus == 17 && pc.stateful_alus == 9 &&
+                   pc.logical_table_ids == 27 && pc.conditional_gateways == 15 &&
+                   pc.physical_stages == 10,
+               "Packet Count logic resources match Table 1 (17/9/27/15/10)");
+  bench::check(std::lround(pc.sram_kb) == 606 && std::lround(pc.tcam_kb) == 42,
+               "Packet Count memory matches Table 1 (606KB SRAM / 42KB TCAM)");
+  bench::check(wa.stateless_alus == 19 && wa.logical_table_ids == 35 &&
+                   wa.conditional_gateways == 19 && wa.physical_stages == 10,
+               "+Wrap Around logic resources match Table 1 (19/9/35/19/10)");
+  bench::check(std::lround(wa.sram_kb) == 671 && std::lround(wa.tcam_kb) == 59,
+               "+Wrap Around memory matches Table 1 (671KB SRAM / 59KB TCAM)");
+  bench::check(cs.stateless_alus == 24 && cs.stateful_alus == 11 &&
+                   cs.logical_table_ids == 37 && cs.physical_stages == 12,
+               "+Chnl State logic resources match Table 1 (24/11/37/19/12)");
+  bench::check(std::lround(cs.sram_kb) == 770 && std::lround(cs.tcam_kb) == 244,
+               "+Chnl State memory matches Table 1 (770KB SRAM / 244KB TCAM)");
+
+  const auto cs14 = res::estimate(Variant::ChannelState, 14);
+  std::cout << std::fixed << std::setprecision(1)
+            << "\n14-port wraparound+channel-state configuration (Section "
+               "7.1):\n  SRAM "
+            << cs14.sram_kb << " KB, TCAM " << cs14.tcam_kb << " KB\n";
+  bench::check(std::fabs(cs14.sram_kb - 638.0) < 1.0 &&
+                   std::fabs(cs14.tcam_kb - 90.0) < 1.0,
+               "14-port config matches Section 7.1 (638KB SRAM / 90KB TCAM)");
+
+  std::cout << "\nMax utilization fraction of one Tofino pipe:\n";
+  for (const auto v :
+       {Variant::PacketCount, Variant::WrapAround, Variant::ChannelState}) {
+    const double f = res::max_utilization_fraction(res::estimate(v, 64));
+    std::cout << "  " << res::variant_name(v) << ": " << std::fixed
+              << std::setprecision(1) << f * 100.0 << "%\n";
+    bench::check(f < 0.25, std::string(res::variant_name(v)) +
+                               " stays under 25% of any dedicated resource");
+  }
+
+  return bench::finish();
+}

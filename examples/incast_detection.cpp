@@ -1,0 +1,103 @@
+// Is application traffic synchronized? (Section 2.2, question 3.)
+//
+// A memcache client fans multi-get requests out to many servers whose
+// responses arrive as synchronized bursts (incast). Correlating
+// synchronized snapshots of per-port rates exposes the synchronization
+// *before* it degrades performance — no timeouts or drops needed.
+//
+//   $ ./incast_detection
+#include <iomanip>
+#include <iostream>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/network.hpp"
+#include "net/topology.hpp"
+#include "stats/spearman.hpp"
+#include "workload/apps.hpp"
+
+int main() {
+  using namespace speedlight;
+
+  core::NetworkOptions options;
+  options.seed = 11;
+  options.metric = sw::MetricKind::EwmaPacketRate;
+  core::Network net(net::make_leaf_spine(2, 2, 3), options);
+
+  // Host 0 is the memcache client; hosts 1..5 are servers: every multi-get
+  // triggers a 5-way synchronized response burst towards host 0.
+  std::vector<net::Host*> clients{&net.host(0)};
+  std::vector<net::Host*> servers;
+  for (std::size_t h = 1; h < 6; ++h) servers.push_back(&net.host(h));
+  wl::MemcacheGenerator::Options mo;
+  mo.requests_per_second = 3000;  // Bursty, with gaps between requests.
+  mo.value_size = 1400;
+  wl::MemcacheGenerator gen(net.simulator(), clients, servers, mo,
+                            sim::Rng(11));
+  gen.start(net.now());
+  net.run_for(sim::msec(30));
+
+  // Observe the server-facing egress ports (leaf0 ports 1,2 for servers
+  // h1,h2; leaf1 ports 0,1,2 for h3,h4,h5) plus the client port.
+  struct Watched {
+    net::UnitId unit;
+    const char* label;
+  };
+  const std::vector<Watched> watched = {
+      {{0, 0, net::Direction::Egress}, "->client"},
+      {{0, 1, net::Direction::Ingress}, "server1"},
+      {{0, 2, net::Direction::Ingress}, "server2"},
+      {{1, 0, net::Direction::Ingress}, "server3"},
+      {{1, 1, net::Direction::Ingress}, "server4"},
+      {{1, 2, net::Direction::Ingress}, "server5"},
+  };
+
+  std::vector<net::UnitId> units;
+  for (const auto& w : watched) units.push_back(w.unit);
+  std::vector<std::vector<double>> series(units.size());
+
+  const auto campaign = core::run_snapshot_campaign(net, 150, sim::usec(400));
+  std::vector<double> row;
+  for (const auto* snap : campaign.results(net)) {
+    if (!core::extract_values(*snap, units, row)) continue;
+    for (std::size_t i = 0; i < row.size(); ++i) series[i].push_back(row[i]);
+  }
+  std::cout << "Collected " << series[0].size()
+            << " consistent snapshots of per-port packet rates.\n\n";
+
+  // Pairwise rank correlation between server upload ports: synchronized
+  // responses show up as strong positive correlations.
+  std::cout << "Pairwise Spearman rho (p < 0.05 only):\n          ";
+  for (const auto& w : watched) std::cout << std::setw(9) << w.label;
+  std::cout << "\n";
+  int synchronized_pairs = 0;
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    std::cout << std::setw(10) << watched[i].label;
+    for (std::size_t j = 0; j < units.size(); ++j) {
+      if (j <= i) {
+        std::cout << std::setw(9) << "";
+        continue;
+      }
+      const auto c = stats::spearman(series[i], series[j]);
+      if (c && c->significant(0.05)) {
+        std::cout << std::setw(9) << std::fixed << std::setprecision(2)
+                  << c->rho;
+        if (i >= 1 && j >= 1 && c->rho > 0.3) ++synchronized_pairs;
+      } else {
+        std::cout << std::setw(9) << "..";
+      }
+    }
+    std::cout << "\n";
+  }
+
+  std::cout << "\n"
+            << synchronized_pairs
+            << " server pairs upload in lock-step (rho > 0.3): "
+            << (synchronized_pairs >= 4
+                    ? "INCAST RISK — responses are synchronized towards the "
+                      "client port.\n"
+                    : "no strong synchronization detected.\n");
+  std::cout << "Mitigations: jitter the multi-get fan-out, or spread keys "
+               "so fewer shards answer per request.\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Is my load balancer actually balancing? (Section 2.2, question 1.)
+//
+// Runs the same bursty shuffle workload over ECMP and flowlet switching
+// and audits uplink balance with synchronized snapshots of the EWMA of
+// packet interarrival — the question asynchronous polling cannot answer.
+//
+//   $ ./load_balancing_audit
+#include <iostream>
+#include <memory>
+
+#include "core/experiment.hpp"
+#include "core/network.hpp"
+#include "net/topology.hpp"
+#include "stats/cdf.hpp"
+#include "stats/summary.hpp"
+#include "workload/apps.hpp"
+
+namespace {
+
+using namespace speedlight;
+
+stats::Cdf audit(sw::LoadBalancerKind lb) {
+  core::NetworkOptions options;
+  options.seed = 7;
+  options.metric = sw::MetricKind::EwmaInterarrival;
+  options.load_balancer = lb;
+  core::Network net(net::make_leaf_spine(2, 2, 3), options);
+
+  // A Hadoop-like shuffle: bursty, heavy, unsynchronized.
+  std::vector<net::Host*> mappers{&net.host(0), &net.host(1), &net.host(2)};
+  std::vector<net::Host*> reducers{&net.host(3), &net.host(4), &net.host(5)};
+  wl::HadoopGenerator::Options ho;
+  ho.shuffle_bytes_per_reducer = 1 << 20;
+  ho.compute_mean = sim::msec(40);
+  wl::HadoopGenerator gen(net.simulator(), mappers, reducers, ho, sim::Rng(7));
+  gen.start(net.now());
+  net.run_for(sim::msec(50));
+
+  // Audit: 100 snapshots; per snapshot, the standard deviation of the two
+  // uplink EWMAs on each leaf. A balanced fabric keeps this near zero.
+  const std::vector<net::UnitId> leaf0 = {{0, 3, net::Direction::Egress},
+                                          {0, 4, net::Direction::Egress}};
+  const std::vector<net::UnitId> leaf1 = {{1, 3, net::Direction::Egress},
+                                          {1, 4, net::Direction::Egress}};
+  const auto campaign = core::run_snapshot_campaign(net, 100, sim::msec(8));
+  stats::Cdf imbalance;
+  std::vector<double> values;
+  for (const auto* snap : campaign.results(net)) {
+    for (const auto* uplinks : {&leaf0, &leaf1}) {
+      if (core::extract_values(*snap, *uplinks, values)) {
+        imbalance.add(stats::stddev_of(values));
+      }
+    }
+  }
+  return imbalance;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Auditing uplink load balance under a bursty shuffle "
+               "workload...\n\n";
+
+  const stats::Cdf ecmp = audit(sw::LoadBalancerKind::Ecmp);
+  const stats::Cdf flowlet = audit(sw::LoadBalancerKind::Flowlet);
+
+  ecmp.print(std::cout, "ECMP      — stddev of uplink EWMA interarrival",
+             1e-6, "ms", 10);
+  std::cout << "\n";
+  flowlet.print(std::cout, "Flowlet   — stddev of uplink EWMA interarrival",
+                1e-6, "ms", 10);
+
+  const double gain = ecmp.median() / std::max(flowlet.median(), 1.0);
+  std::cout << "\nVerdict: flowlet switching reduces median uplink imbalance "
+            << gain << "x on this workload.\n"
+            << "Room for improvement under ECMP: its p99 imbalance is "
+            << ecmp.percentile(0.99) / 1e6 << " ms of interarrival skew.\n";
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Where should we add capacity? (Section 2.2, question 2.)
+//
+// Snapshots of instantaneous queue depth across the whole network at one
+// instant distinguish "one hot link needs an upgrade" from "load is spread
+// and a parallel path would help" — the distinction averages hide.
+//
+//   $ ./queue_depth_monitor
+#include <iomanip>
+#include <iostream>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/network.hpp"
+#include "net/topology.hpp"
+#include "stats/summary.hpp"
+#include "workload/apps.hpp"
+
+int main() {
+  using namespace speedlight;
+
+  core::NetworkOptions options;
+  options.seed = 5;
+  options.metric = sw::MetricKind::QueueDepth;
+  options.queue_capacity = 512;
+  core::Network net(net::make_leaf_spine(2, 2, 3), options);
+
+  // An incast-prone workload: everyone answers host 0 at once.
+  std::vector<net::Host*> clients{&net.host(0)};
+  std::vector<net::Host*> servers;
+  for (std::size_t h = 1; h < 6; ++h) servers.push_back(&net.host(h));
+  wl::MemcacheGenerator::Options mo;
+  mo.requests_per_second = 8000;
+  mo.keys_per_multiget = 5;
+  mo.value_size = 24000;  // 16 MTUs per server: a real response burst.
+  wl::MemcacheGenerator gen(net.simulator(), clients, servers, mo, sim::Rng(5));
+  gen.start(net.now());
+  net.run_for(sim::msec(20));
+
+  // One snapshot per 250us for 40ms: a coherent movie of queue occupancy.
+  const auto campaign = core::run_snapshot_campaign(net, 160, sim::usec(250));
+  const auto results = campaign.results(net);
+  std::cout << "Collected " << results.size()
+            << " consistent whole-network queue-depth snapshots.\n\n";
+
+  // Aggregate per egress unit.
+  struct PortStat {
+    std::string label;
+    stats::Summary depth;
+  };
+  std::vector<net::UnitId> units;
+  std::vector<PortStat> port_stats;
+  for (net::NodeId swid = 0; swid < net.num_switches(); ++swid) {
+    for (net::PortId p = 0; p < net.switch_at(swid).options().num_ports; ++p) {
+      units.push_back({swid, p, net::Direction::Egress});
+      port_stats.push_back({net.switch_at(swid).name() + " port " +
+                                std::to_string(p),
+                            {}});
+    }
+  }
+  std::vector<double> row;
+  std::size_t concurrently_loaded_max = 0;
+  for (const auto* snap : results) {
+    if (!core::extract_values(*snap, units, row)) continue;
+    std::size_t loaded = 0;
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      port_stats[i].depth.add(row[i]);
+      loaded += row[i] > 8;
+    }
+    concurrently_loaded_max = std::max(concurrently_loaded_max, loaded);
+  }
+
+  std::cout << "Per-port queue occupancy over the campaign (packets):\n";
+  std::cout << "  " << std::left << std::setw(18) << "port" << std::right
+            << std::setw(8) << "mean" << std::setw(8) << "max" << "\n";
+  double hottest = 0.0;
+  std::string hottest_label;
+  for (const auto& ps : port_stats) {
+    if (ps.depth.max() == 0) continue;  // Quiet ports elided.
+    std::cout << "  " << std::left << std::setw(18) << ps.label << std::right
+              << std::setw(8) << std::fixed << std::setprecision(1)
+              << ps.depth.mean() << std::setw(8) << std::setprecision(0)
+              << ps.depth.max() << "\n";
+    if (ps.depth.max() > hottest) {
+      hottest = ps.depth.max();
+      hottest_label = ps.label;
+    }
+  }
+
+  std::cout << "\nHotspot: " << hottest_label << " (peak " << hottest
+            << " packets queued).\n"
+            << "At most " << concurrently_loaded_max
+            << " ports were loaded *simultaneously* — ";
+  if (concurrently_loaded_max <= 2) {
+    std::cout << "congestion is localized: upgrade that link; a parallel "
+                 "path would sit idle.\n";
+  } else {
+    std::cout << "load is spread: adding parallel paths would help.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Topology file utility: validate, summarize, inspect routes, and
+// normalize .topo files (see net/topology_io.hpp for the format).
+//
+//   $ ./topo_tool validate mynet.topo
+//   $ ./topo_tool info mynet.topo
+//   $ ./topo_tool routes mynet.topo
+//   $ ./topo_tool normalize mynet.topo   # canonical form to stdout
+//   $ ./topo_tool builtin leaf-spine:2x2x3 > testbed.topo
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "net/topology.hpp"
+#include "net/topology_io.hpp"
+
+namespace {
+
+using namespace speedlight;
+
+net::TopologySpec load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::invalid_argument("cannot open " + path);
+  return net::read_topology(in);
+}
+
+net::TopologySpec builtin(const std::string& spec) {
+  const auto colon = spec.find(':');
+  const std::string kind = spec.substr(0, colon);
+  const std::string args =
+      colon == std::string::npos ? "" : spec.substr(colon + 1);
+  if (kind == "leaf-spine") {
+    std::size_t d[3] = {2, 2, 3};
+    std::istringstream is(args);
+    std::string tok;
+    for (auto& v : d) {
+      if (std::getline(is, tok, 'x')) v = std::stoul(tok);
+    }
+    return net::make_leaf_spine(d[0], d[1], d[2]);
+  }
+  if (kind == "line") return net::make_line(std::stoul(args));
+  if (kind == "ring") return net::make_ring(std::stoul(args));
+  if (kind == "star") return net::make_star(std::stoul(args));
+  if (kind == "fat-tree") return net::make_fat_tree(std::stoul(args));
+  if (kind == "figure1") return net::make_figure1();
+  throw std::invalid_argument("unknown builtin " + spec);
+}
+
+void info(const net::TopologySpec& spec) {
+  std::size_t enabled = 0;
+  std::size_t total_ports = 0;
+  for (const auto& s : spec.switches) {
+    enabled += s.snapshot_enabled;
+    total_ports += s.num_ports;
+  }
+  std::cout << "switches:        " << spec.switches.size() << " (" << enabled
+            << " snapshot-enabled)\n"
+            << "hosts:           " << spec.hosts.size() << "\n"
+            << "trunks:          " << spec.trunks.size() << "\n"
+            << "processing units:" << " " << total_ports * 2 << "\n"
+            << "host links:      " << spec.host_link_bandwidth_bps / 1e9
+            << " Gbps\n";
+
+  // Reachability: every switch must reach every host.
+  const net::EcmpRoutes routes = net::compute_ecmp_routes(spec);
+  std::size_t unreachable = 0;
+  std::size_t multipath = 0;
+  for (std::size_t s = 0; s < spec.switches.size(); ++s) {
+    for (std::size_t h = 0; h < spec.hosts.size(); ++h) {
+      if (routes[s][h].empty()) ++unreachable;
+      if (routes[s][h].size() > 1) ++multipath;
+    }
+  }
+  std::cout << "reachability:    "
+            << (unreachable == 0 ? "full"
+                                 : std::to_string(unreachable) +
+                                       " (switch, host) pairs unreachable")
+            << "\n"
+            << "multipath pairs: " << multipath << " (ECMP sets > 1)\n";
+}
+
+void routes_dump(const net::TopologySpec& spec) {
+  const net::EcmpRoutes routes = net::compute_ecmp_routes(spec);
+  for (std::size_t s = 0; s < spec.switches.size(); ++s) {
+    std::cout << spec.switches[s].name << ":\n";
+    for (std::size_t h = 0; h < spec.hosts.size(); ++h) {
+      std::cout << "  -> " << spec.hosts[h].name << " via port";
+      if (routes[s][h].size() > 1) std::cout << "s";
+      for (const auto p : routes[s][h]) std::cout << " " << p;
+      if (routes[s][h].empty()) std::cout << " (unreachable)";
+      std::cout << "\n";
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::cout << "usage: topo_tool validate|info|routes|normalize FILE\n"
+                 "       topo_tool builtin SHAPE\n";
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  const std::string arg = argv[2];
+  try {
+    if (cmd == "builtin") {
+      net::write_topology(std::cout, builtin(arg));
+      return 0;
+    }
+    const net::TopologySpec spec = load(arg);
+    if (cmd == "validate") {
+      std::cout << "OK: " << spec.switches.size() << " switches, "
+                << spec.hosts.size() << " hosts, " << spec.trunks.size()
+                << " trunks\n";
+    } else if (cmd == "info") {
+      info(spec);
+    } else if (cmd == "routes") {
+      routes_dump(spec);
+    } else if (cmd == "normalize") {
+      net::write_topology(std::cout, spec);
+    } else {
+      std::cerr << "unknown command " << cmd << "\n";
+      return 2;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,164 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <ostream>
+
+namespace speedlight::core {
+
+std::vector<const snap::GlobalSnapshot*> SnapshotCampaign::results(
+    const Network& net) const {
+  std::vector<const snap::GlobalSnapshot*> out;
+  out.reserve(ids.size());
+  // Network::observer() is non-const only for registration; results are
+  // read-only.
+  auto& observer = const_cast<Network&>(net).observer();
+  for (const auto id : ids) {
+    const snap::GlobalSnapshot* snap = observer.result(id);
+    if (snap != nullptr && snap->complete) out.push_back(snap);
+  }
+  return out;
+}
+
+SnapshotCampaign run_snapshot_campaign(Network& net, std::size_t count,
+                                       sim::Duration interval,
+                                       sim::Duration lead,
+                                       sim::Duration settle) {
+  auto campaign = std::make_shared<SnapshotCampaign>();
+  const sim::SimTime base = net.now() + lead;
+  for (std::size_t i = 0; i < count; ++i) {
+    const sim::SimTime fire = base + static_cast<sim::SimTime>(i) * interval;
+    // Issue the request shortly before the fire time so the rollover window
+    // tracks actual completion progress.
+    const sim::SimTime request_at = fire - lead < net.now() ? net.now() : fire - lead;
+    net.simulator().at(request_at, [campaign, &net, fire]() {
+      if (const auto id = net.observer().request_snapshot(fire)) {
+        campaign->ids.push_back(*id);
+      } else {
+        ++campaign->skipped;
+      }
+    });
+  }
+  const sim::SimTime last_fire =
+      base + static_cast<sim::SimTime>(count ? count - 1 : 0) * interval;
+  net.run_until(last_fire + net.options().observer.completion_timeout + settle);
+  return *campaign;
+}
+
+std::vector<poll::PollSweep> run_polling_campaign(Network& net,
+                                                  std::size_t count,
+                                                  sim::Duration interval,
+                                                  sim::Duration lead,
+                                                  sim::Duration settle) {
+  auto sweeps = std::make_shared<std::vector<poll::PollSweep>>();
+  const sim::SimTime base = net.now() + lead;
+  for (std::size_t i = 0; i < count; ++i) {
+    net.poller().sweep_at(base + static_cast<sim::SimTime>(i) * interval,
+                          [sweeps](poll::PollSweep sweep) {
+                            sweeps->push_back(std::move(sweep));
+                          });
+  }
+  const sim::SimTime last = base + static_cast<sim::SimTime>(count ? count - 1 : 0) * interval;
+  // A sweep takes ~(#units * poll latency); leave generous slack.
+  net.run_until(last + sim::msec(50) + settle);
+  return *sweeps;
+}
+
+bool extract_values(const snap::GlobalSnapshot& snap,
+                    const std::vector<net::UnitId>& units,
+                    std::vector<double>& out) {
+  out.clear();
+  out.reserve(units.size());
+  for (const auto& unit : units) {
+    const auto it = snap.reports.find(unit);
+    if (it == snap.reports.end() || !it->second.consistent) return false;
+    out.push_back(static_cast<double>(it->second.local_value));
+  }
+  return true;
+}
+
+bool extract_values(const poll::PollSweep& sweep,
+                    const std::vector<net::UnitId>& units,
+                    std::vector<double>& out) {
+  out.clear();
+  out.reserve(units.size());
+  for (const auto& unit : units) {
+    bool found = false;
+    for (const auto& sample : sweep.samples) {
+      if (sample.unit == unit) {
+        out.push_back(static_cast<double>(sample.value));
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+std::vector<UnitDelta> snapshot_deltas(const snap::GlobalSnapshot& from,
+                                       const snap::GlobalSnapshot& to) {
+  std::vector<UnitDelta> out;
+  const double window_sec =
+      sim::to_sec(to.scheduled_at - from.scheduled_at);
+  for (const auto& [unit, after] : to.reports) {
+    if (!after.consistent) continue;
+    const auto it = from.reports.find(unit);
+    if (it == from.reports.end() || !it->second.consistent) continue;
+    if (after.local_value < it->second.local_value) continue;  // Not monotone.
+    UnitDelta d;
+    d.unit = unit;
+    d.delta = after.local_value - it->second.local_value;
+    d.rate_per_sec =
+        window_sec > 0.0 ? static_cast<double>(d.delta) / window_sec : 0.0;
+    out.push_back(d);
+  }
+  std::sort(out.begin(), out.end(), [](const UnitDelta& a, const UnitDelta& b) {
+    return a.unit < b.unit;
+  });
+  return out;
+}
+
+namespace {
+const char* direction_name(net::Direction d) {
+  return d == net::Direction::Ingress ? "ingress" : "egress";
+}
+}  // namespace
+
+void write_snapshot_csv(std::ostream& os,
+                        const std::vector<const snap::GlobalSnapshot*>& snaps) {
+  os << "snapshot_id,scheduled_ms,switch,port,direction,consistent,inferred,"
+        "value,channel_value,advance_us\n";
+  for (const auto* s : snaps) {
+    // Deterministic row order: sort units.
+    std::vector<net::UnitId> units;
+    units.reserve(s->reports.size());
+    for (const auto& [unit, r] : s->reports) units.push_back(unit);
+    std::sort(units.begin(), units.end());
+    for (const auto& unit : units) {
+      const auto& r = s->reports.at(unit);
+      os << s->id << ',' << sim::to_msec(s->scheduled_at) << ',' << unit.node
+         << ',' << unit.port << ',' << direction_name(unit.direction) << ','
+         << (r.consistent ? 1 : 0) << ',' << (r.inferred ? 1 : 0) << ','
+         << r.local_value << ',' << r.channel_value << ','
+         << sim::to_usec(r.advance_time) << "\n";
+    }
+  }
+}
+
+void write_polling_csv(std::ostream& os,
+                       const std::vector<poll::PollSweep>& sweeps) {
+  os << "sweep,read_ms,switch,port,direction,value\n";
+  std::size_t sweep_index = 0;
+  for (const auto& sweep : sweeps) {
+    for (const auto& sample : sweep.samples) {
+      os << sweep_index << ',' << sim::to_msec(sample.time) << ','
+         << sample.unit.node << ',' << sample.unit.port << ','
+         << direction_name(sample.unit.direction) << ',' << sample.value
+         << "\n";
+    }
+    ++sweep_index;
+  }
+}
+
+}  // namespace speedlight::core

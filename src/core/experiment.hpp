@@ -1,0 +1,76 @@
+// Campaign helpers shared by the benchmark harnesses and examples: run
+// trains of snapshots or polling sweeps against a live network and collect
+// per-unit time series.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <vector>
+
+#include "core/network.hpp"
+#include "net/types.hpp"
+#include "polling/polling_observer.hpp"
+#include "snapshot/observer.hpp"
+
+namespace speedlight::core {
+
+struct SnapshotCampaign {
+  std::vector<snap::VirtualSid> ids;  ///< Requested snapshot ids, in order.
+  std::size_t skipped = 0;            ///< Requests refused (rollover window).
+
+  /// Completed results, in request order (nullptr for incomplete ones
+  /// filtered out).
+  [[nodiscard]] std::vector<const snap::GlobalSnapshot*> results(
+      const Network& net) const;
+};
+
+/// Request `count` snapshots, `interval` apart, the first at now+lead; then
+/// run the simulation until the last snapshot's completion timeout has
+/// passed (plus `settle`).
+SnapshotCampaign run_snapshot_campaign(Network& net, std::size_t count,
+                                       sim::Duration interval,
+                                       sim::Duration lead = sim::msec(1),
+                                       sim::Duration settle = sim::msec(5));
+
+/// Run `count` polling sweeps, `interval` apart, the first at now+lead.
+/// Units must already be registered with net.poller().
+std::vector<poll::PollSweep> run_polling_campaign(
+    Network& net, std::size_t count, sim::Duration interval,
+    sim::Duration lead = sim::msec(1), sim::Duration settle = sim::msec(5));
+
+/// Extract one metric value per requested unit from a snapshot; returns
+/// false if any unit's report is missing or inconsistent.
+bool extract_values(const snap::GlobalSnapshot& snap,
+                    const std::vector<net::UnitId>& units,
+                    std::vector<double>& out);
+
+/// Extract the same units from a polling sweep (false if any is missing).
+bool extract_values(const poll::PollSweep& sweep,
+                    const std::vector<net::UnitId>& units,
+                    std::vector<double>& out);
+
+/// Per-unit deltas between two *consistent* snapshots of a monotone
+/// counter metric: because both cuts are causally consistent, the delta is
+/// the exact number of events each unit processed in the window — the
+/// consistent utilization/rate measurement polling cannot provide.
+/// Units missing or inconsistent in either snapshot are omitted.
+struct UnitDelta {
+  net::UnitId unit;
+  std::uint64_t delta = 0;       ///< Counter growth across the window.
+  double rate_per_sec = 0.0;     ///< delta / window.
+};
+[[nodiscard]] std::vector<UnitDelta> snapshot_deltas(
+    const snap::GlobalSnapshot& from, const snap::GlobalSnapshot& to);
+
+/// CSV export for offline analysis: one row per (snapshot, unit) with
+/// header `snapshot_id,scheduled_ms,switch,port,direction,consistent,
+/// inferred,value,channel_value,advance_us`.
+void write_snapshot_csv(std::ostream& os,
+                        const std::vector<const snap::GlobalSnapshot*>& snaps);
+
+/// One row per (sweep, sample): `sweep,read_ms,switch,port,direction,value`.
+void write_polling_csv(std::ostream& os,
+                       const std::vector<poll::PollSweep>& sweeps);
+
+}  // namespace speedlight::core

@@ -1,0 +1,150 @@
+#include "core/network.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace speedlight::core {
+
+Network::Network(const net::TopologySpec& spec, NetworkOptions options)
+    : options_(std::move(options)), spec_(spec), sim_(options_.seed) {
+  spec_.validate();
+  sim::Rng master = sim_.rng().fork("network");
+
+  // Liveness default: channel-state snapshots stall on traffic-less
+  // channels, so re-initiation rounds flood probes (Section 6).
+  if (options_.snapshot.channel_state && options_.force_probe_liveness) {
+    options_.control.probe_on_reinitiate = true;
+    options_.control.probe_on_initiate = true;
+  }
+
+  // Node ids: switches first, then hosts.
+  const std::size_t s = spec_.switches.size();
+  for (std::size_t i = 0; i < s; ++i) {
+    sw::SwitchOptions so;
+    so.num_ports = spec_.switches[i].num_ports;
+    so.snapshot_enabled = spec_.switches[i].snapshot_enabled;
+    so.snapshot = options_.snapshot;
+    so.metric = options_.metric;
+    so.load_balancer = options_.load_balancer;
+    so.flowlet_gap = options_.flowlet_gap;
+    so.cos_classes = options_.cos_classes;
+    so.classifier = options_.classifier;
+    so.queue_capacity = options_.queue_capacity;
+    so.fabric_delay = options_.fabric_delay;
+    so.notification_mode = options_.notification_mode;
+    so.int_enabled = options_.int_enabled;
+    so.ecn_threshold = options_.ecn_threshold;
+    so.control = options_.control;
+    switches_.push_back(std::make_unique<sw::Switch>(
+        sim_, static_cast<net::NodeId>(i), spec_.switches[i].name,
+        options_.timing, so, master.fork("switch" + std::to_string(i))));
+  }
+  for (std::size_t i = 0; i < spec_.hosts.size(); ++i) {
+    hosts_.push_back(std::make_unique<net::Host>(
+        sim_, static_cast<net::NodeId>(s + i), spec_.hosts[i].name));
+  }
+
+  auto make_link = [this, &master](double bw, sim::Duration prop) {
+    links_.push_back(std::make_unique<net::Link>(
+        sim_, bw, prop, master.fork("link" + std::to_string(links_.size()))));
+    return links_.back().get();
+  };
+
+  // Host access links (duplex).
+  for (std::size_t i = 0; i < spec_.hosts.size(); ++i) {
+    const auto& h = spec_.hosts[i];
+    sw::Switch& swch = *switches_[h.attached_switch];
+    net::Link* up = make_link(spec_.host_link_bandwidth_bps,
+                              spec_.host_link_propagation);
+    up->connect(&swch, h.switch_port);
+    hosts_[i]->attach_uplink(up);
+    net::Link* down = make_link(spec_.host_link_bandwidth_bps,
+                                spec_.host_link_propagation);
+    down->connect(hosts_[i].get(), 0);
+    swch.attach_link(h.switch_port, down, /*to_host=*/true);
+  }
+
+  // Switch-to-switch trunks (duplex).
+  for (const auto& t : spec_.trunks) {
+    sw::Switch& a = *switches_[t.switch_a];
+    sw::Switch& b = *switches_[t.switch_b];
+    net::Link* ab = make_link(t.bandwidth_bps, t.propagation);
+    ab->connect(&b, t.port_b);
+    a.attach_link(t.port_a, ab, /*to_host=*/false);
+    net::Link* ba = make_link(t.bandwidth_bps, t.propagation);
+    ba->connect(&a, t.port_a);
+    b.attach_link(t.port_b, ba, /*to_host=*/false);
+    // Partial deployment: if a trunk neighbor is snapshot-disabled, no
+    // markers arrive on that channel.
+    if (!options_.transit_neighbors_carry_markers) {
+      if (!spec_.switches[t.switch_b].snapshot_enabled) {
+        a.set_ingress_neighbor_enabled(t.port_a, false);
+      }
+      if (!spec_.switches[t.switch_a].snapshot_enabled) {
+        b.set_ingress_neighbor_enabled(t.port_b, false);
+      }
+    }
+  }
+
+  // Routing: install the full ECMP next-hop sets.
+  const net::EcmpRoutes routes = net::compute_ecmp_routes(spec_);
+  for (std::size_t sw_idx = 0; sw_idx < s; ++sw_idx) {
+    for (std::size_t h = 0; h < spec_.hosts.size(); ++h) {
+      if (!routes[sw_idx][h].empty()) {
+        switches_[sw_idx]->set_route(static_cast<net::NodeId>(s + h),
+                                     routes[sw_idx][h]);
+      }
+    }
+  }
+
+  for (auto& swch : switches_) swch->finalize();
+
+  // Measurement services.
+  ptp_ = std::make_unique<snap::PtpService>(sim_, options_.timing,
+                                            master.fork("ptp"));
+  // The observer's snapshot config always mirrors the data plane's; only
+  // the completion timeout is taken from the caller's observer options.
+  observer_ = std::make_unique<snap::Observer>(
+      sim_, options_.timing,
+      snap::Observer::Options{options_.snapshot,
+                              options_.observer.completion_timeout});
+  poller_ = std::make_unique<poll::PollingObserver>(sim_, options_.timing,
+                                                    master.fork("poller"));
+
+  for (auto& swch : switches_) {
+    if (!swch->options().snapshot_enabled) continue;
+    observer_->register_device(&swch->control_plane());
+    ptp_->manage(&swch->control_plane().clock());
+    if (options_.start_register_poll) {
+      swch->control_plane().start_register_poll();
+    }
+  }
+  if (options_.start_ptp) ptp_->start();
+}
+
+Network::~Network() = default;
+
+void Network::register_all_units_for_polling() {
+  for (auto& swch : switches_) {
+    for (net::PortId p = 0; p < swch->options().num_ports; ++p) {
+      poller_->add_unit(swch->unit(p, net::Direction::Ingress));
+      poller_->add_unit(swch->unit(p, net::Direction::Egress));
+    }
+  }
+}
+
+const snap::GlobalSnapshot* Network::take_snapshot(sim::Duration lead,
+                                                   sim::Duration max_wait) {
+  const auto id = observer_->request_snapshot(sim_.now() + lead);
+  if (!id) return nullptr;
+  const sim::SimTime deadline = sim_.now() + lead + max_wait;
+  while (sim_.now() < deadline) {
+    const snap::GlobalSnapshot* snap = observer_->result(*id);
+    if (snap != nullptr && snap->complete) return snap;
+    if (sim_.pending() == 0) break;
+    sim_.step();
+  }
+  return observer_->result(*id);
+}
+
+}  // namespace speedlight::core

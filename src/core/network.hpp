@@ -1,0 +1,144 @@
+// The public Speedlight facade: instantiate a topology into a live
+// simulated network with snapshot-enabled switches, a PTP service, a
+// snapshot observer, and a polling baseline — everything the paper's
+// evaluation (and a downstream user) needs, behind one builder.
+//
+// Typical use:
+//
+//   speedlight::core::NetworkOptions opt;
+//   opt.snapshot.channel_state = true;
+//   speedlight::core::Network net(speedlight::net::make_leaf_spine(2, 2, 3),
+//                                 opt);
+//   auto id = net.observer().request_snapshot(net.now() + sim::msec(1));
+//   net.run_for(sim::msec(20));
+//   const auto* snap = net.observer().result(*id);
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "net/host.hpp"
+#include "net/link.hpp"
+#include "net/topology.hpp"
+#include "polling/polling_observer.hpp"
+#include "sim/simulator.hpp"
+#include "sim/timing_model.hpp"
+#include "snapshot/observer.hpp"
+#include "snapshot/ptp.hpp"
+#include "switchlib/switch.hpp"
+
+namespace speedlight::core {
+
+struct NetworkOptions {
+  std::uint64_t seed = 1;
+  sim::TimingModel timing;
+
+  snap::SnapshotConfig snapshot;
+  sw::MetricKind metric = sw::MetricKind::PacketCount;
+
+  sw::LoadBalancerKind load_balancer = sw::LoadBalancerKind::Ecmp;
+  sim::Duration flowlet_gap = sim::usec(50);
+
+  std::size_t cos_classes = 1;
+  /// Maps packets to CoS classes (null = class 0); applied on every switch.
+  std::function<std::size_t(const net::Packet&)> classifier;
+  std::size_t queue_capacity = 4096;
+  sim::Duration fabric_delay = sim::nsec(400);
+  snap::NotificationMode notification_mode = snap::NotificationMode::RawSocket;
+  /// Enable In-band Network Telemetry on all switches.
+  bool int_enabled = false;
+  /// ECN marking threshold in packets (0 = off), applied on all switches.
+  std::size_t ecn_threshold = 0;
+
+  snap::Observer::Options observer;
+  snap::ControlPlane::Options control;
+
+  /// Channel-state snapshots stall on traffic-less channels; by default the
+  /// builder turns on probe flooding at initiation and re-initiation
+  /// (Section 6's broadcast injection). Disable to study the failure mode.
+  bool force_probe_liveness = true;
+
+  /// Partial deployment (Section 10): when true, channels that traverse a
+  /// snapshot-disabled transit switch still gate completion and carry
+  /// markers (valid only when the transit path is single-source FIFO, e.g.
+  /// a chain — the paper's path-tagging requirement). When false (default),
+  /// such channels are conservatively removed from completion.
+  bool transit_neighbors_carry_markers = false;
+
+  /// Start the PTP correction loop (on by default, as on the testbed).
+  bool start_ptp = true;
+  /// Start each control plane's proactive register poll loop.
+  bool start_register_poll = false;
+};
+
+class Network {
+ public:
+  Network(const net::TopologySpec& spec, NetworkOptions options);
+  ~Network();
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // --- Simulation control ----------------------------------------------------
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] sim::SimTime now() const { return sim_.now(); }
+  void run_for(sim::Duration d) { sim_.run_until(sim_.now() + d); }
+  void run_until(sim::SimTime t) { sim_.run_until(t); }
+
+  // --- Topology access --------------------------------------------------------
+  [[nodiscard]] std::size_t num_switches() const { return switches_.size(); }
+  [[nodiscard]] std::size_t num_hosts() const { return hosts_.size(); }
+  [[nodiscard]] sw::Switch& switch_at(std::size_t i) { return *switches_.at(i); }
+  [[nodiscard]] net::Host& host(std::size_t i) { return *hosts_.at(i); }
+  /// Node id of host `i` (what Host::send routes on).
+  [[nodiscard]] net::NodeId host_id(std::size_t i) const {
+    return hosts_.at(i)->id();
+  }
+  [[nodiscard]] const net::TopologySpec& spec() const { return spec_; }
+
+  /// Direct access to the instantiated links, for taps and fault injection.
+  /// Host access links: `host_uplink`/`host_downlink`; trunk links by index
+  /// into spec().trunks and direction.
+  [[nodiscard]] net::Link& host_uplink(std::size_t host) {
+    return *links_.at(2 * host);
+  }
+  [[nodiscard]] net::Link& host_downlink(std::size_t host) {
+    return *links_.at(2 * host + 1);
+  }
+  [[nodiscard]] net::Link& trunk_link(std::size_t trunk, bool a_to_b) {
+    return *links_.at(2 * spec_.hosts.size() + 2 * trunk + (a_to_b ? 0 : 1));
+  }
+
+  // --- Measurement services ----------------------------------------------------
+  [[nodiscard]] snap::Observer& observer() { return *observer_; }
+  [[nodiscard]] poll::PollingObserver& poller() { return *poller_; }
+  [[nodiscard]] snap::PtpService& ptp() { return *ptp_; }
+  [[nodiscard]] const NetworkOptions& options() const { return options_; }
+
+  /// Register every unit of every snapshot-capable switch with the polling
+  /// baseline, in deterministic (switch, port, direction) order.
+  void register_all_units_for_polling();
+
+  /// Convenience: request a snapshot `lead` in the future, run the
+  /// simulation until it completes (or `max_wait` elapses), and return it.
+  const snap::GlobalSnapshot* take_snapshot(
+      sim::Duration lead = sim::msec(1), sim::Duration max_wait = sim::msec(500));
+
+ private:
+  NetworkOptions options_;
+  net::TopologySpec spec_;
+  sim::Simulator sim_;
+
+  std::vector<std::unique_ptr<sw::Switch>> switches_;
+  std::vector<std::unique_ptr<net::Host>> hosts_;
+  std::vector<std::unique_ptr<net::Link>> links_;
+
+  std::unique_ptr<snap::PtpService> ptp_;
+  std::unique_ptr<snap::Observer> observer_;
+  std::unique_ptr<poll::PollingObserver> poller_;
+};
+
+}  // namespace speedlight::core

@@ -1,0 +1,41 @@
+#include "net/link.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace speedlight::net {
+
+void Link::send(Packet pkt) {
+  const sim::SimTime start =
+      busy_until_ > sim_.now() ? busy_until_ : sim_.now();
+  const sim::SimTime departed = start + serialization_delay(pkt.size_bytes);
+  busy_until_ = departed;
+  deliver(std::move(pkt), departed);
+}
+
+void Link::deliver(Packet pkt, sim::SimTime departed) {
+  assert(dst_ != nullptr && "link not connected");
+
+  bool dropped = false;
+  if (forced_drops_ > 0) {
+    --forced_drops_;
+    dropped = true;
+  } else if (loss_probability_ > 0.0 && rng_.chance(loss_probability_)) {
+    dropped = true;
+  }
+  if (dropped) {
+    ++packets_dropped_;
+    return;
+  }
+
+  ++packets_sent_;
+  const sim::SimTime arrives = departed + propagation_;
+  if (on_depart_) on_depart_(pkt, departed);
+
+  sim_.at(arrives, [this, pkt = std::move(pkt), arrives]() mutable {
+    if (on_arrive_) on_arrive_(pkt, arrives);
+    dst_->receive(std::move(pkt), dst_port_);
+  });
+}
+
+}  // namespace speedlight::net

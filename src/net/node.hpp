@@ -1,0 +1,33 @@
+// Abstract network device: anything that can terminate a link.
+#pragma once
+
+#include <string>
+
+#include "net/packet.hpp"
+#include "net/types.hpp"
+
+namespace speedlight::net {
+
+class Node {
+ public:
+  Node(NodeId id, std::string name) : id_(id), name_(std::move(name)) {}
+  virtual ~Node() = default;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// A packet has finished propagating over a link attached to `port`.
+  virtual void receive(Packet pkt, PortId port) = 0;
+
+  /// Hosts never participate in the snapshot protocol.
+  [[nodiscard]] virtual bool is_host() const = 0;
+
+ private:
+  NodeId id_;
+  std::string name_;
+};
+
+}  // namespace speedlight::net

@@ -1,0 +1,38 @@
+#include "net/snapshot_wire.hpp"
+
+namespace speedlight::net {
+
+std::array<std::uint8_t, kSnapshotHeaderBytes> encode_snapshot_header(
+    const SnapshotHeader& h) {
+  std::array<std::uint8_t, kSnapshotHeaderBytes> out{};
+  out[0] = kSnapshotHeaderMagic;
+  out[1] = static_cast<std::uint8_t>(h.kind);
+  out[2] = static_cast<std::uint8_t>(h.wire_sid >> 24);
+  out[3] = static_cast<std::uint8_t>(h.wire_sid >> 16);
+  out[4] = static_cast<std::uint8_t>(h.wire_sid >> 8);
+  out[5] = static_cast<std::uint8_t>(h.wire_sid);
+  out[6] = static_cast<std::uint8_t>(h.channel >> 8);
+  out[7] = static_cast<std::uint8_t>(h.channel);
+  return out;
+}
+
+std::optional<SnapshotHeader> decode_snapshot_header(
+    std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kSnapshotHeaderBytes) return std::nullopt;
+  if (bytes[0] != kSnapshotHeaderMagic) return std::nullopt;
+  if (bytes[1] > static_cast<std::uint8_t>(PacketKind::Probe)) {
+    return std::nullopt;
+  }
+  SnapshotHeader h;
+  h.present = true;
+  h.kind = static_cast<PacketKind>(bytes[1]);
+  h.wire_sid = (static_cast<std::uint32_t>(bytes[2]) << 24) |
+               (static_cast<std::uint32_t>(bytes[3]) << 16) |
+               (static_cast<std::uint32_t>(bytes[4]) << 8) |
+               static_cast<std::uint32_t>(bytes[5]);
+  h.channel = static_cast<std::uint16_t>(
+      (static_cast<std::uint16_t>(bytes[6]) << 8) | bytes[7]);
+  return h;
+}
+
+}  // namespace speedlight::net

@@ -1,0 +1,37 @@
+// Wire encoding of the snapshot header.
+//
+// The simulator passes structured packets around, but the header must be a
+// well-defined byte format for interoperability (and so its cost can be
+// accounted). Layout, 8 bytes, network byte order:
+//
+//   0      1        2..5        6..7
+//   +------+--------+-----------+---------+
+//   | magic| kind   | wire_sid  | channel |
+//   +------+--------+-----------+---------+
+//
+// magic = 0xA7 identifies the header (stand-in for the IP-option /
+// dedicated EtherType encapsulation discussed in Section 10).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "net/packet.hpp"
+
+namespace speedlight::net {
+
+inline constexpr std::uint8_t kSnapshotHeaderMagic = 0xA7;
+inline constexpr std::size_t kSnapshotHeaderBytes = 8;
+
+/// Serialize a header (which must be present) into 8 bytes.
+[[nodiscard]] std::array<std::uint8_t, kSnapshotHeaderBytes> encode_snapshot_header(
+    const SnapshotHeader& h);
+
+/// Parse a header from bytes. Returns nullopt on short input, bad magic, or
+/// an unknown packet kind.
+[[nodiscard]] std::optional<SnapshotHeader> decode_snapshot_header(
+    std::span<const std::uint8_t> bytes);
+
+}  // namespace speedlight::net

@@ -1,0 +1,31 @@
+// Text serialization of topology descriptions, so deployments can be kept
+// in version-controlled files and loaded by tools/examples.
+//
+// Format (one directive per line, '#' comments):
+//
+//   host_links <gbps> <propagation_ns>
+//   switch <name> <num_ports> [disabled]
+//   host <name> <switch_name> <port>
+//   trunk <switch_a> <port_a> <switch_b> <port_b> [gbps] [propagation_ns]
+//
+// Switches must be declared before they are referenced. Trunks default to
+// 100 Gbps / 500 ns.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "net/topology.hpp"
+
+namespace speedlight::net {
+
+/// Serialize a spec into the text format (stable, diff-friendly order).
+void write_topology(std::ostream& os, const TopologySpec& spec);
+[[nodiscard]] std::string topology_to_string(const TopologySpec& spec);
+
+/// Parse the text format. Throws std::invalid_argument with a line number
+/// on malformed input or dangling references. The result is validate()d.
+[[nodiscard]] TopologySpec read_topology(std::istream& is);
+[[nodiscard]] TopologySpec topology_from_string(const std::string& text);
+
+}  // namespace speedlight::net

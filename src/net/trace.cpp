@@ -1,0 +1,39 @@
+#include "net/trace.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+namespace speedlight::net {
+
+namespace {
+const char* kind_name(PacketKind k) {
+  switch (k) {
+    case PacketKind::Data:
+      return "data";
+    case PacketKind::Initiation:
+      return "init";
+    case PacketKind::Probe:
+      return "probe";
+  }
+  return "?";
+}
+}  // namespace
+
+void PacketTrace::dump(std::ostream& os) const {
+  os << "# time_us  id  src->dst  flow  bytes  kind  sid\n";
+  for (const auto& r : records_) {
+    os << std::fixed << std::setprecision(3)
+       << static_cast<double>(r.time) / 1e3 << "  " << r.packet_id << "  "
+       << r.src_host << "->" << r.dst_host << "  " << r.flow << "  "
+       << r.size_bytes << "  " << kind_name(r.kind) << "  ";
+    if (r.has_snapshot_header) {
+      os << r.wire_sid;
+    } else {
+      os << "-";
+    }
+    os << "\n";
+  }
+  os.unsetf(std::ios::fixed);
+}
+
+}  // namespace speedlight::net

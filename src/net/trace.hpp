@@ -1,0 +1,92 @@
+// Packet trace recorder: a bounded ring buffer of per-packet records with
+// an optional filter, attachable to any Link's taps. The in-simulation
+// equivalent of a capture port — used by examples and for debugging
+// protocol behaviour (e.g. watching snapshot markers propagate).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <iosfwd>
+
+#include "net/link.hpp"
+#include "net/packet.hpp"
+
+namespace speedlight::net {
+
+struct TraceRecord {
+  sim::SimTime time = 0;
+  std::uint64_t packet_id = 0;
+  NodeId src_host = kInvalidNode;
+  NodeId dst_host = kInvalidNode;
+  FlowId flow = 0;
+  std::uint32_t size_bytes = 0;
+  PacketKind kind = PacketKind::Data;
+  bool has_snapshot_header = false;
+  std::uint32_t wire_sid = 0;
+};
+
+class PacketTrace {
+ public:
+  using Filter = std::function<bool(const Packet&)>;
+
+  explicit PacketTrace(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  PacketTrace(const PacketTrace&) = delete;
+  PacketTrace& operator=(const PacketTrace&) = delete;
+
+  /// Only packets for which `f` returns true are recorded (null = all).
+  void set_filter(Filter f) { filter_ = std::move(f); }
+
+  /// Attach to a link's arrival tap. Multiple links may share one trace;
+  /// attaching replaces any tap previously installed on that link.
+  void attach_to(Link& link) {
+    link.set_arrive_tap([this](const Packet& pkt, sim::SimTime t) {
+      record(pkt, t);
+    });
+  }
+
+  /// Record directly (e.g. from a SwitchAudit hook).
+  void record(const Packet& pkt, sim::SimTime t) {
+    ++seen_;
+    if (filter_ && !filter_(pkt)) return;
+    if (records_.size() == capacity_) {
+      records_.pop_front();
+      ++evicted_;
+    }
+    TraceRecord r;
+    r.time = t;
+    r.packet_id = pkt.id;
+    r.src_host = pkt.src_host;
+    r.dst_host = pkt.dst_host;
+    r.flow = pkt.flow;
+    r.size_bytes = pkt.size_bytes;
+    r.kind = pkt.snap.present ? pkt.snap.kind : PacketKind::Data;
+    r.has_snapshot_header = pkt.snap.present;
+    r.wire_sid = pkt.snap.wire_sid;
+    records_.push_back(r);
+  }
+
+  [[nodiscard]] const std::deque<TraceRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+  [[nodiscard]] std::uint64_t seen() const { return seen_; }
+  [[nodiscard]] std::uint64_t evicted() const { return evicted_; }
+  void clear() {
+    records_.clear();
+    seen_ = evicted_ = 0;
+  }
+
+  /// Human-readable dump (one line per record).
+  void dump(std::ostream& os) const;
+
+ private:
+  std::size_t capacity_;
+  Filter filter_;
+  std::deque<TraceRecord> records_;
+  std::uint64_t seen_ = 0;
+  std::uint64_t evicted_ = 0;
+};
+
+}  // namespace speedlight::net

@@ -1,0 +1,79 @@
+// In-band Network Telemetry collector: the path-level measurement tool of
+// Section 2's related work ("Multi-device measurement ... packets could
+// record the minimum queue depth at any intermediate switch").
+//
+// INT enforces causal consistency *within one sample's path* but samples
+// from different paths or times remain incomparable — exactly the gap the
+// snapshot primitive fills. The collector aggregates per-path statistics
+// from the IntHop stacks delivered to a host.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "net/host.hpp"
+#include "net/packet.hpp"
+#include "stats/summary.hpp"
+
+namespace speedlight::poll {
+
+class IntCollector {
+ public:
+  /// Install on a host: chains the host's receive callback (replaces any
+  /// existing one).
+  void attach_to(net::Host& host) {
+    host.set_receive_callback(
+        [this](const net::Packet& pkt, sim::SimTime t) { ingest(pkt, t); });
+  }
+
+  void ingest(const net::Packet& pkt, sim::SimTime /*now*/) {
+    if (pkt.int_stack.empty()) return;
+    ++telemetry_packets_;
+    PathStats& path = paths_[path_key(pkt.int_stack)];
+    ++path.samples;
+    std::uint32_t path_max = 0;
+    for (const auto& hop : pkt.int_stack) {
+      path_max = std::max(path_max, hop.queue_depth);
+      per_switch_depth_[hop.switch_id].add(hop.queue_depth);
+    }
+    path.max_queue_depth.add(path_max);
+    const sim::Duration transit =
+        pkt.int_stack.back().egress_time - pkt.int_stack.front().egress_time;
+    path.fabric_transit_ns.add(static_cast<double>(transit));
+  }
+
+  struct PathStats {
+    std::uint64_t samples = 0;
+    stats::Summary max_queue_depth;
+    stats::Summary fabric_transit_ns;
+  };
+
+  /// Distinct switch paths observed (keyed by the hop sequence).
+  [[nodiscard]] const std::map<std::vector<net::NodeId>, PathStats>& paths()
+      const {
+    return paths_;
+  }
+  [[nodiscard]] const stats::Summary* switch_depth(net::NodeId sw) const {
+    const auto it = per_switch_depth_.find(sw);
+    return it == per_switch_depth_.end() ? nullptr : &it->second;
+  }
+  [[nodiscard]] std::uint64_t telemetry_packets() const {
+    return telemetry_packets_;
+  }
+
+ private:
+  static std::vector<net::NodeId> path_key(
+      const std::vector<net::IntHop>& stack) {
+    std::vector<net::NodeId> key;
+    key.reserve(stack.size());
+    for (const auto& hop : stack) key.push_back(hop.switch_id);
+    return key;
+  }
+
+  std::map<std::vector<net::NodeId>, PathStats> paths_;
+  std::map<net::NodeId, stats::Summary> per_switch_depth_;
+  std::uint64_t telemetry_packets_ = 0;
+};
+
+}  // namespace speedlight::poll

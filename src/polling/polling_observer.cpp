@@ -1,0 +1,35 @@
+#include "polling/polling_observer.hpp"
+
+#include <memory>
+#include <utility>
+
+namespace speedlight::poll {
+
+void PollingObserver::sweep_at(sim::SimTime when,
+                               std::function<void(PollSweep)> done) {
+  auto sweep = std::make_shared<PollSweep>();
+  sweep->samples.reserve(units_.size());
+  auto cb = std::make_shared<std::function<void(PollSweep)>>(std::move(done));
+  sim_.at(when, [this, sweep, cb]() { poll_next(sweep, 0, cb); });
+}
+
+void PollingObserver::poll_next(
+    std::shared_ptr<PollSweep> sweep, std::size_t index,
+    std::shared_ptr<std::function<void(PollSweep)>> done) {
+  if (index >= units_.size()) {
+    if (*done) (*done)(std::move(*sweep));
+    return;
+  }
+  // One request/response round-trip; the register is read at the agent just
+  // before the response is sent, i.e. at the end of the round-trip (minus
+  // the return leg, folded into the sampled latency).
+  const sim::Duration rtt = timing_.sample_poll_latency(rng_);
+  snap::UnitHandle* unit = units_[index];
+  sim_.after(rtt, [this, sweep, index, done, unit]() {
+    sweep->samples.push_back(
+        {unit->unit_id(), unit->read_live_counter(), sim_.now()});
+    poll_next(sweep, index + 1, done);
+  });
+}
+
+}  // namespace speedlight::poll

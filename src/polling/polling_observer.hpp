@@ -1,0 +1,73 @@
+// The traditional counter-polling framework Speedlight is compared against
+// (Section 8.1): "an observer polls the statistic for each port
+// individually via a control plane agent that reads and returns the value
+// on-demand." Polls are sequential; each costs a sampled round-trip, so a
+// full network sweep spans milliseconds — the asynchronicity the paper's
+// Figures 9, 12 and 13 quantify.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/types.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/timing_model.hpp"
+#include "snapshot/unit_handle.hpp"
+
+namespace speedlight::poll {
+
+struct PollSample {
+  net::UnitId unit;
+  std::uint64_t value = 0;
+  sim::SimTime time = 0;  ///< True time the value was read.
+};
+
+struct PollSweep {
+  std::vector<PollSample> samples;
+
+  /// First-to-last read time: the sweep's intrinsic asynchronicity.
+  [[nodiscard]] sim::Duration span() const {
+    if (samples.empty()) return 0;
+    sim::SimTime lo = samples.front().time;
+    sim::SimTime hi = samples.front().time;
+    for (const auto& s : samples) {
+      lo = s.time < lo ? s.time : lo;
+      hi = s.time > hi ? s.time : hi;
+    }
+    return hi - lo;
+  }
+};
+
+class PollingObserver {
+ public:
+  PollingObserver(sim::Simulator& sim, const sim::TimingModel& timing,
+                  sim::Rng rng)
+      : sim_(sim), timing_(timing), rng_(rng) {}
+
+  PollingObserver(const PollingObserver&) = delete;
+  PollingObserver& operator=(const PollingObserver&) = delete;
+
+  /// Add a unit to the poll schedule (sweeps read units in add order).
+  void add_unit(snap::UnitHandle* unit) { units_.push_back(unit); }
+
+  [[nodiscard]] std::size_t num_units() const { return units_.size(); }
+
+  /// Start a sweep at absolute time `when`; invokes `done` with the
+  /// completed sweep. Multiple sweeps may be scheduled; each runs
+  /// independently.
+  void sweep_at(sim::SimTime when, std::function<void(PollSweep)> done);
+
+ private:
+  void poll_next(std::shared_ptr<PollSweep> sweep, std::size_t index,
+                 std::shared_ptr<std::function<void(PollSweep)>> done);
+
+  sim::Simulator& sim_;
+  const sim::TimingModel& timing_;
+  sim::Rng rng_;
+  std::vector<snap::UnitHandle*> units_;
+};
+
+}  // namespace speedlight::poll

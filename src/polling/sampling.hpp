@@ -1,0 +1,90 @@
+// Packet-sampling baseline (sFlow-style), the other traditional
+// measurement tool of Section 2 ("this typically takes the form of
+// counters or packet sampling/mirroring").
+//
+// Switches mirror 1-in-N packet headers to a collector; the collector
+// scales sample counts back up to estimates. Cheap and always-on, but the
+// estimates carry sampling noise and, like polling, no two estimates are
+// mutually consistent — the contrast the snapshot primitive addresses.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "net/types.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace speedlight::poll {
+
+struct SampleRecord {
+  net::NodeId device = net::kInvalidNode;
+  net::PortId port = net::kInvalidPort;
+  std::uint32_t size_bytes = 0;
+  sim::SimTime sampled_at = 0;
+};
+
+using SampleSink = std::function<void(const SampleRecord&)>;
+
+class SamplingCollector {
+ public:
+  /// `rate`: the 1-in-N sampling rate the switches were configured with
+  /// (needed to scale estimates). `mirror_latency`: network delay from
+  /// switch to collector.
+  SamplingCollector(sim::Simulator& sim, std::uint32_t rate,
+                    sim::Duration mirror_latency = sim::usec(20))
+      : sim_(sim), rate_(rate), mirror_latency_(mirror_latency) {}
+
+  SamplingCollector(const SamplingCollector&) = delete;
+  SamplingCollector& operator=(const SamplingCollector&) = delete;
+
+  /// The sink to install on switches (Switch::enable_sampling).
+  [[nodiscard]] SampleSink sink() {
+    return [this](const SampleRecord& r) {
+      sim_.after(mirror_latency_, [this, r]() {
+        Port& p = ports_[key(r.device, r.port)];
+        ++p.samples;
+        p.sampled_bytes += r.size_bytes;
+        p.last_sample = r.sampled_at;
+        ++total_samples_;
+      });
+    };
+  }
+
+  /// Scaled estimate of packets seen at (device, port) ingress.
+  [[nodiscard]] std::uint64_t estimated_packets(net::NodeId device,
+                                                net::PortId port) const {
+    return samples(device, port) * rate_;
+  }
+  [[nodiscard]] std::uint64_t estimated_bytes(net::NodeId device,
+                                              net::PortId port) const {
+    const auto it = ports_.find(key(device, port));
+    return it == ports_.end() ? 0 : it->second.sampled_bytes * rate_;
+  }
+  [[nodiscard]] std::uint64_t samples(net::NodeId device,
+                                      net::PortId port) const {
+    const auto it = ports_.find(key(device, port));
+    return it == ports_.end() ? 0 : it->second.samples;
+  }
+  [[nodiscard]] std::uint64_t total_samples() const { return total_samples_; }
+  [[nodiscard]] std::uint32_t rate() const { return rate_; }
+
+ private:
+  struct Port {
+    std::uint64_t samples = 0;
+    std::uint64_t sampled_bytes = 0;
+    sim::SimTime last_sample = 0;
+  };
+  static std::uint64_t key(net::NodeId device, net::PortId port) {
+    return (static_cast<std::uint64_t>(device) << 16) | port;
+  }
+
+  sim::Simulator& sim_;
+  std::uint32_t rate_;
+  sim::Duration mirror_latency_;
+  std::unordered_map<std::uint64_t, Port> ports_;
+  std::uint64_t total_samples_ = 0;
+};
+
+}  // namespace speedlight::poll

@@ -1,0 +1,167 @@
+#include "resources/pipeline_layout.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace speedlight::res {
+
+namespace {
+
+// Shorthand builder.
+TableSpec t(std::string name, Gress g, int sl, int sf, int gw,
+            std::vector<std::string> deps, int min_stage = -1) {
+  return TableSpec{std::move(name), g, sl, sf, gw, std::move(deps), min_stage};
+}
+
+// The Figure 4 ingress pipeline (packet-count base variant).
+std::vector<TableSpec> ingress_base() {
+  constexpr Gress I = Gress::Ingress;
+  return {
+      t("i.parse_snapshot_header", I, 1, 0, 1, {}),
+      t("i.validate_header", I, 0, 0, 1, {}),
+      t("i.read_local_sid", I, 0, 1, 0,
+        {"i.parse_snapshot_header", "i.validate_header"}),
+      t("i.compare_sid", I, 0, 0, 1, {"i.read_local_sid"}),
+      t("i.new_snapshot_gate", I, 0, 0, 1, {"i.read_local_sid"}),
+      t("i.save_snapshot_value", I, 0, 1, 0, {"i.compare_sid"}),
+      t("i.advance_sid", I, 0, 1, 0, {"i.compare_sid", "i.new_snapshot_gate"}),
+      t("i.update_counter", I, 0, 1, 1,
+        {"i.save_snapshot_value", "i.advance_sid"}),
+      t("i.stamp_header", I, 2, 0, 0, {"i.update_counter"}),
+      t("i.add_header_gate", I, 1, 0, 1, {"i.update_counter"}),
+      t("i.fib_lookup", I, 1, 0, 1, {"i.stamp_header"}),
+      t("i.select_egress_port", I, 2, 0, 1, {"i.fib_lookup"}),
+      t("i.notify_gate", I, 0, 0, 1, {"i.select_egress_port"}),
+      t("i.clone_to_cpu", I, 3, 0, 0, {"i.notify_gate"}),
+  };
+}
+
+// The Figure 5 egress pipeline (packet-count base variant).
+std::vector<TableSpec> egress_base() {
+  constexpr Gress E = Gress::Egress;
+  return {
+      t("e.read_local_sid", E, 0, 1, 0, {}, /*min_stage=*/1),
+      t("e.compare_sid", E, 0, 0, 1, {"e.read_local_sid"}),
+      t("e.new_snapshot_gate", E, 0, 0, 1, {"e.read_local_sid"}),
+      t("e.save_snapshot_value", E, 0, 1, 0, {"e.compare_sid"}),
+      t("e.advance_sid", E, 0, 1, 0, {"e.compare_sid", "e.new_snapshot_gate"}),
+      t("e.update_counter", E, 0, 1, 1,
+        {"e.save_snapshot_value", "e.advance_sid"}),
+      t("e.stamp_header", E, 1, 0, 0, {"e.update_counter"}),
+      t("e.host_facing_gate", E, 0, 0, 1, {"e.update_counter"}),
+      t("e.strip_header", E, 1, 0, 0, {"e.stamp_header", "e.host_facing_gate"}),
+      t("e.queue_meta", E, 1, 1, 0, {"e.strip_header"}),
+      t("e.notify_gate", E, 0, 0, 1, {"e.queue_meta"}),
+      t("e.clone_to_cpu", E, 2, 0, 0, {"e.notify_gate"}),
+      t("e.tx_finalize", E, 2, 0, 1, {"e.notify_gate"}),
+  };
+}
+
+// +Wrap Around: wire-id unrolling against a reference, per gress. These sit
+// alongside the base chain (same stage envelope).
+std::vector<TableSpec> wrap_extras(Gress g) {
+  const std::string p = g == Gress::Ingress ? "i." : "e.";
+  const std::vector<std::string> roots =
+      g == Gress::Ingress
+          ? std::vector<std::string>{"i.parse_snapshot_header",
+                                     "i.validate_header"}
+          : std::vector<std::string>{"e.read_local_sid"};
+  return {
+      t(p + "rollover_reference", g, 0, 0, 1, roots,
+        g == Gress::Egress ? 1 : -1),
+      t(p + "unroll_wire_sid", g, 1, 0, 0, {p + "rollover_reference"}),
+      t(p + "rollover_gate", g, 0, 0, 1, {p + "rollover_reference"}),
+      t(p + "slot_index_mod", g, 0, 0, 0, {p + "unroll_wire_sid"}),
+  };
+}
+
+// +Channel State: the Last Seen array update (ingress) and the in-flight
+// accumulation (egress). The egress accumulator's placement floor (stage
+// 11) reconstructs the published 12-stage envelope: its register shares
+// ports with the snapshot-value array and cannot co-reside earlier.
+std::vector<TableSpec> channel_extras() {
+  return {
+      t("i.update_last_seen", Gress::Ingress, 2, 1, 0, {"i.clone_to_cpu"}),
+      t("e.update_channel_state", Gress::Egress, 3, 1, 0, {"e.clone_to_cpu"},
+        /*min_stage=*/11),
+  };
+}
+
+}  // namespace
+
+void PipelineLayout::assign_stages() {
+  std::unordered_map<std::string, std::size_t> index;
+  for (std::size_t i = 0; i < tables.size(); ++i) {
+    index[tables[i].name] = i;
+  }
+  stages.assign(tables.size(), -1);
+
+  // Longest path via DFS with cycle detection.
+  std::vector<int> state(tables.size(), 0);  // 0=unseen 1=visiting 2=done
+  auto dfs = [&](auto&& self, std::size_t i) -> int {
+    if (state[i] == 1) {
+      throw std::invalid_argument("dependency cycle at " + tables[i].name);
+    }
+    if (state[i] == 2) return stages[i];
+    state[i] = 1;
+    int stage = 0;
+    for (const auto& dep : tables[i].deps) {
+      const auto it = index.find(dep);
+      if (it == index.end()) {
+        throw std::invalid_argument("unknown dependency " + dep);
+      }
+      if (tables[it->second].gress != tables[i].gress) {
+        throw std::invalid_argument("cross-gress dependency on " + dep);
+      }
+      stage = std::max(stage, self(self, it->second) + 1);
+    }
+    stage = std::max(stage, tables[i].min_stage);
+    stages[i] = stage;
+    state[i] = 2;
+    return stage;
+  };
+  for (std::size_t i = 0; i < tables.size(); ++i) dfs(dfs, i);
+}
+
+int PipelineLayout::stages_used(Gress g) const {
+  int max_stage = -1;
+  for (std::size_t i = 0; i < tables.size(); ++i) {
+    if (tables[i].gress == g) max_stage = std::max(max_stage, stages[i]);
+  }
+  return max_stage + 1;
+}
+
+ResourceUsage PipelineLayout::totals() const {
+  ResourceUsage u;
+  for (const auto& table : tables) {
+    u.stateless_alus += table.stateless_alus;
+    u.stateful_alus += table.stateful_alus;
+    u.conditional_gateways += table.gateways;
+    ++u.logical_table_ids;
+  }
+  u.physical_stages =
+      std::max(stages_used(Gress::Ingress), stages_used(Gress::Egress));
+  return u;
+}
+
+PipelineLayout make_pipeline(Variant v) {
+  PipelineLayout layout;
+  layout.tables = ingress_base();
+  const auto egress = egress_base();
+  layout.tables.insert(layout.tables.end(), egress.begin(), egress.end());
+  if (v == Variant::WrapAround || v == Variant::ChannelState) {
+    for (const auto g : {Gress::Ingress, Gress::Egress}) {
+      const auto extras = wrap_extras(g);
+      layout.tables.insert(layout.tables.end(), extras.begin(), extras.end());
+    }
+  }
+  if (v == Variant::ChannelState) {
+    const auto extras = channel_extras();
+    layout.tables.insert(layout.tables.end(), extras.begin(), extras.end());
+  }
+  layout.assign_stages();
+  return layout;
+}
+
+}  // namespace speedlight::res

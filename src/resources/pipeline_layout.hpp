@@ -1,0 +1,57 @@
+// Table-level reconstruction of the Speedlight P4 pipelines (Figures 4
+// and 5) with a stage-assignment algorithm, validating Table 1's
+// compute/control-flow constants from first principles.
+//
+// Each match-action table declares its ALU and gateway needs plus its
+// dependencies; stages follow from the longest dependency chain (the
+// Tofino places dependent tables in strictly later stages; independent
+// tables share a stage). One table carries an explicit placement floor
+// reconstructed from the published stage count (register-port allocation
+// constraints are not derivable from the paper).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "resources/tofino_model.hpp"
+
+namespace speedlight::res {
+
+enum class Gress : std::uint8_t { Ingress, Egress };
+
+struct TableSpec {
+  std::string name;
+  Gress gress = Gress::Ingress;
+  int stateless_alus = 0;
+  int stateful_alus = 0;
+  int gateways = 0;
+  /// Names of same-gress tables this one depends on (match dependencies).
+  std::vector<std::string> deps;
+  /// Placement floor: the table cannot be placed before this stage even if
+  /// its dependencies would allow it (-1 = unconstrained).
+  int min_stage = -1;
+};
+
+struct PipelineLayout {
+  std::vector<TableSpec> tables;
+  /// Stage assigned to each table (parallel to `tables`); filled by
+  /// assign_stages().
+  std::vector<int> stages;
+
+  /// Longest-path stage assignment per gress. Throws std::invalid_argument
+  /// on unknown dependencies or dependency cycles.
+  void assign_stages();
+
+  /// Aggregate into the Table 1 resource rows (memory excluded — that is
+  /// the affine port model in tofino_model.cpp).
+  [[nodiscard]] ResourceUsage totals() const;
+
+  /// Number of physical stages used by one gress.
+  [[nodiscard]] int stages_used(Gress g) const;
+};
+
+/// The reconstructed pipeline for each published variant.
+[[nodiscard]] PipelineLayout make_pipeline(Variant v);
+
+}  // namespace speedlight::res

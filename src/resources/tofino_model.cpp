@@ -1,0 +1,124 @@
+#include "resources/tofino_model.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <stdexcept>
+
+namespace speedlight::res {
+
+namespace {
+
+struct VariantModel {
+  int stateless_alus;
+  int stateful_alus;
+  int logical_table_ids;
+  int conditional_gateways;
+  int physical_stages;
+  // Memory: affine in port count. Fixed parts cover parser state, control
+  // tables, and mirroring config; the slope covers the per-port register
+  // arrays (counter, snapshot id, value slots, last-seen) plus the
+  // match-table entries that address them.
+  double sram_fixed_kb;
+  double sram_per_port_kb;
+  double tcam_fixed_kb;
+  double tcam_per_port_kb;
+};
+
+// Calibration (see header): the 64-port columns reproduce Table 1 exactly;
+// the channel-state memory slope is pinned by the second published point
+// (14 ports -> 638/90 KB). The other variants' slopes follow their smaller
+// per-port state (no last-seen array; wraparound adds reference state).
+constexpr VariantModel kPacketCount{17, 9, 27, 15, 10,
+                                    478.0, 2.00, 22.8, 0.30};
+constexpr VariantModel kWrapAround{19, 9, 35, 19, 10,
+                                   523.8, 2.30, 27.0, 0.50};
+constexpr VariantModel kChannelState{24, 11, 37, 19, 12,
+                                     601.04, 2.64, 46.88, 3.08};
+
+const VariantModel& model_for(Variant v) {
+  switch (v) {
+    case Variant::PacketCount:
+      return kPacketCount;
+    case Variant::WrapAround:
+      return kWrapAround;
+    case Variant::ChannelState:
+      return kChannelState;
+  }
+  throw std::invalid_argument("unknown variant");
+}
+
+// One Tofino pipe's dedicated resource envelope (public figures for the
+// first-generation Tofino: 12 stages, ~120 MB SRAM and ~6 MB TCAM across
+// the chip; per-pipe shares below).
+constexpr int kMaxStages = 12;
+constexpr int kMaxStatefulAlus = 48;      // 4 per stage
+constexpr int kMaxStatelessAlus = 288;    // ALU slots usable per pipe
+constexpr int kMaxLogicalTables = 192;    // 16 per stage
+constexpr double kMaxSramKb = 15.0 * 1024.0;
+constexpr double kMaxTcamKb = 1.5 * 1024.0;
+
+}  // namespace
+
+ResourceUsage estimate(Variant v, int ports) {
+  if (ports < 1 || ports > 64) {
+    throw std::invalid_argument(
+        "a single Tofino processing engine supports 1..64 port snapshots");
+  }
+  const VariantModel& m = model_for(v);
+  ResourceUsage u;
+  u.stateless_alus = m.stateless_alus;
+  u.stateful_alus = m.stateful_alus;
+  u.logical_table_ids = m.logical_table_ids;
+  u.conditional_gateways = m.conditional_gateways;
+  u.physical_stages = m.physical_stages;
+  u.sram_kb = m.sram_fixed_kb + m.sram_per_port_kb * ports;
+  u.tcam_kb = m.tcam_fixed_kb + m.tcam_per_port_kb * ports;
+  return u;
+}
+
+double max_utilization_fraction(const ResourceUsage& u) {
+  double frac = static_cast<double>(u.stateful_alus) / kMaxStatefulAlus;
+  frac = std::max(frac, static_cast<double>(u.stateless_alus) / kMaxStatelessAlus);
+  frac = std::max(frac, static_cast<double>(u.logical_table_ids) / kMaxLogicalTables);
+  frac = std::max(frac, u.sram_kb / kMaxSramKb);
+  frac = std::max(frac, u.tcam_kb / kMaxTcamKb);
+  return frac;
+}
+
+void print_table1(std::ostream& os, int ports) {
+  const ResourceUsage pc = estimate(Variant::PacketCount, ports);
+  const ResourceUsage wa = estimate(Variant::WrapAround, ports);
+  const ResourceUsage cs = estimate(Variant::ChannelState, ports);
+
+  auto row = [&os](std::string_view name, auto a, auto b, auto c) {
+    os << "  " << std::left << std::setw(28) << name << std::right
+       << std::setw(10) << a << std::setw(10) << b << std::setw(10) << c
+       << "\n";
+  };
+
+  os << "Resource usage for the Speedlight data plane (" << ports
+     << " ports)\n";
+  os << "  " << std::left << std::setw(28) << "Variant" << std::right
+     << std::setw(10) << "Pkt.Count" << std::setw(10) << "+Wrap"
+     << std::setw(10) << "+Chnl" << "\n";
+  os << "  Computational Resources\n";
+  row("  Stateless ALUs", pc.stateless_alus, wa.stateless_alus,
+      cs.stateless_alus);
+  row("  Stateful ALUs", pc.stateful_alus, wa.stateful_alus,
+      cs.stateful_alus);
+  os << "  Control Flow Resources\n";
+  row("  Logical Table IDs", pc.logical_table_ids, wa.logical_table_ids,
+      cs.logical_table_ids);
+  row("  Conditional Table Gateways", pc.conditional_gateways,
+      wa.conditional_gateways, cs.conditional_gateways);
+  row("  Physical Stages", pc.physical_stages, wa.physical_stages,
+      cs.physical_stages);
+  os << "  Memory Resources\n";
+  os << std::fixed << std::setprecision(0);
+  row("  SRAM (KB)", pc.sram_kb, wa.sram_kb, cs.sram_kb);
+  row("  TCAM (KB)", pc.tcam_kb, wa.tcam_kb, cs.tcam_kb);
+  os.unsetf(std::ios::fixed);
+}
+
+}  // namespace speedlight::res

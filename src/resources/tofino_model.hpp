@@ -1,0 +1,65 @@
+// Resource model of the Speedlight P4 data plane on the Barefoot Tofino,
+// regenerating Table 1.
+//
+// Compute and control-flow resources (ALUs, logical tables, gateways,
+// stages) are per-variant constants: they depend on the program's control
+// flow, not on port count. Memory scales with the number of ports in the
+// snapshot, because the per-port register arrays (counters, snapshot ids,
+// snapshot values, last-seen entries) and the tables that address them grow
+// with the port count. We model SRAM/TCAM as affine in the port count,
+// calibrated against every published configuration: the 64-port numbers of
+// Table 1 for all three variants, and the 14-port wraparound+channel-state
+// configuration quoted in Section 7.1 (638 KB SRAM / 90 KB TCAM).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+
+namespace speedlight::res {
+
+/// The three data-plane builds of Table 1.
+enum class Variant : std::uint8_t {
+  PacketCount,   ///< Plain per-port packet counters.
+  WrapAround,    ///< + snapshot id rollover support.
+  ChannelState,  ///< + in-flight packet (channel) state.
+};
+
+[[nodiscard]] constexpr std::string_view variant_name(Variant v) {
+  switch (v) {
+    case Variant::PacketCount:
+      return "Packet Count";
+    case Variant::WrapAround:
+      return "+ Wrap Around";
+    case Variant::ChannelState:
+      return "+ Chnl. State";
+  }
+  return "?";
+}
+
+struct ResourceUsage {
+  // Computational resources.
+  int stateless_alus = 0;
+  int stateful_alus = 0;
+  // Control flow resources.
+  int logical_table_ids = 0;
+  int conditional_gateways = 0;
+  int physical_stages = 0;
+  // Memory resources.
+  double sram_kb = 0.0;
+  double tcam_kb = 0.0;
+};
+
+/// Estimate the resources of one variant configured for `ports`-port
+/// snapshots. `ports` must be in [1, 64] (one Tofino processing engine).
+[[nodiscard]] ResourceUsage estimate(Variant v, int ports);
+
+/// Fraction of one Tofino pipe's dedicated resources consumed (the paper's
+/// "less than 25% of any given type" claim); returns the max over resource
+/// types, in [0, 1].
+[[nodiscard]] double max_utilization_fraction(const ResourceUsage& u);
+
+/// Print the Table 1 layout (all three variants side by side) for `ports`.
+void print_table1(std::ostream& os, int ports);
+
+}  // namespace speedlight::res

@@ -1,0 +1,62 @@
+// Per-device local clocks.
+//
+// Each network device's control plane reads time from its own oscillator,
+// which is offset from true (simulation) time and drifts at some rate in
+// parts-per-million. A synchronization protocol (PTP in the paper)
+// periodically re-aligns the clock, leaving a residual offset error.
+#pragma once
+
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace speedlight::sim {
+
+class LocalClock {
+ public:
+  /// A clock born at sim time 0 with the given initial offset (ns) and
+  /// drift (parts per million; positive means the clock runs fast).
+  LocalClock(Duration initial_offset, double drift_ppm) noexcept
+      : base_offset_(initial_offset), drift_ppm_(drift_ppm) {}
+
+  LocalClock() noexcept : LocalClock(0, 0.0) {}
+
+  /// Local time as observed by this device at true time `now`.
+  [[nodiscard]] SimTime local_time(SimTime now) const noexcept {
+    return now + offset_at(now);
+  }
+
+  /// Current total offset (local - true) at true time `now`.
+  [[nodiscard]] Duration offset_at(SimTime now) const noexcept {
+    const double drift_ns =
+        drift_ppm_ * 1e-6 * static_cast<double>(now - epoch_);
+    return base_offset_ + static_cast<Duration>(drift_ns);
+  }
+
+  /// True time at which this clock will read `local`. Accounts for drift.
+  [[nodiscard]] SimTime true_time_for_local(SimTime local) const noexcept {
+    // local = t + base + drift*(t - epoch)  =>  solve for t.
+    const double k = drift_ppm_ * 1e-6;
+    const double t = (static_cast<double>(local) - base_offset_ +
+                      k * static_cast<double>(epoch_)) /
+                     (1.0 + k);
+    return static_cast<SimTime>(t);
+  }
+
+  /// Re-align the clock at true time `now`: the residual error becomes
+  /// `residual_offset` and drift may be re-estimated.
+  void synchronize(SimTime now, Duration residual_offset,
+                   double new_drift_ppm) noexcept {
+    base_offset_ = residual_offset;
+    drift_ppm_ = new_drift_ppm;
+    epoch_ = now;
+  }
+
+  [[nodiscard]] double drift_ppm() const noexcept { return drift_ppm_; }
+
+ private:
+  Duration base_offset_ = 0;
+  double drift_ppm_ = 0.0;
+  SimTime epoch_ = 0;
+};
+
+}  // namespace speedlight::sim

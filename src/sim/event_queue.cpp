@@ -1,0 +1,50 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace speedlight::sim {
+
+EventId EventQueue::schedule(SimTime when, Callback fn) {
+  assert(fn && "cannot schedule an empty callback");
+  const EventId id = next_id_++;
+  heap_.push(Entry{when, id});
+  callbacks_.emplace(id, std::move(fn));
+  ++live_count_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  const auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  --live_count_;
+  return true;
+}
+
+void EventQueue::drop_cancelled() const {
+  while (!heap_.empty() &&
+         callbacks_.find(heap_.top().id) == callbacks_.end()) {
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::next_time() const {
+  drop_cancelled();
+  assert(!heap_.empty());
+  return heap_.top().time;
+}
+
+EventQueue::Popped EventQueue::pop() {
+  drop_cancelled();
+  assert(!heap_.empty());
+  const Entry top = heap_.top();
+  heap_.pop();
+  auto it = callbacks_.find(top.id);
+  Popped popped{top.time, std::move(it->second)};
+  callbacks_.erase(it);
+  --live_count_;
+  return popped;
+}
+
+}  // namespace speedlight::sim

@@ -1,0 +1,69 @@
+// The discrete-event core: a priority queue of timestamped callbacks.
+//
+// Events at the same timestamp run in insertion order (a monotonically
+// increasing sequence number breaks ties), which keeps simulations
+// deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace speedlight::sim {
+
+/// Handle used to cancel a scheduled event.
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `fn` to run at absolute time `when`. Returns a handle that can
+  /// be passed to cancel(). `when` may not be in the past relative to the
+  /// last popped event.
+  EventId schedule(SimTime when, Callback fn);
+
+  /// Cancel a previously scheduled event. Cancelling an already-executed or
+  /// unknown event is a no-op; returns whether anything was cancelled.
+  bool cancel(EventId id);
+
+  /// True if no runnable (non-cancelled) events remain.
+  [[nodiscard]] bool empty() const { return live_count_ == 0; }
+
+  /// Number of runnable events.
+  [[nodiscard]] std::size_t size() const { return live_count_; }
+
+  /// Timestamp of the next runnable event. Precondition: !empty().
+  [[nodiscard]] SimTime next_time() const;
+
+  /// Pop and return the next runnable event. Precondition: !empty().
+  struct Popped {
+    SimTime time;
+    Callback fn;
+  };
+  Popped pop();
+
+ private:
+  struct Entry {
+    SimTime time;
+    EventId id;
+    bool operator>(const Entry& other) const {
+      if (time != other.time) return time > other.time;
+      return id > other.id;
+    }
+  };
+
+  void drop_cancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  // Callbacks keyed by id; erased on cancel so heap entries become stale.
+  std::unordered_map<EventId, Callback> callbacks_;
+  EventId next_id_ = 1;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace speedlight::sim

@@ -1,0 +1,29 @@
+#include "sim/simulator.hpp"
+
+namespace speedlight::sim {
+
+std::size_t Simulator::run_until(SimTime until) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.next_time() <= until) {
+    auto [time, fn] = queue_.pop();
+    now_ = time;
+    fn();
+    ++executed;
+  }
+  // Even when nothing remains to execute, time advances to the horizon so
+  // back-to-back run_until() calls behave like one continuous run.
+  if (until != std::numeric_limits<SimTime>::max() && now_ < until) {
+    now_ = until;
+  }
+  return executed;
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  auto [time, fn] = queue_.pop();
+  now_ = time;
+  fn();
+  return true;
+}
+
+}  // namespace speedlight::sim

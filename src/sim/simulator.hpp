@@ -1,0 +1,56 @@
+// The simulation driver: owns the event queue, the current virtual time,
+// and the master RNG from which every component forks its own stream.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace speedlight::sim {
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 1) : rng_(seed) {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time. Monotonically non-decreasing.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `when` (clamped to now if in the past).
+  EventId at(SimTime when, EventQueue::Callback fn) {
+    return queue_.schedule(when < now_ ? now_ : when, std::move(fn));
+  }
+
+  /// Schedule `fn` after a relative delay (negative delays clamp to now).
+  EventId after(Duration delay, EventQueue::Callback fn) {
+    return at(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+  }
+
+  /// Cancel a pending event.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Run until the queue drains or virtual time would exceed `until`.
+  /// Returns the number of events executed.
+  std::size_t run_until(SimTime until = std::numeric_limits<SimTime>::max());
+
+  /// Run exactly one event if available; returns whether one ran.
+  bool step();
+
+  /// Pending events.
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+  /// Master RNG; components should fork() their own streams.
+  Rng& rng() { return rng_; }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0;
+  Rng rng_;
+};
+
+}  // namespace speedlight::sim

@@ -1,0 +1,32 @@
+// Simulation time: a signed 64-bit count of nanoseconds since the start of
+// the simulation. A signed representation lets clock arithmetic (offsets,
+// drift corrections) go negative without surprises.
+#pragma once
+
+#include <cstdint>
+
+namespace speedlight::sim {
+
+/// Absolute simulation time in nanoseconds.
+using SimTime = std::int64_t;
+
+/// Relative duration in nanoseconds.
+using Duration = std::int64_t;
+
+inline constexpr Duration kNanosecond = 1;
+inline constexpr Duration kMicrosecond = 1'000;
+inline constexpr Duration kMillisecond = 1'000'000;
+inline constexpr Duration kSecond = 1'000'000'000;
+
+/// Convenience constructors, e.g. `usec(12.5)` -> 12'500 ns.
+constexpr Duration nsec(double n) { return static_cast<Duration>(n); }
+constexpr Duration usec(double n) { return static_cast<Duration>(n * kMicrosecond); }
+constexpr Duration msec(double n) { return static_cast<Duration>(n * kMillisecond); }
+constexpr Duration sec(double n) { return static_cast<Duration>(n * kSecond); }
+
+/// Conversions back to floating point for reporting.
+constexpr double to_usec(Duration d) { return static_cast<double>(d) / kMicrosecond; }
+constexpr double to_msec(Duration d) { return static_cast<double>(d) / kMillisecond; }
+constexpr double to_sec(Duration d) { return static_cast<double>(d) / kSecond; }
+
+}  // namespace speedlight::sim

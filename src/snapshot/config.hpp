@@ -1,0 +1,44 @@
+// Configuration of the snapshot protocol variant, mirroring the three
+// data-plane builds the paper evaluates in Table 1: plain packet count,
+// + wraparound, + channel state.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "snapshot/ids.hpp"
+
+namespace speedlight::snap {
+
+struct SnapshotConfig {
+  /// Record channel (in-flight) state. Requires Last Seen arrays and the
+  /// Figure 7 "with channel state" control plane.
+  bool channel_state = false;
+
+  /// Wire id space. 0 = full 32-bit space (wraparound practically never
+  /// exercised); small values (e.g. 8, 16) exercise rollover, as in the
+  /// paper's "+ Wrap Around" variant.
+  std::uint32_t wire_id_modulus = 0;
+
+  /// Snapshot Value register array length per unit. Must be >= 1; when the
+  /// wire space is bounded it defaults to the modulus (one slot per live
+  /// id), the layout the paper uses.
+  std::size_t value_slots = 64;
+
+  /// When true (the Speedlight data plane), an id jump > 1 cannot back-fill
+  /// intermediate snapshot slots (Section 5.3) and the control plane marks
+  /// them inconsistent. When false, the idealized Figure 3 algorithm runs
+  /// (used as the test oracle).
+  bool hardware_faithful = true;
+
+  [[nodiscard]] SidSpace sid_space() const {
+    return SidSpace(wire_id_modulus);
+  }
+
+  [[nodiscard]] std::size_t slots() const {
+    if (wire_id_modulus != 0) return wire_id_modulus;
+    return value_slots == 0 ? 1 : value_slots;
+  }
+};
+
+}  // namespace speedlight::snap

@@ -1,0 +1,139 @@
+// The per-device snapshot control plane (Section 6).
+//
+// Responsibilities, mirroring the paper:
+//  * synchronized initiation: fire at a local-clock deadline (PTP-aligned)
+//    and dispatch initiation messages to every ingress unit;
+//  * completion/inconsistency detection from data-plane notifications
+//    (Figure 7, with and without channel state);
+//  * liveness: re-initiation after timeouts, optional probe injection when
+//    channel-state snapshots stall for lack of traffic, optional proactive
+//    register polling to recover from notification drops;
+//  * shipping per-unit values to the snapshot observer.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/types.hpp"
+#include "sim/clock.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/timing_model.hpp"
+#include "snapshot/config.hpp"
+#include "snapshot/report.hpp"
+#include "snapshot/unit_handle.hpp"
+
+namespace speedlight::snap {
+
+class ControlPlane {
+ public:
+  struct Options {
+    SnapshotConfig snapshot;
+    /// Resend initiations for snapshots that have not completed locally.
+    bool auto_reinitiate = true;
+    int max_reinitiations = 8;
+    /// Flood probes on re-initiation (unblocks channel-state snapshots
+    /// that stall because a channel carries no traffic).
+    bool probe_on_reinitiate = false;
+    /// Flood probes immediately after every initiation: proactively pushes
+    /// fresh markers across every internal sub-channel and every directly
+    /// attached link, so channel-state snapshots complete promptly even on
+    /// channels that structurally never carry traffic (Section 6 cites
+    /// up-down routing as the canonical case). The alternative is masking
+    /// those channels out of completion by hand.
+    bool probe_on_initiate = false;
+    /// Periodically read data-plane registers to recover from lost
+    /// notifications.
+    bool proactive_register_poll = false;
+    sim::Duration register_poll_interval = sim::msec(10);
+  };
+
+  ControlPlane(sim::Simulator& sim, net::NodeId device, std::string name,
+               const sim::TimingModel& timing, Options options, sim::Rng rng);
+
+  ControlPlane(const ControlPlane&) = delete;
+  ControlPlane& operator=(const ControlPlane&) = delete;
+
+  /// Register a data-plane unit. `completion_mask[ch]` marks the channels
+  /// whose Last Seen gates completion; the CPU channel and host-facing
+  /// channels are masked out (Section 6: "operators can configure the
+  /// removal of non-utilized upstream neighbors").
+  void add_unit(UnitHandle* unit, std::vector<bool> completion_mask);
+
+  void set_report_sink(ReportSink sink) { report_ = std::move(sink); }
+
+  /// This device's clock; the PTP service periodically re-aligns it.
+  [[nodiscard]] sim::LocalClock& clock() { return clock_; }
+  [[nodiscard]] const sim::LocalClock& clock() const { return clock_; }
+
+  /// Observer RPC: schedule snapshot `id` to fire when the local clock
+  /// reads `local_fire_time`.
+  void schedule_snapshot(VirtualSid id, sim::SimTime local_fire_time);
+
+  /// Entry point wired to the notification channel (Figure 7 handlers).
+  void on_notification(const Notification& n);
+
+  /// Start the optional proactive register-poll loop.
+  void start_register_poll();
+
+  [[nodiscard]] net::NodeId device() const { return device_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::vector<net::UnitId> unit_ids() const;
+  [[nodiscard]] const Options& options() const { return options_; }
+
+  // --- Introspection -------------------------------------------------------
+  [[nodiscard]] std::uint64_t initiations_sent() const { return initiations_sent_; }
+  [[nodiscard]] std::uint64_t reinitiation_rounds() const { return reinit_rounds_; }
+  [[nodiscard]] std::uint64_t reports_sent() const { return reports_sent_; }
+
+ private:
+  struct UnitState {
+    UnitHandle* handle = nullptr;
+    VirtualSid ctrl_sid = 0;                  ///< ctrlSnapID[unit]
+    std::vector<VirtualSid> ctrl_last_seen;   ///< ctrlLastSeen[unit][*]
+    std::vector<bool> completion_mask;
+    VirtualSid last_read = 0;                 ///< lastRead[unit]
+    std::set<VirtualSid> inconsistent;
+    /// Audit: data-plane timestamps of the advance to each id.
+    std::map<VirtualSid, sim::SimTime> advance_time;
+  };
+
+  void initiate_now(VirtualSid id);
+  void arm_reinitiation(VirtualSid id, int attempt);
+  void handle_notification_cs(UnitState& u, const Notification& n);
+  void handle_notification_nocs(UnitState& u, const Notification& n);
+  /// Figure 7: read every finalized-but-unread snapshot value from the unit
+  /// and ship it. `finalize_ts` stamps the finalize_time of the reports.
+  void advance_reads(UnitState& u, sim::SimTime finalize_ts);
+  [[nodiscard]] VirtualSid completion_floor(const UnitState& u) const;
+  void read_and_report(UnitState& u, VirtualSid sid, sim::SimTime finalize_ts);
+  void report_inconsistent(UnitState& u, VirtualSid sid);
+  void ship(const UnitReport& r);
+  void register_poll_tick();
+  [[nodiscard]] bool locally_complete(VirtualSid id) const;
+
+  sim::Simulator& sim_;
+  net::NodeId device_;
+  std::string name_;
+  const sim::TimingModel& timing_;
+  Options options_;
+  sim::Rng rng_;
+  SidSpace space_;
+  sim::LocalClock clock_;
+
+  std::vector<UnitState> units_;
+  std::unordered_map<net::UnitId, std::size_t> unit_index_;
+  ReportSink report_;
+
+  VirtualSid latest_initiated_ = 0;
+  std::uint64_t initiations_sent_ = 0;
+  std::uint64_t reinit_rounds_ = 0;
+  std::uint64_t reports_sent_ = 0;
+  bool poll_running_ = false;
+};
+
+}  // namespace speedlight::snap

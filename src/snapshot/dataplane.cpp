@@ -1,0 +1,128 @@
+#include "snapshot/dataplane.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace speedlight::snap {
+
+DataplaneUnit::DataplaneUnit(net::UnitId id, const SnapshotConfig& config,
+                             std::uint16_t num_channels,
+                             std::uint16_t cpu_channel, StateReader read_state,
+                             ChannelAdd channel_add, NotifySink notify)
+    : id_(id),
+      config_(config),
+      space_(config.sid_space()),
+      cpu_channel_(cpu_channel),
+      read_state_(std::move(read_state)),
+      channel_add_(std::move(channel_add)),
+      notify_(std::move(notify)),
+      last_seen_(num_channels, 0),
+      slots_(config.slots()) {
+  assert(cpu_channel < num_channels);
+  assert(read_state_ && notify_);
+}
+
+void DataplaneUnit::save_local_state(VirtualSid sid, sim::SimTime now) {
+  SlotValue& s = slot(sid);
+  s.local_value = read_state_();
+  s.channel_value = 0;
+  s.wire_sid = space_.to_wire(sid);
+  s.initialized = true;
+  s.saved_at = now;
+}
+
+WireSid DataplaneUnit::on_packet(const PacketView& pkt, std::uint16_t channel,
+                                 sim::SimTime now) {
+  assert(channel < last_seen_.size());
+
+  // Packets without a snapshot header (host traffic ahead of the first
+  // snapshot-enabled router) cannot move the protocol; they are simply
+  // stamped with the local id on the way out.
+  if (!pkt.has_marker) return space_.to_wire(sid_);
+
+  // Reconstruct the virtual id. With channel state the per-channel Last
+  // Seen entry is a monotonic reference (FIFO channels); without it, serial
+  // arithmetic against the local sid (see ids.hpp). The CPU pseudo-channel
+  // always uses serial arithmetic: the paper requires that "duplicate and
+  // outdated control plane initiations are ignored by the data plane", and
+  // a monotonic unroll would misread a stale initiation as a huge jump.
+  VirtualSid v;
+  if (!config_.channel_state) {
+    v = space_.unroll_serial(sid_, pkt.wire_sid);
+  } else if (channel == cpu_channel_) {
+    v = space_.unroll_serial(last_seen_[channel], pkt.wire_sid);
+  } else {
+    v = space_.unroll_monotonic(last_seen_[channel], pkt.wire_sid);
+  }
+
+  const VirtualSid old_sid = sid_;
+  const VirtualSid old_ls = last_seen_[channel];
+
+  if (v > sid_) {
+    // New snapshot: save the local state. The hardware writes exactly one
+    // register slot per packet, so on a jump > 1 the intermediate ids
+    // cannot be back-filled (the control plane marks or infers them).
+    if (config_.hardware_faithful) {
+      save_local_state(v, now);
+    } else {
+      // Idealized Figure 3 back-fill. The fill is bounded by the slot
+      // count: older slots would be overwritten anyway, and the bound also
+      // contains the damage from a corrupt/forged header.
+      VirtualSid first = sid_ + 1;
+      if (v - sid_ > slots_.size()) first = v - slots_.size() + 1;
+      for (VirtualSid i = first; i <= v; ++i) save_local_state(i, now);
+    }
+    sid_ = v;
+  } else if (v < sid_) {
+    // In-flight packet: sent before snapshot sid_, received after. Control
+    // messages are never treated as in-flight (Section 6).
+    if (config_.channel_state && pkt.counts_for_metrics) {
+      if (config_.hardware_faithful) {
+        // One stateful update only: book into the *current* slot, whose
+        // channel state therefore stays exact; contributions to the
+        // intermediate snapshots (v+1 .. sid_-1) are unrecoverable and
+        // those ids were already marked inconsistent when sid_ advanced
+        // past them.
+        slot(sid_).channel_value += channel_add_(pkt);
+      } else {
+        VirtualSid first = v + 1;
+        if (sid_ - v > slots_.size()) first = sid_ - slots_.size() + 1;
+        for (VirtualSid i = first; i <= sid_; ++i) {
+          slot(i).channel_value += channel_add_(pkt);
+        }
+      }
+    }
+  }
+
+  bool ls_changed = false;
+  if (config_.channel_state && v > last_seen_[channel]) {
+    last_seen_[channel] = v;
+    ls_changed = true;
+  }
+
+  if (sid_ != old_sid || ls_changed) {
+    Notification n;
+    n.unit = id_;
+    n.old_sid = space_.to_wire(old_sid);
+    n.new_sid = space_.to_wire(sid_);
+    if (config_.channel_state) {
+      n.channel = channel;
+      n.old_last_seen = space_.to_wire(old_ls);
+      n.new_last_seen = space_.to_wire(last_seen_[channel]);
+    }
+    n.timestamp = now;
+    notify_(n);
+  }
+
+  return space_.to_wire(sid_);
+}
+
+WireSid DataplaneUnit::on_initiation(WireSid sid, sim::SimTime now) {
+  PacketView view;
+  view.counts_for_metrics = false;  // never counted, never in-flight
+  view.has_marker = true;
+  view.wire_sid = sid;
+  return on_packet(view, cpu_channel_, now);
+}
+
+}  // namespace speedlight::snap

@@ -1,0 +1,122 @@
+// The per-processing-unit snapshot state machine (Figures 3, 4, 5).
+//
+// This is a pure state machine: it knows nothing about switches, queues, or
+// the simulator. The embedding processing unit calls on_packet()/
+// on_initiation() at the moment the packet traverses the unit's pipeline
+// and provides callbacks for reading the target state and emitting
+// notifications.
+//
+// Two operating modes:
+//  * hardware_faithful (Speedlight): on an id jump > 1 the intermediate
+//    snapshot slots cannot be back-filled at line rate; the local value is
+//    saved only for the new id and in-flight packets are booked only into
+//    the *current* slot. The control plane (Figure 7) marks the skipped ids
+//    inconsistent (channel-state variant) or infers their values
+//    (no-channel-state variant).
+//  * idealized (Figure 3 verbatim): loops over intermediate ids, used as
+//    the oracle in property tests.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/types.hpp"
+#include "sim/time.hpp"
+#include "snapshot/config.hpp"
+#include "snapshot/ids.hpp"
+#include "snapshot/notification.hpp"
+
+namespace speedlight::snap {
+
+/// What the snapshot logic needs to know about a traversing packet.
+struct PacketView {
+  std::uint64_t packet_id = 0;
+  std::uint32_t size_bytes = 0;
+  /// False for initiations/probes: excluded from channel state.
+  bool counts_for_metrics = true;
+  /// False when the packet carries no snapshot header (host traffic before
+  /// the first snapshot-enabled router): it cannot move the protocol.
+  bool has_marker = true;
+  WireSid wire_sid = 0;
+};
+
+/// One entry of the Snapshot Value register array.
+struct SlotValue {
+  std::uint64_t local_value = 0;
+  std::uint64_t channel_value = 0;
+  WireSid wire_sid = 0;
+  bool initialized = false;
+  /// Audit only: true time the local value was saved.
+  sim::SimTime saved_at = 0;
+};
+
+class DataplaneUnit {
+ public:
+  /// Reads the target local state (the metric being snapshotted).
+  using StateReader = std::function<std::uint64_t()>;
+  /// Contribution of one in-flight packet to channel state (e.g. 1 for
+  /// packet counts, size for byte counts, 0 for gauges).
+  using ChannelAdd = std::function<std::uint64_t(const PacketView&)>;
+  /// Emits a notification towards the CPU.
+  using NotifySink = std::function<void(const Notification&)>;
+
+  /// `num_channels` includes the CPU pseudo-channel at `cpu_channel`.
+  DataplaneUnit(net::UnitId id, const SnapshotConfig& config,
+                std::uint16_t num_channels, std::uint16_t cpu_channel,
+                StateReader read_state, ChannelAdd channel_add,
+                NotifySink notify);
+
+  DataplaneUnit(const DataplaneUnit&) = delete;
+  DataplaneUnit& operator=(const DataplaneUnit&) = delete;
+
+  /// Process a packet arriving on `channel` at time `now`; returns the wire
+  /// sid to stamp into the departing packet's header.
+  WireSid on_packet(const PacketView& pkt, std::uint16_t channel,
+                    sim::SimTime now);
+
+  /// Process a control-plane initiation for wire id `sid` (Figure 6 path 3).
+  /// Equivalent to a marker-only packet on the CPU channel.
+  WireSid on_initiation(WireSid sid, sim::SimTime now);
+
+  // --- Register access (used by the control plane / tests) -----------------
+  [[nodiscard]] const SlotValue& read_slot(std::size_t index) const {
+    return slots_[index % slots_.size()];
+  }
+  [[nodiscard]] std::size_t num_slots() const { return slots_.size(); }
+  [[nodiscard]] WireSid sid_register() const { return space_.to_wire(sid_); }
+  [[nodiscard]] WireSid last_seen_register(std::uint16_t channel) const {
+    return space_.to_wire(last_seen_[channel]);
+  }
+  [[nodiscard]] std::uint16_t num_channels() const {
+    return static_cast<std::uint16_t>(last_seen_.size());
+  }
+  [[nodiscard]] std::uint16_t cpu_channel() const { return cpu_channel_; }
+
+  // --- Audit access (tests only; a real ASIC exposes wire values only) ----
+  [[nodiscard]] VirtualSid virtual_sid() const { return sid_; }
+  [[nodiscard]] VirtualSid virtual_last_seen(std::uint16_t channel) const {
+    return last_seen_[channel];
+  }
+  [[nodiscard]] net::UnitId id() const { return id_; }
+  [[nodiscard]] const SnapshotConfig& config() const { return config_; }
+
+ private:
+  void save_local_state(VirtualSid sid, sim::SimTime now);
+  SlotValue& slot(VirtualSid sid) { return slots_[sid % slots_.size()]; }
+
+  net::UnitId id_;
+  SnapshotConfig config_;
+  SidSpace space_;
+  std::uint16_t cpu_channel_;
+
+  StateReader read_state_;
+  ChannelAdd channel_add_;
+  NotifySink notify_;
+
+  VirtualSid sid_ = 0;
+  std::vector<VirtualSid> last_seen_;
+  std::vector<SlotValue> slots_;
+};
+
+}  // namespace speedlight::snap

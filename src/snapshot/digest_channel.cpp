@@ -1,0 +1,79 @@
+#include "snapshot/digest_channel.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace speedlight::snap {
+
+std::size_t DigestChannel::backlog() const {
+  std::size_t total = accumulating_.size();
+  for (const auto& d : cpu_queue_) total += d.size();
+  return total;
+}
+
+void DigestChannel::push(const Notification& n) {
+  if (timing_.notification_drop_probability > 0.0 &&
+      rng_.chance(timing_.notification_drop_probability)) {
+    ++dropped_random_;
+    return;
+  }
+  accumulating_.push_back(n);
+  max_backlog_ = std::max(max_backlog_, backlog());
+  if (accumulating_.size() >= timing_.digest_batch_size) {
+    flush();
+  } else if (!flush_armed_) {
+    flush_armed_ = true;
+    flush_timer_ = sim_.after(timing_.digest_flush_timeout, [this]() {
+      flush_armed_ = false;
+      flush();
+    });
+  }
+}
+
+void DigestChannel::flush() {
+  if (flush_armed_) {
+    sim_.cancel(flush_timer_);
+    flush_armed_ = false;
+  }
+  if (accumulating_.empty()) return;
+  ++digests_;
+  std::vector<Notification> digest;
+  digest.swap(accumulating_);
+  sim_.after(timing_.notification_pcie_latency,
+             [this, digest = std::move(digest)]() mutable {
+               // Bounded digest queue at the driver.
+               if (cpu_queue_.size() >= timing_.digest_queue_capacity) {
+                 dropped_overflow_ += digest.size();
+                 return;
+               }
+               cpu_queue_.push_back(std::move(digest));
+               max_backlog_ = std::max(max_backlog_, backlog());
+               if (!draining_) {
+                 draining_ = true;
+                 const auto cost =
+                     timing_.digest_batch_overhead +
+                     static_cast<sim::Duration>(cpu_queue_.back().size()) *
+                         timing_.digest_per_entry_cost;
+                 sim_.after(cost, [this]() { drain(); });
+               }
+             });
+}
+
+void DigestChannel::drain() {
+  if (!cpu_queue_.empty()) {
+    const std::vector<Notification> digest = std::move(cpu_queue_.front());
+    cpu_queue_.pop_front();
+    delivered_ += digest.size();
+    for (const auto& n : digest) sink_(n);
+  }
+  if (!cpu_queue_.empty()) {
+    const auto cost = timing_.digest_batch_overhead +
+                      static_cast<sim::Duration>(cpu_queue_.front().size()) *
+                          timing_.digest_per_entry_cost;
+    sim_.after(cost, [this]() { drain(); });
+  } else {
+    draining_ = false;
+  }
+}
+
+}  // namespace speedlight::snap

@@ -1,0 +1,75 @@
+// The P4 digest-stream notification path: the alternative Section 7.2
+// mentions and rejects.
+//
+// Model: the ASIC accumulates notifications into a digest buffer that is
+// flushed to the CPU when full or when the flush timer expires. The CPU
+// driver processes one digest at a time with a fixed per-digest overhead
+// plus a per-entry cost. The constants (timing_model.hpp) reflect the
+// paper's observation that this path performed significantly *worse* than
+// the raw-socket DMA: the driver/RPC overhead dominates, and batching adds
+// flush-timeout latency to every notification.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/timing_model.hpp"
+#include "snapshot/notification_transport.hpp"
+
+namespace speedlight::snap {
+
+class DigestChannel final : public NotificationTransport {
+ public:
+  DigestChannel(sim::Simulator& sim, const sim::TimingModel& timing,
+                sim::Rng rng, Sink sink)
+      : sim_(sim), timing_(timing), rng_(rng), sink_(std::move(sink)) {}
+
+  DigestChannel(const DigestChannel&) = delete;
+  DigestChannel& operator=(const DigestChannel&) = delete;
+
+  void push(const Notification& n) override;
+
+  [[nodiscard]] std::uint64_t delivered() const override { return delivered_; }
+  [[nodiscard]] std::uint64_t dropped_overflow() const override {
+    return dropped_overflow_;
+  }
+  [[nodiscard]] std::uint64_t dropped_random() const override {
+    return dropped_random_;
+  }
+  /// Backlog in notifications (pending digests + the accumulating one).
+  [[nodiscard]] std::size_t backlog() const override;
+  [[nodiscard]] std::size_t max_backlog() const override { return max_backlog_; }
+  void reset_stats() override {
+    delivered_ = dropped_overflow_ = dropped_random_ = 0;
+    max_backlog_ = backlog();
+  }
+
+  [[nodiscard]] std::uint64_t digests_flushed() const { return digests_; }
+
+ private:
+  void flush();
+  void drain();
+
+  sim::Simulator& sim_;
+  const sim::TimingModel& timing_;
+  sim::Rng rng_;
+  Sink sink_;
+
+  std::vector<Notification> accumulating_;
+  sim::EventId flush_timer_ = 0;
+  bool flush_armed_ = false;
+
+  std::deque<std::vector<Notification>> cpu_queue_;
+  bool draining_ = false;
+
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_overflow_ = 0;
+  std::uint64_t dropped_random_ = 0;
+  std::uint64_t digests_ = 0;
+  std::size_t max_backlog_ = 0;
+};
+
+}  // namespace speedlight::snap

@@ -1,0 +1,81 @@
+// Literal transcription of the idealized per-processing-unit protocol of
+// Figure 3, with unbounded ids and unbounded storage. Used as the oracle in
+// property tests and in the algorithm-level unit tests; the production
+// implementation is DataplaneUnit (dataplane.hpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "snapshot/ids.hpp"
+
+namespace speedlight::snap {
+
+class IdealUnit {
+ public:
+  using StateReader = std::function<std::uint64_t()>;
+
+  /// `channel_state` selects between onReceiveCS and onReceiveNoCS.
+  IdealUnit(std::size_t num_channels, bool channel_state, StateReader read)
+      : channel_state_(channel_state),
+        read_(std::move(read)),
+        last_seen_(num_channels, 0) {}
+
+  struct Snap {
+    std::uint64_t local_value = 0;
+    std::uint64_t channel_value = 0;
+  };
+
+  /// Figure 3 onReceiveCS/onReceiveNoCS. `channel_add` is the in-flight
+  /// packet's contribution to channel state (ignored without channel
+  /// state). Returns the sid to stamp on the departing packet.
+  VirtualSid on_receive(VirtualSid pkt_sid, std::size_t channel,
+                        std::uint64_t channel_add) {
+    if (pkt_sid > sid_) {
+      for (VirtualSid i = sid_ + 1; i <= pkt_sid; ++i) {
+        snaps_[i] = Snap{read_(), 0};
+      }
+      sid_ = pkt_sid;
+    } else if (pkt_sid < sid_ && channel_state_) {
+      for (VirtualSid i = pkt_sid + 1; i <= sid_; ++i) {
+        snaps_[i].channel_value += channel_add;
+      }
+    }
+    if (channel_state_ && pkt_sid > last_seen_[channel]) {
+      last_seen_[channel] = pkt_sid;
+    }
+    return sid_;
+  }
+
+  /// Initiate snapshot `sid` at this unit (increment-and-propagate).
+  void initiate(VirtualSid sid) {
+    if (sid > sid_) {
+      for (VirtualSid i = sid_ + 1; i <= sid; ++i) snaps_[i] = Snap{read_(), 0};
+      sid_ = sid;
+    }
+  }
+
+  /// "All snapshots up to min(lastSeen[*]) are complete" (line 12), or up
+  /// to sid without channel state (line 19).
+  [[nodiscard]] VirtualSid complete_through() const {
+    if (!channel_state_) return sid_;
+    VirtualSid m = sid_;
+    for (VirtualSid ls : last_seen_) m = ls < m ? ls : m;
+    return m;
+  }
+
+  [[nodiscard]] VirtualSid sid() const { return sid_; }
+  [[nodiscard]] const std::map<VirtualSid, Snap>& snaps() const { return snaps_; }
+  [[nodiscard]] VirtualSid last_seen(std::size_t ch) const { return last_seen_[ch]; }
+
+ private:
+  bool channel_state_;
+  StateReader read_;
+  VirtualSid sid_ = 0;
+  std::vector<VirtualSid> last_seen_;
+  std::map<VirtualSid, Snap> snaps_;
+};
+
+}  // namespace speedlight::snap

@@ -1,0 +1,44 @@
+// Snapshot notifications: the data plane -> control plane channel of
+// Section 5.3. "After any update of either the local Snapshot ID or of any
+// Last Seen array entry, the data plane exports a notification to the CPU
+// ... this notification includes the former value of LastSeen[n] along with
+// the former and new Snapshot ID."
+#pragma once
+
+#include <cstdint>
+
+#include "net/types.hpp"
+#include "sim/time.hpp"
+#include "snapshot/ids.hpp"
+
+namespace speedlight::snap {
+
+inline constexpr std::uint16_t kNoChannel = 0xFFFF;
+
+struct Notification {
+  net::UnitId unit;
+
+  /// Former and new Snapshot ID registers (wire form, as the hardware
+  /// exports them).
+  WireSid old_sid = 0;
+  WireSid new_sid = 0;
+
+  /// Which Last Seen entry changed (kNoChannel if none / no-CS variant),
+  /// with its former and new values.
+  std::uint16_t channel = kNoChannel;
+  WireSid old_last_seen = 0;
+  WireSid new_last_seen = 0;
+
+  /// True simulation time the data plane emitted the notification. The
+  /// paper's synchronization experiments tag notifications with a data
+  /// plane timestamp; using true time makes the measured spread an honest
+  /// upper bound.
+  sim::SimTime timestamp = 0;
+
+  [[nodiscard]] bool sid_changed() const { return old_sid != new_sid; }
+  [[nodiscard]] bool last_seen_changed() const {
+    return channel != kNoChannel && old_last_seen != new_last_seen;
+  }
+};
+
+}  // namespace speedlight::snap

@@ -1,0 +1,45 @@
+#include "snapshot/notification_channel.hpp"
+
+#include <algorithm>
+
+namespace speedlight::snap {
+
+void NotificationChannel::push(const Notification& n) {
+  if (timing_.notification_drop_probability > 0.0 &&
+      rng_.chance(timing_.notification_drop_probability)) {
+    ++dropped_random_;
+    return;
+  }
+  sim_.after(timing_.notification_pcie_latency,
+             [this, n]() { arrive(n); });
+}
+
+void NotificationChannel::arrive(const Notification& n) {
+  if (buffer_.size() >= timing_.notification_buffer_capacity) {
+    ++dropped_overflow_;
+    return;
+  }
+  buffer_.push_back(n);
+  max_backlog_ = std::max(max_backlog_, buffer_.size());
+  if (!draining_) {
+    draining_ = true;
+    sim_.after(timing_.notification_service_time, [this]() { drain(); });
+  }
+}
+
+void NotificationChannel::drain() {
+  // One notification finishes service now.
+  if (!buffer_.empty()) {
+    const Notification n = buffer_.front();
+    buffer_.pop_front();
+    ++delivered_;
+    sink_(n);
+  }
+  if (!buffer_.empty()) {
+    sim_.after(timing_.notification_service_time, [this]() { drain(); });
+  } else {
+    draining_ = false;
+  }
+}
+
+}  // namespace speedlight::snap

@@ -1,0 +1,69 @@
+// The data plane -> CPU notification path (Section 7.2: DMA into a raw
+// socket, drained by the control-plane event loop).
+//
+// Model: a notification leaves the ASIC, crosses PCIe (fixed latency), and
+// lands in a bounded socket buffer. The control-plane process drains the
+// buffer one notification at a time, each taking `notification_service_time`
+// (the bottleneck behind Figure 10). Overflow and random loss drop
+// notifications — the protocol must tolerate this (Section 6, liveness).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/timing_model.hpp"
+#include "snapshot/notification.hpp"
+#include "snapshot/notification_transport.hpp"
+
+namespace speedlight::snap {
+
+class NotificationChannel final : public NotificationTransport {
+ public:
+  NotificationChannel(sim::Simulator& sim, const sim::TimingModel& timing,
+                      sim::Rng rng, Sink sink)
+      : sim_(sim), timing_(timing), rng_(rng), sink_(std::move(sink)) {}
+
+  NotificationChannel(const NotificationChannel&) = delete;
+  NotificationChannel& operator=(const NotificationChannel&) = delete;
+
+  /// Called synchronously by the data plane when a unit makes progress.
+  void push(const Notification& n) override;
+
+  // --- Introspection (Figure 10's "queue buildup" detector) ---------------
+  [[nodiscard]] std::uint64_t delivered() const override { return delivered_; }
+  [[nodiscard]] std::uint64_t dropped_overflow() const override {
+    return dropped_overflow_;
+  }
+  [[nodiscard]] std::uint64_t dropped_random() const override {
+    return dropped_random_;
+  }
+  [[nodiscard]] std::size_t backlog() const override { return buffer_.size(); }
+  [[nodiscard]] std::size_t max_backlog() const override { return max_backlog_; }
+
+  void reset_stats() override {
+    delivered_ = dropped_overflow_ = dropped_random_ = 0;
+    max_backlog_ = buffer_.size();
+  }
+
+ private:
+  void arrive(const Notification& n);
+  void drain();
+
+  sim::Simulator& sim_;
+  const sim::TimingModel& timing_;
+  sim::Rng rng_;
+  Sink sink_;
+
+  std::deque<Notification> buffer_;
+  bool draining_ = false;
+
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_overflow_ = 0;
+  std::uint64_t dropped_random_ = 0;
+  std::size_t max_backlog_ = 0;
+};
+
+}  // namespace speedlight::snap

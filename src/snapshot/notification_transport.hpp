@@ -1,0 +1,43 @@
+// Abstract data-plane -> CPU notification transport.
+//
+// Section 7.2: "The snapshot control plane receives notifications from the
+// Tofino using a raw socket ... There are alternatives to this approach,
+// e.g., a P4 digest stream, but we found that raw sockets made the
+// implementation straightforward and offered significantly better
+// performance." Both paths are implemented here (notification_channel.hpp
+// models the raw-socket DMA path; digest_channel.hpp the batched digest
+// stream) behind this interface, so the choice can be ablated.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "snapshot/notification.hpp"
+
+namespace speedlight::snap {
+
+class NotificationTransport {
+ public:
+  using Sink = std::function<void(const Notification&)>;
+
+  virtual ~NotificationTransport() = default;
+
+  /// Called synchronously by the data plane on unit progress.
+  virtual void push(const Notification& n) = 0;
+
+  // --- Stats (the Figure 10 "queue buildup" detectors) ---------------------
+  virtual std::uint64_t delivered() const = 0;
+  virtual std::uint64_t dropped_overflow() const = 0;
+  virtual std::uint64_t dropped_random() const = 0;
+  virtual std::size_t backlog() const = 0;
+  virtual std::size_t max_backlog() const = 0;
+  virtual void reset_stats() = 0;
+};
+
+enum class NotificationMode : std::uint8_t {
+  RawSocket,  ///< Per-notification DMA (the paper's choice).
+  Digest,     ///< Batched digest stream (the rejected alternative).
+};
+
+}  // namespace speedlight::snap

@@ -1,0 +1,169 @@
+#include "snapshot/observer.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace speedlight::snap {
+
+bool GlobalSnapshot::all_consistent() const {
+  return std::all_of(reports.begin(), reports.end(),
+                     [](const auto& kv) { return kv.second.consistent; });
+}
+
+std::size_t GlobalSnapshot::consistent_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(reports.begin(), reports.end(),
+                    [](const auto& kv) { return kv.second.consistent; }));
+}
+
+namespace {
+sim::Duration span_of(const GlobalSnapshot& snap,
+                      sim::SimTime UnitReport::* field) {
+  sim::SimTime lo = std::numeric_limits<sim::SimTime>::max();
+  sim::SimTime hi = std::numeric_limits<sim::SimTime>::min();
+  bool any = false;
+  for (const auto& [unit, r] : snap.reports) {
+    (void)unit;
+    const sim::SimTime t = r.*field;
+    if (t == 0) continue;  // Never recorded (e.g. inconsistent report).
+    lo = std::min(lo, t);
+    hi = std::max(hi, t);
+    any = true;
+  }
+  return any ? hi - lo : 0;
+}
+}  // namespace
+
+sim::Duration GlobalSnapshot::advance_span() const {
+  return span_of(*this, &UnitReport::advance_time);
+}
+
+sim::Duration GlobalSnapshot::finalize_span() const {
+  return span_of(*this, &UnitReport::finalize_time);
+}
+
+std::uint64_t GlobalSnapshot::total_value(bool include_channel) const {
+  std::uint64_t total = 0;
+  for (const auto& [unit, r] : reports) {
+    (void)unit;
+    if (!r.consistent) continue;
+    total += r.local_value;
+    if (include_channel) total += r.channel_value;
+  }
+  return total;
+}
+
+Observer::Observer(sim::Simulator& sim, const sim::TimingModel& timing,
+                   Options options)
+    : sim_(sim),
+      timing_(timing),
+      options_(options),
+      space_(options.snapshot.sid_space()) {}
+
+void Observer::register_device(ControlPlane* cp) {
+  cp->set_report_sink([this](const UnitReport& r) { on_report(r); });
+  devices_.push_back({cp, cp->unit_ids()});
+  total_units_ += devices_.back().units.size();
+}
+
+VirtualSid Observer::lowest_outstanding() const {
+  for (const auto& [id, snap] : snapshots_) {
+    if (!snap.complete) return id;
+  }
+  return next_sid_;
+}
+
+std::optional<VirtualSid> Observer::request_snapshot(sim::SimTime when) {
+  // Out-of-band rollover enforcement (Section 5.3): never let the live id
+  // spread exceed what the wire id space can disambiguate.
+  const VirtualSid id = next_sid_;
+  const VirtualSid lowest = lowest_outstanding();
+  if (id - lowest >= space_.max_spread(options_.snapshot.channel_state)) {
+    return std::nullopt;
+  }
+  ++next_sid_;
+
+  GlobalSnapshot& snap = snapshots_[id];
+  snap.id = id;
+  snap.scheduled_at = when;
+  // Pin the device set: late-attached devices are not part of this
+  // snapshot (Section 6, "Node attachment").
+  for (const auto& dev : devices_) {
+    snap.expected_devices[dev.cp->device()] = dev.units.size();
+  }
+
+  // Register the event with every device control plane (one RPC each).
+  for (auto& dev : devices_) {
+    ControlPlane* cp = dev.cp;
+    sim_.after(timing_.observer_rpc_latency,
+               [cp, id, when]() { cp->schedule_snapshot(id, when); });
+  }
+  const sim::SimTime deadline = when + options_.completion_timeout;
+  sim_.at(deadline, [this, id]() { timeout_snapshot(id); });
+  return id;
+}
+
+void Observer::on_report(const UnitReport& r) {
+  auto it = snapshots_.find(r.sid);
+  if (it == snapshots_.end()) return;  // Spurious (e.g. newly attached node).
+  GlobalSnapshot& snap = it->second;
+  if (snap.complete) return;  // Device timed out; drop stragglers.
+  if (!snap.expected_devices.contains(r.device)) {
+    return;  // Attached after this snapshot was requested: spurious.
+  }
+  if (std::find(snap.excluded_devices.begin(), snap.excluded_devices.end(),
+                r.device) != snap.excluded_devices.end()) {
+    return;
+  }
+  snap.reports.emplace(r.unit, r);  // Duplicates keep the first copy.
+  check_complete(r.sid);
+}
+
+void Observer::check_complete(VirtualSid id) {
+  auto it = snapshots_.find(id);
+  if (it == snapshots_.end() || it->second.complete) return;
+  GlobalSnapshot& snap = it->second;
+
+  std::size_t expected = 0;
+  for (const auto& [device, units] : snap.expected_devices) {
+    if (std::find(snap.excluded_devices.begin(), snap.excluded_devices.end(),
+                  device) != snap.excluded_devices.end()) {
+      continue;
+    }
+    expected += units;
+  }
+  if (snap.reports.size() < expected) return;
+
+  snap.complete = true;
+  snap.completed_at = sim_.now();
+  ++completed_;
+  if (on_complete_) on_complete_(snap);
+}
+
+void Observer::timeout_snapshot(VirtualSid id) {
+  auto it = snapshots_.find(id);
+  if (it == snapshots_.end() || it->second.complete) return;
+  GlobalSnapshot& snap = it->second;
+
+  // Exclude every expected device that has not delivered all its units.
+  for (const auto& dev : devices_) {
+    if (!snap.expected_devices.contains(dev.cp->device())) continue;
+    const bool all_in = std::all_of(
+        dev.units.begin(), dev.units.end(), [&snap](const net::UnitId& u) {
+          return snap.reports.contains(u);
+        });
+    if (!all_in) {
+      snap.excluded_devices.push_back(dev.cp->device());
+      // Drop any partial reports from the excluded device.
+      for (const auto& u : dev.units) snap.reports.erase(u);
+    }
+  }
+  check_complete(id);
+}
+
+const GlobalSnapshot* Observer::result(VirtualSid id) const {
+  const auto it = snapshots_.find(id);
+  return it == snapshots_.end() ? nullptr : &it->second;
+}
+
+}  // namespace speedlight::snap

@@ -1,0 +1,116 @@
+// The snapshot observer (Sections 3 and 6): a host process that schedules
+// network-wide snapshots with every device control plane, assembles the
+// per-unit reports into global snapshots, detects completion, enforces the
+// id-rollover window out-of-band, and times out failed devices.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/timing_model.hpp"
+#include "snapshot/config.hpp"
+#include "snapshot/control_plane.hpp"
+#include "snapshot/report.hpp"
+
+namespace speedlight::snap {
+
+/// A fully assembled network-wide snapshot.
+struct GlobalSnapshot {
+  VirtualSid id = 0;
+  sim::SimTime scheduled_at = 0;
+  /// One report per processing unit (excluded devices' units missing).
+  std::unordered_map<net::UnitId, UnitReport> reports;
+  std::vector<net::NodeId> excluded_devices;
+  bool complete = false;
+  /// True time the observer assembled the last report (or timed out).
+  sim::SimTime completed_at = 0;
+  /// Devices (and their unit counts) registered when this snapshot was
+  /// requested. Devices attached later (Section 6, "Node attachment") are
+  /// not part of this snapshot and their reports for it are ignored.
+  std::unordered_map<net::NodeId, std::size_t> expected_devices;
+
+  [[nodiscard]] bool all_consistent() const;
+  [[nodiscard]] std::size_t consistent_count() const;
+
+  /// Paper Section 8.1: "Synchronization of a snapshot ID is defined as the
+  /// difference between the earliest and latest timestamps on any
+  /// notification with that ID." advance_span() uses the local-state
+  /// instants ("Switch State" in Figure 9); finalize_span() additionally
+  /// waits for upstream neighbors ("Switch + Channel State").
+  [[nodiscard]] sim::Duration advance_span() const;
+  [[nodiscard]] sim::Duration finalize_span() const;
+
+  /// Sum of local values over consistent reports (+ channel state if
+  /// `include_channel`): e.g. a causally consistent network-wide packet
+  /// count.
+  [[nodiscard]] std::uint64_t total_value(bool include_channel) const;
+};
+
+class Observer {
+ public:
+  struct Options {
+    SnapshotConfig snapshot;
+    /// Devices missing reports this long after the scheduled fire time are
+    /// excluded from the global snapshot.
+    sim::Duration completion_timeout = sim::msec(100);
+  };
+
+  Observer(sim::Simulator& sim, const sim::TimingModel& timing, Options options);
+
+  Observer(const Observer&) = delete;
+  Observer& operator=(const Observer&) = delete;
+
+  /// Register a device; wires the control plane's report sink to this
+  /// observer. May be called at any time (Section 6, "Node attachment"):
+  /// snapshots already outstanding keep their original device set, and the
+  /// new device participates from the next request on.
+  void register_device(ControlPlane* cp);
+
+  /// Request a network-wide snapshot at true time `when` (the observer's
+  /// clock is the reference). Returns the assigned id, or nullopt if the
+  /// rollover window would be violated (the caller should retry after
+  /// outstanding snapshots complete — the out-of-band enforcement of
+  /// Section 5.3).
+  std::optional<VirtualSid> request_snapshot(sim::SimTime when);
+
+  /// Result access. Snapshots stay available until the observer is
+  /// destroyed.
+  [[nodiscard]] const GlobalSnapshot* result(VirtualSid id) const;
+  [[nodiscard]] std::size_t completed_count() const { return completed_; }
+  [[nodiscard]] std::size_t requested_count() const { return next_sid_ - 1; }
+
+  /// Invoked whenever a snapshot completes (possibly with exclusions).
+  void set_completion_callback(std::function<void(const GlobalSnapshot&)> cb) {
+    on_complete_ = std::move(cb);
+  }
+
+ private:
+  void on_report(const UnitReport& r);
+  void check_complete(VirtualSid id);
+  void timeout_snapshot(VirtualSid id);
+  [[nodiscard]] VirtualSid lowest_outstanding() const;
+
+  sim::Simulator& sim_;
+  const sim::TimingModel& timing_;
+  Options options_;
+  SidSpace space_;
+
+  struct Device {
+    ControlPlane* cp;
+    std::vector<net::UnitId> units;
+  };
+  std::vector<Device> devices_;
+  std::size_t total_units_ = 0;
+
+  std::map<VirtualSid, GlobalSnapshot> snapshots_;
+  VirtualSid next_sid_ = 1;
+  std::size_t completed_ = 0;
+  std::function<void(const GlobalSnapshot&)> on_complete_;
+};
+
+}  // namespace speedlight::snap

@@ -1,0 +1,72 @@
+// Continuous monitoring: request a snapshot every `period` and deliver the
+// completed results to a callback. Applies backpressure automatically —
+// when the rollover window refuses a request (outstanding snapshots have
+// not completed), the tick is skipped and counted rather than queued,
+// keeping the id spread bounded as Section 5.3 requires.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/simulator.hpp"
+#include "snapshot/observer.hpp"
+
+namespace speedlight::snap {
+
+class PeriodicSnapshotter {
+ public:
+  using Callback = std::function<void(const GlobalSnapshot&)>;
+
+  PeriodicSnapshotter(sim::Simulator& sim, Observer& observer,
+                      sim::Duration period, Callback on_complete)
+      : sim_(sim),
+        observer_(observer),
+        period_(period),
+        on_complete_(std::move(on_complete)) {}
+
+  PeriodicSnapshotter(const PeriodicSnapshotter&) = delete;
+  PeriodicSnapshotter& operator=(const PeriodicSnapshotter&) = delete;
+
+  /// Start ticking at absolute time `at`. The observer's completion
+  /// callback is chained (replaces any previously installed one).
+  void start(sim::SimTime at) {
+    running_ = true;
+    observer_.set_completion_callback([this](const GlobalSnapshot& snap) {
+      ++completed_;
+      if (on_complete_) on_complete_(snap);
+    });
+    sim_.at(at, [this]() { tick(); });
+  }
+
+  void stop() { running_ = false; }
+
+  [[nodiscard]] std::uint64_t requested() const { return requested_; }
+  [[nodiscard]] std::uint64_t completed() const { return completed_; }
+  /// Ticks refused by the rollover window (monitoring cadence exceeded
+  /// what the id space + completion latency can sustain).
+  [[nodiscard]] std::uint64_t backpressured() const { return backpressured_; }
+
+ private:
+  void tick() {
+    if (!running_) return;
+    // Fire half a period ahead: control planes need the schedule to arrive
+    // before the deadline.
+    if (observer_.request_snapshot(sim_.now() + period_ / 2)) {
+      ++requested_;
+    } else {
+      ++backpressured_;
+    }
+    sim_.after(period_, [this]() { tick(); });
+  }
+
+  sim::Simulator& sim_;
+  Observer& observer_;
+  sim::Duration period_;
+  Callback on_complete_;
+  bool running_ = false;
+  std::uint64_t requested_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t backpressured_ = 0;
+};
+
+}  // namespace speedlight::snap

@@ -1,0 +1,56 @@
+// PTP-style clock synchronization service. The paper runs ptp4l/phc2sys on
+// every switch CPU; here each managed clock is periodically re-aligned to
+// within a sampled residual error, with a freshly sampled oscillator drift
+// between corrections.
+#pragma once
+
+#include <vector>
+
+#include "sim/clock.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/timing_model.hpp"
+
+namespace speedlight::snap {
+
+class PtpService {
+ public:
+  PtpService(sim::Simulator& sim, const sim::TimingModel& timing, sim::Rng rng)
+      : sim_(sim), timing_(timing), rng_(rng) {}
+
+  PtpService(const PtpService&) = delete;
+  PtpService& operator=(const PtpService&) = delete;
+
+  /// Take over a clock: aligns it immediately and on every future round.
+  void manage(sim::LocalClock* clock) {
+    clock->synchronize(sim_.now(), timing_.sample_ptp_residual(rng_),
+                       timing_.sample_drift_ppm(rng_));
+    clocks_.push_back(clock);
+  }
+
+  /// Start the periodic correction loop.
+  void start() {
+    if (running_) return;
+    running_ = true;
+    schedule_round();
+  }
+
+ private:
+  void schedule_round() {
+    sim_.after(timing_.ptp_sync_interval, [this]() {
+      for (sim::LocalClock* c : clocks_) {
+        c->synchronize(sim_.now(), timing_.sample_ptp_residual(rng_),
+                       timing_.sample_drift_ppm(rng_));
+      }
+      schedule_round();
+    });
+  }
+
+  sim::Simulator& sim_;
+  const sim::TimingModel& timing_;
+  sim::Rng rng_;
+  std::vector<sim::LocalClock*> clocks_;
+  bool running_ = false;
+};
+
+}  // namespace speedlight::snap

@@ -1,0 +1,80 @@
+#include "stats/cdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+
+namespace speedlight::stats {
+
+Cdf::Cdf(std::vector<double> samples) : samples_(std::move(samples)) {
+  sorted_ = false;
+}
+
+void Cdf::add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+void Cdf::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Cdf::at(double x) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double Cdf::percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  p = std::clamp(p, 0.0, 1.0);
+  const auto idx = static_cast<std::size_t>(
+      std::ceil(p * static_cast<double>(samples_.size())));
+  return samples_[idx == 0 ? 0 : std::min(idx - 1, samples_.size() - 1)];
+}
+
+double Cdf::min() const {
+  ensure_sorted();
+  return samples_.empty() ? 0.0 : samples_.front();
+}
+
+double Cdf::max() const {
+  ensure_sorted();
+  return samples_.empty() ? 0.0 : samples_.back();
+}
+
+std::vector<Cdf::Point> Cdf::points(std::size_t max_points) const {
+  std::vector<Point> out;
+  if (samples_.empty() || max_points == 0) return out;
+  ensure_sorted();
+  const std::size_t n = samples_.size();
+  const std::size_t step = std::max<std::size_t>(1, n / max_points);
+  for (std::size_t i = 0; i < n; i += step) {
+    out.push_back({samples_[i], static_cast<double>(i + 1) / n});
+  }
+  if (out.back().value != samples_.back() || out.back().fraction != 1.0) {
+    out.push_back({samples_.back(), 1.0});
+  }
+  return out;
+}
+
+void Cdf::print(std::ostream& os, const std::string& label, double scale,
+                const std::string& unit, std::size_t max_points) const {
+  os << label << " (n=" << size() << ", median=" << median() * scale << unit
+     << ", p99=" << percentile(0.99) * scale << unit
+     << ", max=" << max() * scale << unit << ")\n";
+  for (const auto& [value, fraction] : points(max_points)) {
+    os << "  " << std::setw(12) << std::fixed << std::setprecision(3)
+       << value * scale << " " << unit << "  " << std::setprecision(4)
+       << fraction << "\n";
+  }
+}
+
+}  // namespace speedlight::stats

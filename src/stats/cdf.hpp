@@ -1,0 +1,51 @@
+// Empirical CDF helper used by the figure-reproduction benches.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace speedlight::stats {
+
+/// An empirical cumulative distribution over a batch of samples.
+class Cdf {
+ public:
+  Cdf() = default;
+  explicit Cdf(std::vector<double> samples);
+
+  void add(double x);
+
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] std::size_t size() const { return samples_.size(); }
+
+  /// Fraction of samples <= x.
+  [[nodiscard]] double at(double x) const;
+
+  /// Inverse CDF: smallest sample s with CDF(s) >= p.
+  [[nodiscard]] double percentile(double p) const;
+
+  [[nodiscard]] double median() const { return percentile(0.5); }
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+  /// Evenly spaced (value, cumulative fraction) points for plotting; at most
+  /// `max_points` rows, always including min and max.
+  struct Point {
+    double value;
+    double fraction;
+  };
+  [[nodiscard]] std::vector<Point> points(std::size_t max_points = 50) const;
+
+  /// Print `points()` as aligned rows, with values scaled by `scale` and
+  /// labelled by `unit` (e.g. scale=1e-3, unit="us" for ns samples).
+  void print(std::ostream& os, const std::string& label, double scale,
+             const std::string& unit, std::size_t max_points = 20) const;
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace speedlight::stats

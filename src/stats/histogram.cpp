@@ -1,0 +1,37 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+
+namespace speedlight::stats {
+
+void LogHistogram::print(std::ostream& os, double scale,
+                         const char* unit) const {
+  if (count_ == 0) {
+    os << "(empty)\n";
+    return;
+  }
+  int first = kBuckets;
+  int last = -1;
+  std::uint64_t peak = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    if (buckets_[b] > 0) {
+      first = std::min(first, b);
+      last = std::max(last, b);
+      peak = std::max(peak, buckets_[b]);
+    }
+  }
+  for (int b = first; b <= last; ++b) {
+    const int bar = peak == 0 ? 0
+                              : static_cast<int>(40.0 *
+                                                 static_cast<double>(buckets_[b]) /
+                                                 static_cast<double>(peak));
+    os << std::setw(12) << std::scientific << std::setprecision(1)
+       << upper_edge(b) * scale << unit << " |" << std::string(bar, '#')
+       << " " << buckets_[b] << "\n";
+  }
+  os.unsetf(std::ios::scientific);
+}
+
+}  // namespace speedlight::stats

@@ -1,0 +1,78 @@
+// Log-bucketed histogram for latency-like quantities spanning many orders
+// of magnitude (nanoseconds to seconds).
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <iosfwd>
+
+namespace speedlight::stats {
+
+/// Buckets at `kBucketsPerDecade` per decade over [1, 1e12) (sub-unit
+/// values land in the first bucket; larger ones saturate the last).
+class LogHistogram {
+ public:
+  static constexpr int kBucketsPerDecade = 5;
+  static constexpr int kDecades = 12;
+  static constexpr int kBuckets = kBucketsPerDecade * kDecades;
+
+  void add(double x) noexcept {
+    ++count_;
+    sum_ += x;
+    if (count_ == 1 || x < min_) min_ = x;
+    if (count_ == 1 || x > max_) max_ = x;
+    ++buckets_[bucket_of(x)];
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  [[nodiscard]] double min() const noexcept { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return count_ ? max_ : 0.0; }
+
+  /// Quantile estimated from bucket boundaries (upper edge of the bucket
+  /// containing the q-th sample): at most one bucket-width (~58%) off,
+  /// which is fine for order-of-magnitude latency reporting.
+  [[nodiscard]] double quantile(double q) const noexcept {
+    if (count_ == 0) return 0.0;
+    if (q <= 0.0) return min_;
+    if (q >= 1.0) return max_;
+    const auto target = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(count_)));
+    std::uint64_t cumulative = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      cumulative += buckets_[b];
+      if (cumulative >= target) return upper_edge(b);
+    }
+    return max_;
+  }
+
+  [[nodiscard]] std::uint64_t bucket_count(int b) const noexcept {
+    return buckets_[b];
+  }
+
+  /// ASCII rendering of the non-empty range, one row per bucket.
+  void print(std::ostream& os, double scale = 1.0,
+             const char* unit = "") const;
+
+  static int bucket_of(double x) noexcept {
+    if (!(x > 1.0)) return 0;
+    const double l = std::log10(x);
+    const int b = static_cast<int>(l * kBucketsPerDecade);
+    return b >= kBuckets ? kBuckets - 1 : b;
+  }
+  static double upper_edge(int b) noexcept {
+    return std::pow(10.0, static_cast<double>(b + 1) / kBucketsPerDecade);
+  }
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace speedlight::stats

@@ -1,0 +1,45 @@
+// Destination-based forwarding with multipath (ECMP candidate sets) and a
+// version tag for forwarding-state snapshots (Section 10).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/types.hpp"
+
+namespace speedlight::sw {
+
+class RoutingTable {
+ public:
+  /// Install (or replace) the candidate out-port set for a destination
+  /// host. Bumps the table version.
+  void set_route(net::NodeId dst_host, std::vector<net::PortId> ports) {
+    routes_[dst_host] = std::move(ports);
+    ++version_;
+  }
+
+  void remove_route(net::NodeId dst_host) {
+    if (routes_.erase(dst_host) > 0) ++version_;
+  }
+
+  /// Candidate ports for a destination; empty if unroutable.
+  [[nodiscard]] const std::vector<net::PortId>& lookup(net::NodeId dst) const {
+    static const std::vector<net::PortId> kEmpty;
+    const auto it = routes_.find(dst);
+    return it == routes_.end() ? kEmpty : it->second;
+  }
+
+  /// Section 10: "the control plane can ensure every FIB rule and version
+  /// tags passing packets with a unique ID". Every lookup stamps this
+  /// version into the processing unit's state.
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+
+  [[nodiscard]] std::size_t size() const { return routes_.size(); }
+
+ private:
+  std::unordered_map<net::NodeId, std::vector<net::PortId>> routes_;
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace speedlight::sw

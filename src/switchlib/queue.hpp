@@ -1,0 +1,102 @@
+// Output queues: a bounded FIFO and a strict-priority class-of-service set.
+//
+// Per Section 4.1, each (ingress, egress) logical channel may consist of
+// multiple CoS sub-channels; within a class packets obey FIFO order while
+// classes may interleave. CosQueueSet models that: one FIFO per class,
+// drained highest-priority-first (class 0 = highest).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace speedlight::sw {
+
+class FifoQueue {
+ public:
+  explicit FifoQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// False (and the packet is dropped by the caller) when full.
+  bool push(net::Packet pkt) {
+    if (q_.size() >= capacity_) {
+      ++drops_;
+      return false;
+    }
+    q_.push_back(std::move(pkt));
+    if (q_.size() > max_depth_) max_depth_ = q_.size();
+    return true;
+  }
+
+  std::optional<net::Packet> pop() {
+    if (q_.empty()) return std::nullopt;
+    net::Packet pkt = std::move(q_.front());
+    q_.pop_front();
+    return pkt;
+  }
+
+  [[nodiscard]] std::size_t size() const { return q_.size(); }
+  [[nodiscard]] bool empty() const { return q_.empty(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t max_depth() const { return max_depth_; }
+  [[nodiscard]] std::uint64_t drops() const { return drops_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<net::Packet> q_;
+  std::size_t max_depth_ = 0;
+  std::uint64_t drops_ = 0;
+};
+
+class CosQueueSet {
+ public:
+  /// `classes` FIFO queues of `capacity_per_class` packets each.
+  CosQueueSet(std::size_t classes, std::size_t capacity_per_class) {
+    queues_.reserve(classes == 0 ? 1 : classes);
+    for (std::size_t i = 0; i < (classes == 0 ? 1 : classes); ++i) {
+      queues_.emplace_back(capacity_per_class);
+    }
+  }
+
+  bool push(net::Packet pkt, std::size_t cls) {
+    return queues_[cls < queues_.size() ? cls : queues_.size() - 1].push(
+        std::move(pkt));
+  }
+
+  /// Strict priority: lowest class index first. Returns the packet and its
+  /// class.
+  std::optional<std::pair<net::Packet, std::size_t>> pop() {
+    for (std::size_t c = 0; c < queues_.size(); ++c) {
+      if (auto pkt = queues_[c].pop()) return std::make_pair(std::move(*pkt), c);
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::size_t total = 0;
+    for (const auto& q : queues_) total += q.size();
+    return total;
+  }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  [[nodiscard]] std::size_t num_classes() const { return queues_.size(); }
+  [[nodiscard]] std::uint64_t drops() const {
+    std::uint64_t total = 0;
+    for (const auto& q : queues_) total += q.drops();
+    return total;
+  }
+  [[nodiscard]] std::size_t max_depth() const {
+    std::size_t m = 0;
+    for (const auto& q : queues_) m = m < q.max_depth() ? q.max_depth() : m;
+    return m;
+  }
+  [[nodiscard]] const FifoQueue& class_queue(std::size_t c) const {
+    return queues_[c];
+  }
+
+ private:
+  std::vector<FifoQueue> queues_;
+};
+
+}  // namespace speedlight::sw

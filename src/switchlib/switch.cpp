@@ -1,0 +1,419 @@
+#include "switchlib/switch.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace speedlight::sw {
+
+// ---------------------------------------------------------------------------
+// Per-port, per-direction processing unit: counters + the Speedlight data
+// plane state machine, exposed to the control plane as a UnitHandle.
+// ---------------------------------------------------------------------------
+class Switch::PortUnit final : public snap::UnitHandle {
+ public:
+  PortUnit(Switch& sw, net::PortId port, net::Direction dir)
+      : sw_(sw), port_(port), dir_(dir) {}
+
+  void build_dataplane() {
+    const bool ingress = dir_ == net::Direction::Ingress;
+    const std::uint16_t channels =
+        ingress ? 2
+                : static_cast<std::uint16_t>(sw_.options_.num_ports *
+                                                 sw_.options_.cos_classes +
+                                             1);
+    const std::uint16_t cpu =
+        ingress ? kIngressCpuChannel : sw_.egress_cpu_channel();
+    const MetricKind metric = sw_.options_.metric;
+    dp_ = std::make_unique<snap::DataplaneUnit>(
+        unit_id(), sw_.options_.snapshot, channels, cpu,
+        [this, metric]() { return counters_.read(metric); },
+        [metric](const snap::PacketView& v) {
+          return metric_channel_add(metric, v.size_bytes);
+        },
+        [this](const snap::Notification& n) { sw_.notif_->push(n); });
+  }
+
+  [[nodiscard]] net::UnitId unit_id() const override {
+    return net::UnitId{sw_.id(), port_, dir_};
+  }
+  [[nodiscard]] bool is_ingress() const override {
+    return dir_ == net::Direction::Ingress;
+  }
+  [[nodiscard]] std::uint16_t num_channels() const override {
+    return dp_ ? dp_->num_channels() : 0;
+  }
+  [[nodiscard]] std::uint16_t cpu_channel() const override {
+    return dp_ ? dp_->cpu_channel() : 0;
+  }
+
+  void inject_initiation(snap::WireSid sid) override {
+    assert(is_ingress() && "initiations enter through ingress units");
+    sw_.do_inject_initiation(port_, sid);
+  }
+
+  void inject_probe() override {
+    assert(is_ingress() && "probes are injected at ingress units");
+    sw_.do_inject_probe(port_);
+  }
+
+  [[nodiscard]] snap::SlotValue read_value_slot(std::size_t index) const override {
+    return dp_ ? dp_->read_slot(index) : snap::SlotValue{};
+  }
+  [[nodiscard]] snap::WireSid read_sid_register() const override {
+    return dp_ ? dp_->sid_register() : 0;
+  }
+  [[nodiscard]] snap::WireSid read_last_seen_register(
+      std::uint16_t channel) const override {
+    return dp_ ? dp_->last_seen_register(channel) : 0;
+  }
+  [[nodiscard]] std::uint64_t read_live_counter() const override {
+    return counters_.read(sw_.options_.metric);
+  }
+
+  [[nodiscard]] snap::DataplaneUnit* dataplane() { return dp_.get(); }
+  [[nodiscard]] CounterSet& counters() { return counters_; }
+  [[nodiscard]] const CounterSet& counters() const { return counters_; }
+
+ private:
+  Switch& sw_;
+  net::PortId port_;
+  net::Direction dir_;
+  CounterSet counters_;
+  std::unique_ptr<snap::DataplaneUnit> dp_;
+};
+
+struct Switch::Port {
+  Port(Switch& sw, net::PortId id, std::size_t classes, std::size_t capacity)
+      : ingress(sw, id, net::Direction::Ingress),
+        egress(sw, id, net::Direction::Egress),
+        queue(classes, capacity) {}
+
+  PortUnit ingress;
+  PortUnit egress;
+  CosQueueSet queue;
+  net::Link* link = nullptr;
+  bool to_host = false;
+  bool ingress_neighbor_enabled = true;
+  bool transmitting = false;
+};
+
+// ---------------------------------------------------------------------------
+
+Switch::Switch(sim::Simulator& sim, net::NodeId id, std::string name,
+               const sim::TimingModel& timing, SwitchOptions options,
+               sim::Rng rng)
+    : net::Node(id, std::move(name)),
+      sim_(sim),
+      timing_(timing),
+      options_(std::move(options)),
+      rng_(rng) {
+  if (options_.num_ports == 0) {
+    throw std::invalid_argument("switch needs at least one port");
+  }
+  if (options_.cos_classes == 0) options_.cos_classes = 1;
+  lb_ = make_load_balancer(options_.load_balancer, id * 0x9E3779B9u + 7,
+                           options_.flowlet_gap, rng_.fork("lb"));
+  ports_.reserve(options_.num_ports);
+  for (net::PortId p = 0; p < options_.num_ports; ++p) {
+    ports_.push_back(std::make_unique<Port>(*this, p, options_.cos_classes,
+                                            options_.queue_capacity));
+  }
+}
+
+Switch::~Switch() = default;
+
+void Switch::attach_link(net::PortId port, net::Link* link, bool to_host) {
+  assert(!finalized_ && "attach_link must precede finalize()");
+  Port& p = *ports_.at(port);
+  p.link = link;
+  p.to_host = to_host;
+  if (to_host) p.ingress_neighbor_enabled = false;  // hosts carry no markers
+}
+
+void Switch::set_ingress_neighbor_enabled(net::PortId port, bool enabled) {
+  assert(!finalized_);
+  ports_.at(port)->ingress_neighbor_enabled = enabled;
+}
+
+void Switch::set_route(net::NodeId dst_host, std::vector<net::PortId> ports) {
+  routing_.set_route(dst_host, std::move(ports));
+}
+
+void Switch::finalize() {
+  assert(!finalized_);
+  finalized_ = true;
+
+  snap::ControlPlane::Options cp_options = options_.control;
+  cp_options.snapshot = options_.snapshot;
+  cp_ = std::make_unique<snap::ControlPlane>(sim_, id(), name(), timing_,
+                                             cp_options, rng_.fork("cp"));
+  auto sink = [this](const snap::Notification& n) { cp_->on_notification(n); };
+  if (options_.notification_mode == snap::NotificationMode::Digest) {
+    notif_ = std::make_unique<snap::DigestChannel>(sim_, timing_,
+                                                   rng_.fork("notif"), sink);
+  } else {
+    notif_ = std::make_unique<snap::NotificationChannel>(
+        sim_, timing_, rng_.fork("notif"), sink);
+  }
+
+  if (!options_.snapshot_enabled) return;
+
+  for (auto& port : ports_) {
+    port->ingress.build_dataplane();
+    port->egress.build_dataplane();
+    // Queue-depth gauge for the egress unit.
+    CosQueueSet* q = &port->queue;
+    port->egress.counters().set_queue_depth_gauge(
+        [q]() { return static_cast<std::uint64_t>(q->size()); });
+  }
+
+  // Register units with the control plane: ingress units first (initiation
+  // dispatch order), then egress.
+  for (auto& port : ports_) {
+    std::vector<bool> mask(port->ingress.num_channels(), false);
+    // The external channel gates completion only when the upstream device
+    // speaks the protocol (Section 6 / Section 10) and the port is wired
+    // at all.
+    mask[kIngressExternalChannel] =
+        port->ingress_neighbor_enabled && port->link != nullptr;
+    cp_->add_unit(&port->ingress, std::move(mask));
+  }
+  for (auto& port : ports_) {
+    // Every internal (ingress, class) sub-channel can carry markers:
+    // initiations reach all ingress units and probes flood all channels.
+    std::vector<bool> mask(port->egress.num_channels(), true);
+    cp_->add_unit(&port->egress, std::move(mask));
+  }
+}
+
+std::size_t Switch::classify(const net::Packet& pkt) const {
+  if (!options_.classifier) return 0;
+  const std::size_t cls = options_.classifier(pkt);
+  return cls < options_.cos_classes ? cls : options_.cos_classes - 1;
+}
+
+void Switch::receive(net::Packet pkt, net::PortId in_port) {
+  assert(finalized_ && "switch used before finalize()");
+  Port& port = *ports_.at(in_port);
+  const sim::SimTime now = sim_.now();
+
+  // --- Ingress processing unit (Figure 4) ---------------------------------
+  if (options_.snapshot_enabled) {
+    snap::PacketView view;
+    view.packet_id = pkt.id;
+    view.size_bytes = pkt.size_bytes;
+    view.counts_for_metrics = pkt.counts_for_metrics();
+    view.has_marker = pkt.snap.present;
+    view.wire_sid = pkt.snap.wire_sid;
+    const snap::WireSid stamped =
+        port.ingress.dataplane()->on_packet(view, kIngressExternalChannel, now);
+    if (!pkt.snap.present) {
+      // First snapshot-enabled router on the path: add the header.
+      pkt.snap.present = true;
+      pkt.snap.kind = net::PacketKind::Data;
+    }
+    pkt.snap.wire_sid = stamped;
+    pkt.audit_virtual_sid = port.ingress.dataplane()->virtual_sid();
+  }
+  // Counter update strictly after the snapshot logic (see header comment).
+  port.ingress.counters().on_packet(pkt, now);
+
+  // sFlow-style sampling mirror (independent of the snapshot machinery).
+  if (sample_rate_ > 0 && sample_sink_ && pkt.counts_for_metrics() &&
+      rng_.chance(1.0 / sample_rate_)) {
+    sample_sink_(id(), in_port, pkt);
+  }
+
+  // Probes are single-hop: they exist to carry markers across one link.
+  if (pkt.is_probe()) return;
+
+  // --- Forwarding -----------------------------------------------------------
+  if (pkt.ttl == 0) {  // Transient loop protection, as in real networks.
+    ++ttl_drops_;
+    return;
+  }
+  --pkt.ttl;
+  pkt.meta_ingress_port = in_port;
+  const auto& candidates = routing_.lookup(pkt.dst_host);
+  if (candidates.empty()) {
+    ++fwd_drops_;
+    return;
+  }
+  if (pkt.counts_for_metrics()) {
+    port.ingress.counters().stamp_fib_version(routing_.version());
+  }
+  const net::PortId out = candidates.size() == 1
+                              ? candidates[0]
+                              : lb_->choose(pkt, candidates, now);
+
+  if (audit_) {
+    audit_->on_internal_send(id(), in_port, out, pkt.audit_virtual_sid,
+                             pkt.counts_for_metrics());
+  }
+  sim_.after(options_.fabric_delay, [this, out, pkt = std::move(pkt)]() mutable {
+    enqueue(out, std::move(pkt));
+  });
+}
+
+void Switch::enqueue(net::PortId out, net::Packet pkt,
+                     std::size_t forced_class) {
+  Port& port = *ports_.at(out);
+  const std::size_t cls =
+      forced_class == kClassifyByPacket ? classify(pkt) : forced_class;
+  if (!port.queue.push(std::move(pkt), cls)) {
+    if (audit_) audit_->on_queue_drop(id(), out);
+    return;
+  }
+  if (!port.transmitting) start_transmission(out);
+}
+
+void Switch::start_transmission(net::PortId out) {
+  Port& port = *ports_.at(out);
+  auto popped = port.queue.pop();
+  if (!popped) {
+    port.transmitting = false;
+    return;
+  }
+  port.transmitting = true;
+  auto& [pkt, cls] = *popped;
+
+  // Egress processing happens as the packet leaves the queue (Figure 5).
+  process_egress(out, pkt, cls);
+
+  const sim::Duration ser =
+      port.link ? port.link->serialization_delay(pkt.size_bytes)
+                : sim::nsec(100);
+  sim_.after(ser, [this, out, pkt = std::move(pkt)]() mutable {
+    transmit(out, std::move(pkt));
+    start_transmission(out);
+  });
+}
+
+void Switch::process_egress(net::PortId out, net::Packet& pkt,
+                            std::size_t cls) {
+  Port& port = *ports_.at(out);
+  const sim::SimTime now = sim_.now();
+  if (options_.snapshot_enabled && pkt.snap.present) {
+    snap::PacketView view;
+    view.packet_id = pkt.id;
+    view.size_bytes = pkt.size_bytes;
+    view.counts_for_metrics = pkt.counts_for_metrics();
+    view.has_marker = true;
+    view.wire_sid = pkt.snap.wire_sid;
+    const std::uint16_t channel = egress_channel(pkt.meta_ingress_port, cls);
+    pkt.snap.wire_sid = port.egress.dataplane()->on_packet(view, channel, now);
+    pkt.snap.channel = 0;  // Switched Ethernet: one upstream per ingress.
+    pkt.audit_virtual_sid = port.egress.dataplane()->virtual_sid();
+  }
+  port.egress.counters().on_packet(pkt, now);
+
+  if (options_.ecn_threshold > 0 && pkt.is_data() &&
+      port.queue.size() >= options_.ecn_threshold && !pkt.ecn_ce) {
+    pkt.ecn_ce = true;
+    port.egress.counters().count_ecn_mark();
+  }
+
+  if (options_.int_enabled && pkt.int_marked && pkt.is_data()) {
+    pkt.int_stack.push_back({id(), out,
+                             static_cast<std::uint32_t>(port.queue.size()),
+                             now});
+  }
+}
+
+void Switch::transmit(net::PortId out, net::Packet pkt) {
+  Port& port = *ports_.at(out);
+  if (!port.link) return;  // Unconnected port: blackhole.
+  if (port.to_host) {
+    if (pkt.is_probe()) return;  // Probes never reach applications.
+    pkt.snap = net::SnapshotHeader{};  // Strip before delivery (Section 5.1).
+  }
+  if (audit_) {
+    audit_->on_external_send(id(), out, pkt.audit_virtual_sid,
+                             pkt.counts_for_metrics());
+  }
+  port.link->deliver(std::move(pkt), sim_.now());
+}
+
+void Switch::do_inject_initiation(net::PortId port_id, snap::WireSid sid) {
+  // CPU -> ingress -> same-port egress (Figure 6, path 3). The initiation
+  // bypasses the output queue; it travels on the CPU pseudo-channel so
+  // per-channel FIFO id monotonicity is preserved for data channels.
+  sim_.after(timing_.cpu_to_dataplane_latency, [this, port_id, sid]() {
+    Port& port = *ports_.at(port_id);
+    if (!port.ingress.dataplane()) return;
+    const snap::WireSid stamped =
+        port.ingress.dataplane()->on_initiation(sid, sim_.now());
+    sim_.after(options_.fabric_delay, [this, port_id, stamped]() {
+      Port& p = *ports_.at(port_id);
+      if (!p.egress.dataplane()) return;
+      p.egress.dataplane()->on_initiation(stamped, sim_.now());
+      // The initiation is dropped after processing.
+    });
+  });
+}
+
+void Switch::do_inject_probe(net::PortId port_id) {
+  // A probe picks up the ingress unit's current id and floods every egress
+  // port, refreshing markers on all internal sub-channels and on the links
+  // to direct neighbors (Section 6, liveness without traffic).
+  sim_.after(timing_.cpu_to_dataplane_latency, [this, port_id]() {
+    Port& port = *ports_.at(port_id);
+    if (!port.ingress.dataplane()) return;
+    snap::PacketView view;
+    view.has_marker = false;  // Stamp only; do not move the ingress state.
+    view.counts_for_metrics = false;
+    const snap::WireSid stamped = port.ingress.dataplane()->on_packet(
+        view, kIngressCpuChannel, sim_.now());
+
+    net::Packet probe;
+    probe.id = (static_cast<std::uint64_t>(id()) << 40) |
+               (0xABull << 32) | probe_serial_++;
+    probe.size_bytes = 64;
+    probe.snap.present = true;
+    probe.snap.kind = net::PacketKind::Probe;
+    probe.snap.wire_sid = stamped;
+    probe.meta_ingress_port = port_id;
+    probe.audit_virtual_sid = port.ingress.dataplane()->virtual_sid();
+
+    // Flood every egress port — including unconnected ones, whose egress
+    // units still participate in snapshots and need their internal
+    // channels refreshed (the blackhole transmit drops the probe).
+    // One probe per (egress port, CoS class): every FIFO sub-channel of
+    // Figure 2 needs its own marker, or completion stalls on classes that
+    // happen to carry no traffic.
+    for (net::PortId out = 0; out < options_.num_ports; ++out) {
+      for (std::size_t cls = 0; cls < options_.cos_classes; ++cls) {
+        net::Packet copy = probe;
+        sim_.after(options_.fabric_delay,
+                   [this, out, cls, copy = std::move(copy)]() mutable {
+                     enqueue(out, std::move(copy), cls);
+                   });
+      }
+    }
+  });
+}
+
+snap::UnitHandle* Switch::unit(net::PortId port, net::Direction dir) {
+  Port& p = *ports_.at(port);
+  return dir == net::Direction::Ingress ? static_cast<snap::UnitHandle*>(&p.ingress)
+                                        : static_cast<snap::UnitHandle*>(&p.egress);
+}
+
+const CounterSet& Switch::counters(net::PortId port, net::Direction dir) const {
+  const Port& p = *ports_.at(port);
+  return dir == net::Direction::Ingress ? p.ingress.counters()
+                                        : p.egress.counters();
+}
+
+std::size_t Switch::queue_depth(net::PortId port) const {
+  return ports_.at(port)->queue.size();
+}
+
+std::uint64_t Switch::queue_drops() const {
+  std::uint64_t total = 0;
+  for (const auto& p : ports_) total += p->queue.drops();
+  return total;
+}
+
+}  // namespace speedlight::sw

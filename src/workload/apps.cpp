@@ -1,0 +1,227 @@
+#include "workload/apps.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <utility>
+
+namespace speedlight::wl {
+
+// --- Hadoop -----------------------------------------------------------------
+
+HadoopGenerator::HadoopGenerator(sim::Simulator& sim,
+                                 std::vector<net::Host*> mappers,
+                                 std::vector<net::Host*> reducers,
+                                 Options options, sim::Rng rng)
+    : sim_(sim),
+      mappers_(std::move(mappers)),
+      reducers_(std::move(reducers)),
+      options_(options),
+      rng_(rng) {
+  members_ = mappers_;
+  for (net::Host* r : reducers_) {
+    bool present = false;
+    for (net::Host* m : members_) present |= m == r;
+    if (!present) members_.push_back(r);
+  }
+}
+
+void HadoopGenerator::start(sim::SimTime at) {
+  mark_running();
+  for (std::size_t m = 0; m < mappers_.size(); ++m) {
+    // Mappers desynchronize naturally; stagger the first rounds.
+    const auto offset = static_cast<sim::Duration>(
+        rng_.uniform(0.0, static_cast<double>(options_.compute_mean)));
+    sim_.at(at + offset, [this, m]() { mapper_round(m); });
+  }
+  if (options_.heartbeat_mean > 0) {
+    for (std::size_t m = 0; m < members_.size(); ++m) {
+      sim_.at(at + static_cast<sim::Duration>(rng_.uniform(
+                       0.0, static_cast<double>(options_.heartbeat_mean))),
+              [this, m]() { heartbeat(m); });
+    }
+  }
+}
+
+void HadoopGenerator::heartbeat(std::size_t member) {
+  if (!running() || members_.size() < 2) return;
+  net::Host* src = members_[member];
+  net::Host* dst = src;
+  while (dst == src) {
+    dst = members_[rng_.uniform_int(0, members_.size() - 1)];
+  }
+  // Stable flow id per (src, dst) so ECMP pins the control flow.
+  const net::FlowId flow = 0x48420000u +
+                           static_cast<net::FlowId>(src->id()) * 251 +
+                           dst->id();
+  src->send(dst->id(), flow, options_.heartbeat_size);
+  sim_.after(static_cast<sim::Duration>(rng_.exponential(
+                 static_cast<double>(options_.heartbeat_mean))),
+             [this, member]() { heartbeat(member); });
+}
+
+void HadoopGenerator::mapper_round(std::size_t mapper) {
+  if (!running()) return;
+  net::Host* src = mappers_[mapper];
+
+  // Shuffle: one flow to every reducer (skipping self).
+  std::size_t outstanding = 0;
+  for (const net::Host* reducer : reducers_) {
+    if (reducer == src) continue;
+    ++outstanding;
+  }
+  if (outstanding == 0) return;
+
+  // When the last flow finishes, enter the compute phase and loop.
+  auto remaining = std::make_shared<std::size_t>(outstanding);
+  auto next_phase = [this, mapper, remaining]() {
+    if (--(*remaining) > 0) return;
+    const double mu =
+        std::log(static_cast<double>(options_.compute_mean));
+    const auto compute =
+        static_cast<sim::Duration>(rng_.lognormal(mu, options_.compute_sigma));
+    sim_.after(compute, [this, mapper]() { mapper_round(mapper); });
+  };
+
+  for (const net::Host* reducer : reducers_) {
+    if (reducer == src) continue;
+    FlowSpec spec;
+    spec.dst = reducer->id();
+    spec.flow = next_flow_++;
+    spec.bytes = 1 + static_cast<std::uint64_t>(rng_.exponential(
+                         static_cast<double>(options_.shuffle_bytes_per_reducer)));
+    spec.rate_bps = options_.shuffle_rate_bps;
+    spec.packet_size = options_.packet_size;
+    spec.burst_packets = options_.burst_packets;
+    spec.burst_pause = options_.burst_pause;
+    launch_flow(sim_, *src, spec, sim_.now(), next_phase);
+  }
+}
+
+// --- GraphX ------------------------------------------------------------------
+
+GraphXGenerator::GraphXGenerator(sim::Simulator& sim,
+                                 std::vector<net::Host*> workers,
+                                 Options options, sim::Rng rng)
+    : sim_(sim), workers_(std::move(workers)), options_(options), rng_(rng) {}
+
+void GraphXGenerator::start(sim::SimTime at) {
+  mark_running();
+  sim_.at(at, [this]() { superstep(); });
+  if (options_.heartbeat_mean > 0) {
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      sim_.at(at + static_cast<sim::Duration>(rng_.uniform(
+                       0.0, static_cast<double>(options_.heartbeat_mean))),
+              [this, w]() { heartbeat(w); });
+    }
+  }
+}
+
+void GraphXGenerator::heartbeat(std::size_t worker) {
+  if (!running() || workers_.size() < 2) return;
+  net::Host* src = workers_[worker];
+  net::Host* dst = src;
+  while (dst == src) {
+    dst = workers_[rng_.uniform_int(0, workers_.size() - 1)];
+  }
+  const net::FlowId flow = 0x47580000u +
+                           static_cast<net::FlowId>(src->id()) * 251 +
+                           dst->id();
+  src->send(dst->id(), flow, options_.heartbeat_size);
+  sim_.after(static_cast<sim::Duration>(rng_.exponential(
+                 static_cast<double>(options_.heartbeat_mean))),
+             [this, worker]() { heartbeat(worker); });
+}
+
+void GraphXGenerator::superstep() {
+  if (!running()) return;
+  // Bulk-synchronous exchange: every worker to its static partners,
+  // starting near-simultaneously. The flow id is stable per (src, dst)
+  // pair — one long-lived connection per partner, as Spark maintains.
+  const std::size_t n = workers_.size();
+  for (std::size_t w = 0; w < n; ++w) {
+    net::Host* src = workers_[w];
+    const auto jitter = static_cast<sim::Duration>(rng_.uniform(
+        0.0, static_cast<double>(options_.worker_jitter)));
+    const std::size_t partners =
+        options_.partners_per_worker == 0
+            ? n - 1
+            : std::min(options_.partners_per_worker, n - 1);
+    for (std::size_t k = 1; k <= partners; ++k) {
+      net::Host* dst = workers_[(w + k) % n];
+      FlowSpec spec;
+      spec.dst = dst->id();
+      spec.flow = 0x47000000u + static_cast<net::FlowId>(src->id()) * 251 +
+                  dst->id();
+      spec.bytes = 1 + static_cast<std::uint64_t>(rng_.exponential(
+                           static_cast<double>(options_.bytes_per_pair_mean)));
+      spec.rate_bps = options_.exchange_rate_bps;
+      spec.packet_size = options_.packet_size;
+      spec.burst_packets = options_.burst_packets;
+      spec.burst_pause = options_.burst_pause;
+      launch_flow(sim_, *src, spec, sim_.now() + jitter);
+    }
+  }
+  sim_.after(options_.superstep_interval, [this]() { superstep(); });
+}
+
+// --- memcache ----------------------------------------------------------------
+
+MemcacheGenerator::MemcacheGenerator(sim::Simulator& sim,
+                                     std::vector<net::Host*> clients,
+                                     std::vector<net::Host*> servers,
+                                     Options options, sim::Rng rng)
+    : sim_(sim),
+      clients_(std::move(clients)),
+      servers_(std::move(servers)),
+      options_(options),
+      rng_(rng) {
+  // Servers answer every request packet with a value-sized response. The
+  // response flow id mirrors the request's so it hashes consistently.
+  for (net::Host* server : servers_) {
+    server->set_receive_callback(
+        [this, server](const net::Packet& pkt, sim::SimTime) {
+          if (!running()) return;
+          if (pkt.size_bytes != options_.request_size) return;  // not a GET
+          // Values larger than one MTU go out as a packet burst.
+          std::uint32_t remaining = options_.value_size;
+          while (remaining > 0) {
+            const std::uint32_t chunk = std::min<std::uint32_t>(remaining, 1500);
+            server->send(pkt.src_host, pkt.flow ^ 0x80000000u, chunk);
+            remaining -= chunk;
+          }
+          ++responses_;
+        });
+  }
+}
+
+void MemcacheGenerator::start(sim::SimTime at) {
+  mark_running();
+  for (std::size_t c = 0; c < clients_.size(); ++c) {
+    const auto offset = static_cast<sim::Duration>(rng_.uniform(
+        0.0, 1e9 / options_.requests_per_second));
+    sim_.at(at + offset, [this, c]() { client_tick(c); });
+  }
+}
+
+void MemcacheGenerator::client_tick(std::size_t client) {
+  if (!running()) return;
+  net::Host* src = clients_[client];
+  // One multi-get: the keys spread over all servers (mc-crusher's 50-key
+  // batches hit every shard).
+  const std::size_t fanout =
+      std::min(options_.keys_per_multiget, servers_.size());
+  const std::size_t first = rng_.uniform_int(0, servers_.size() - 1);
+  const net::FlowId flow = next_flow_++;
+  for (std::size_t k = 0; k < fanout; ++k) {
+    net::Host* server = servers_[(first + k) % servers_.size()];
+    if (server == src) continue;
+    src->send(server->id(), flow, options_.request_size);
+  }
+  ++requests_;
+  const auto gap = static_cast<sim::Duration>(
+      rng_.exponential(1e9 / options_.requests_per_second));
+  sim_.after(gap, [this, client]() { client_tick(client); });
+}
+
+}  // namespace speedlight::wl

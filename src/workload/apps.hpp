@@ -1,0 +1,141 @@
+// Application-level workload generators emulating the paper's three testbed
+// applications (Section 8): Hadoop Terasort, Spark GraphX PageRank, and
+// memcache under an mc-crusher multi-get load.
+//
+// The generators reproduce the *temporal structure* that drives the
+// evaluation — Hadoop's long asynchronous shuffle bursts (ms-scale
+// imbalance), GraphX's network-wide synchronized supersteps (the Figure 13
+// correlation ground truth), and memcache's steady microsecond-scale
+// request/response fan-out — rather than application payloads.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/host.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "workload/basic.hpp"
+#include "workload/flow.hpp"
+
+namespace speedlight::wl {
+
+/// Hadoop Terasort: mappers shuffle partitioned runs to every reducer in
+/// bursts separated by compute/disk phases. Each mapper cycles
+/// independently, so bursts are *not* synchronized across hosts. In
+/// between, all members exchange sparse control traffic (YARN heartbeats,
+/// acknowledgements) — the packets whose large interarrival gaps dominate
+/// the EWMA during idle phases and give Figure 12(a) its ms-scale axis.
+class HadoopGenerator final : public Generator {
+ public:
+  struct Options {
+    std::uint64_t shuffle_bytes_per_reducer = 2 * 1024 * 1024;
+    double shuffle_rate_bps = 5e9;
+    /// Compute/disk phase between shuffle rounds: lognormal around this.
+    sim::Duration compute_mean = sim::msec(120);
+    double compute_sigma = 0.5;  ///< Lognormal shape.
+    std::uint32_t packet_size = 1500;
+    /// TCP-like window rounds inside each shuffle flow.
+    std::uint32_t burst_packets = 43;        // ~64KB windows
+    sim::Duration burst_pause = sim::usec(90);
+    /// Mean gap between per-host control/heartbeat packets (0 = none).
+    sim::Duration heartbeat_mean = sim::msec(8);
+    std::uint32_t heartbeat_size = 120;
+  };
+
+  HadoopGenerator(sim::Simulator& sim, std::vector<net::Host*> mappers,
+                  std::vector<net::Host*> reducers, Options options,
+                  sim::Rng rng);
+
+  void start(sim::SimTime at) override;
+
+ private:
+  void mapper_round(std::size_t mapper);
+  void heartbeat(std::size_t member);
+
+  sim::Simulator& sim_;
+  std::vector<net::Host*> mappers_;
+  std::vector<net::Host*> reducers_;
+  std::vector<net::Host*> members_;  // mappers + reducers, deduplicated
+  Options options_;
+  sim::Rng rng_;
+  net::FlowId next_flow_ = 1;
+};
+
+/// GraphX PageRank: bulk-synchronous supersteps — workers exchange
+/// messages with their (static) graph-partition neighbors at the same
+/// instants, network-wide. The master/driver host coordinates but moves no
+/// bulk data. Static partner sets mirror a fixed graph partitioning: under
+/// flow-hash ECMP the same few heavy flows are pinned to the same uplinks
+/// superstep after superstep (the persistent imbalance of Figure 12b).
+class GraphXGenerator final : public Generator {
+ public:
+  struct Options {
+    sim::Duration superstep_interval = sim::msec(150);
+    std::uint64_t bytes_per_pair_mean = 512 * 1024;
+    double exchange_rate_bps = 4e9;
+    /// Per-worker start-of-superstep jitter.
+    sim::Duration worker_jitter = sim::usec(200);
+    std::uint32_t packet_size = 1500;
+    /// TCP-like window rounds inside each exchange flow.
+    std::uint32_t burst_packets = 43;
+    sim::Duration burst_pause = sim::usec(90);
+    /// Mean gap between per-worker coordination packets (0 = none).
+    sim::Duration heartbeat_mean = sim::msec(6);
+    std::uint32_t heartbeat_size = 120;
+    /// Exchange partners per worker (0 = all-to-all). Static across the
+    /// run, like a fixed graph partitioning.
+    std::size_t partners_per_worker = 2;
+  };
+
+  GraphXGenerator(sim::Simulator& sim, std::vector<net::Host*> workers,
+                  Options options, sim::Rng rng);
+
+  void start(sim::SimTime at) override;
+
+ private:
+  void superstep();
+  void heartbeat(std::size_t worker);
+
+  sim::Simulator& sim_;
+  std::vector<net::Host*> workers_;
+  Options options_;
+  sim::Rng rng_;
+  net::FlowId next_flow_ = 1;
+};
+
+/// memcache under mc-crusher: each client issues multi-get requests at a
+/// high rate; every keyed server answers with a value, producing a steady
+/// fine-grained (µs-scale) fan-in towards the clients.
+class MemcacheGenerator final : public Generator {
+ public:
+  struct Options {
+    double requests_per_second = 20000;
+    std::size_t keys_per_multiget = 50;
+    std::uint32_t request_size = 96;
+    std::uint32_t value_size = 1200;
+  };
+
+  MemcacheGenerator(sim::Simulator& sim, std::vector<net::Host*> clients,
+                    std::vector<net::Host*> servers, Options options,
+                    sim::Rng rng);
+
+  void start(sim::SimTime at) override;
+
+  [[nodiscard]] std::uint64_t requests_issued() const { return requests_; }
+  [[nodiscard]] std::uint64_t responses_sent() const { return responses_; }
+
+ private:
+  void client_tick(std::size_t client);
+
+  sim::Simulator& sim_;
+  std::vector<net::Host*> clients_;
+  std::vector<net::Host*> servers_;
+  Options options_;
+  sim::Rng rng_;
+  net::FlowId next_flow_ = 1;
+  std::uint64_t requests_ = 0;
+  std::uint64_t responses_ = 0;
+};
+
+}  // namespace speedlight::wl

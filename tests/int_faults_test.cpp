@@ -1,0 +1,160 @@
+// In-band telemetry substrate and fault injection (link flapping).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/experiment.hpp"
+#include "core/network.hpp"
+#include "net/faults.hpp"
+#include "net/topology.hpp"
+#include "polling/int_telemetry.hpp"
+#include "workload/basic.hpp"
+
+namespace speedlight {
+namespace {
+
+using core::Network;
+using core::NetworkOptions;
+
+TEST(IntTelemetry, RecordsEveryHopInOrder) {
+  NetworkOptions opt;
+  opt.int_enabled = true;
+  Network net(net::make_line(3), opt);
+  net.host(0).set_int_marking(true);
+
+  std::vector<net::IntHop> last_stack;
+  net.host(1).set_receive_callback(
+      [&](const net::Packet& pkt, sim::SimTime) { last_stack = pkt.int_stack; });
+  net.host(0).send(net.host_id(1), 1, 1000);
+  net.run_for(sim::msec(1));
+
+  // h0 -> s0 -> s1 -> s2 -> h1: three hops, in path order.
+  ASSERT_EQ(last_stack.size(), 3u);
+  EXPECT_EQ(last_stack[0].switch_id, 0u);
+  EXPECT_EQ(last_stack[1].switch_id, 1u);
+  EXPECT_EQ(last_stack[2].switch_id, 2u);
+  EXPECT_LT(last_stack[0].egress_time, last_stack[2].egress_time);
+}
+
+TEST(IntTelemetry, UnmarkedPacketsUntouched) {
+  NetworkOptions opt;
+  opt.int_enabled = true;
+  Network net(net::make_line(2), opt);
+  std::size_t stack_size = 99;
+  net.host(1).set_receive_callback([&](const net::Packet& pkt, sim::SimTime) {
+    stack_size = pkt.int_stack.size();
+  });
+  net.host(0).send(net.host_id(1), 1, 1000);  // No marking.
+  net.run_for(sim::msec(1));
+  EXPECT_EQ(stack_size, 0u);
+}
+
+TEST(IntTelemetry, DisabledSwitchesAppendNothing) {
+  NetworkOptions opt;  // int_enabled defaults to false.
+  Network net(net::make_line(2), opt);
+  net.host(0).set_int_marking(true);
+  std::size_t stack_size = 99;
+  net.host(1).set_receive_callback([&](const net::Packet& pkt, sim::SimTime) {
+    stack_size = pkt.int_stack.size();
+  });
+  net.host(0).send(net.host_id(1), 1, 1000);
+  net.run_for(sim::msec(1));
+  EXPECT_EQ(stack_size, 0u);
+}
+
+TEST(IntTelemetry, CollectorSeparatesEcmpPaths) {
+  NetworkOptions opt;
+  opt.int_enabled = true;
+  Network net(net::make_leaf_spine(2, 2, 3), opt);
+  net.host(0).set_int_marking(true);
+  poll::IntCollector collector;
+  collector.attach_to(net.host(5));
+  // Many flows -> ECMP spreads them over both spines.
+  for (net::FlowId f = 0; f < 64; ++f) {
+    net.host(0).send(net.host_id(5), f, 1000);
+  }
+  net.run_for(sim::msec(2));
+  EXPECT_EQ(collector.telemetry_packets(), 64u);
+  // Two distinct 3-hop paths: leaf0 -> spine{0,1} -> leaf1.
+  EXPECT_EQ(collector.paths().size(), 2u);
+  for (const auto& [path, stats] : collector.paths()) {
+    ASSERT_EQ(path.size(), 3u);
+    EXPECT_EQ(path[0], 0u);
+    EXPECT_EQ(path[2], 1u);
+    EXPECT_GT(stats.samples, 10u);
+    EXPECT_GE(stats.fabric_transit_ns.mean(), 0.0);
+  }
+  EXPECT_NE(collector.switch_depth(2), nullptr);
+}
+
+TEST(IntTelemetry, SeesQueueBuildupOnPath) {
+  NetworkOptions opt;
+  opt.int_enabled = true;
+  Network net(net::make_star(3), opt);
+  net.host(0).set_int_marking(true);
+  poll::IntCollector collector;
+  collector.attach_to(net.host(2));
+  // Two senders converge on host 2: queue builds at its egress port.
+  for (int i = 0; i < 400; ++i) {
+    net.simulator().at(i * sim::nsec(490), [&net]() {
+      net.host(0).send(net.host_id(2), 1, 1500);
+      net.host(1).send(net.host_id(2), 2, 1500);
+    });
+  }
+  net.run_for(sim::msec(5));
+  bool saw_depth = false;
+  for (const auto& [path, stats] : collector.paths()) {
+    saw_depth |= stats.max_queue_depth.max() > 2;
+  }
+  EXPECT_TRUE(saw_depth);
+}
+
+TEST(LinkFlapper, AlternatesAndCountsFlaps) {
+  sim::Simulator sim;
+  net::Host sink(sim, 1, "sink");
+  net::Link link(sim, 1e9, 0, sim::Rng(1));
+  link.connect(&sink, 0);
+  net::LinkFlapper flapper(sim, link, sim::msec(1), sim::msec(1), sim::Rng(2));
+  flapper.start(sim::msec(5));
+  sim.run_until(sim::msec(50));
+  EXPECT_GT(flapper.flaps(), 5u);
+  flapper.stop();
+}
+
+TEST(LinkFlapper, SnapshotsSurviveFlappingTrunk) {
+  // Flap one spine trunk while taking channel-state snapshots: liveness
+  // machinery (re-initiation + probes) must keep completing them, without
+  // excluding any device.
+  NetworkOptions opt;
+  opt.seed = 61;
+  opt.snapshot.channel_state = true;
+  opt.observer.completion_timeout = sim::msec(150);
+  Network net(net::make_leaf_spine(2, 2, 2), opt);
+
+  // Flap the leaf0->spine0 trunk: markers and probes on it get lost in
+  // bursts, forcing the liveness machinery to recover via retries.
+  net::LinkFlapper flapper(net.simulator(), net.trunk_link(0, true),
+                           /*up=*/sim::msec(4), /*down=*/sim::msec(2),
+                           sim::Rng(99));
+  flapper.start(net.now() + sim::msec(1));
+
+  auto gens = std::vector<std::unique_ptr<wl::Generator>>{};
+  for (std::size_t h = 0; h < net.num_hosts(); ++h) {
+    auto g = std::make_unique<wl::PoissonGenerator>(
+        net.simulator(), net.host(h),
+        std::vector<net::NodeId>{net.host_id((h + 2) % 4)}, 40000, 1000,
+        sim::Rng(61 + h));
+    g->start(net.now());
+    gens.push_back(std::move(g));
+  }
+  const auto campaign = core::run_snapshot_campaign(net, 6, sim::msec(20));
+  const auto results = campaign.results(net);
+  EXPECT_EQ(results.size(), 6u);
+  for (const auto* snap : results) {
+    EXPECT_TRUE(snap->excluded_devices.empty());
+  }
+  EXPECT_GT(flapper.flaps(), 3u);
+}
+
+}  // namespace
+}  // namespace speedlight

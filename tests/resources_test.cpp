@@ -1,0 +1,174 @@
+// The Tofino resource model must reproduce every number the paper
+// publishes (Table 1 at 64 ports; the 14-port configuration of §7.1).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include <unordered_map>
+
+#include "resources/pipeline_layout.hpp"
+#include "resources/tofino_model.hpp"
+
+namespace speedlight::res {
+namespace {
+
+TEST(Table1, PacketCountColumn) {
+  const ResourceUsage u = estimate(Variant::PacketCount, 64);
+  EXPECT_EQ(u.stateless_alus, 17);
+  EXPECT_EQ(u.stateful_alus, 9);
+  EXPECT_EQ(u.logical_table_ids, 27);
+  EXPECT_EQ(u.conditional_gateways, 15);
+  EXPECT_EQ(u.physical_stages, 10);
+  EXPECT_NEAR(u.sram_kb, 606.0, 0.5);
+  EXPECT_NEAR(u.tcam_kb, 42.0, 0.5);
+}
+
+TEST(Table1, WrapAroundColumn) {
+  const ResourceUsage u = estimate(Variant::WrapAround, 64);
+  EXPECT_EQ(u.stateless_alus, 19);
+  EXPECT_EQ(u.stateful_alus, 9);
+  EXPECT_EQ(u.logical_table_ids, 35);
+  EXPECT_EQ(u.conditional_gateways, 19);
+  EXPECT_EQ(u.physical_stages, 10);
+  EXPECT_NEAR(u.sram_kb, 671.0, 0.5);
+  EXPECT_NEAR(u.tcam_kb, 59.0, 0.5);
+}
+
+TEST(Table1, ChannelStateColumn) {
+  const ResourceUsage u = estimate(Variant::ChannelState, 64);
+  EXPECT_EQ(u.stateless_alus, 24);
+  EXPECT_EQ(u.stateful_alus, 11);
+  EXPECT_EQ(u.logical_table_ids, 37);
+  EXPECT_EQ(u.conditional_gateways, 19);
+  EXPECT_EQ(u.physical_stages, 12);
+  EXPECT_NEAR(u.sram_kb, 770.0, 0.5);
+  EXPECT_NEAR(u.tcam_kb, 244.0, 0.5);
+}
+
+TEST(Table1, FourteenPortConfigMatchesSection71) {
+  // "A configuration with wraparound and channel state for 14 port
+  // snapshots ... requires 638 KB of SRAM and 90KB of TCAM."
+  const ResourceUsage u = estimate(Variant::ChannelState, 14);
+  EXPECT_NEAR(u.sram_kb, 638.0, 1.0);
+  EXPECT_NEAR(u.tcam_kb, 90.0, 1.0);
+}
+
+TEST(Table1, MemoryMonotoneInPorts) {
+  for (const auto v :
+       {Variant::PacketCount, Variant::WrapAround, Variant::ChannelState}) {
+    double prev_sram = 0.0;
+    double prev_tcam = 0.0;
+    for (int p = 1; p <= 64; ++p) {
+      const ResourceUsage u = estimate(v, p);
+      EXPECT_GT(u.sram_kb, prev_sram);
+      EXPECT_GE(u.tcam_kb, prev_tcam);
+      prev_sram = u.sram_kb;
+      prev_tcam = u.tcam_kb;
+    }
+  }
+}
+
+TEST(Table1, FeatureCostOrdering) {
+  // Each added feature costs more, in every dimension.
+  const ResourceUsage pc = estimate(Variant::PacketCount, 64);
+  const ResourceUsage wa = estimate(Variant::WrapAround, 64);
+  const ResourceUsage cs = estimate(Variant::ChannelState, 64);
+  EXPECT_LE(pc.stateless_alus, wa.stateless_alus);
+  EXPECT_LE(wa.stateless_alus, cs.stateless_alus);
+  EXPECT_LE(pc.logical_table_ids, wa.logical_table_ids);
+  EXPECT_LE(wa.logical_table_ids, cs.logical_table_ids);
+  EXPECT_LT(pc.sram_kb, wa.sram_kb);
+  EXPECT_LT(wa.sram_kb, cs.sram_kb);
+  EXPECT_LT(pc.tcam_kb, wa.tcam_kb);
+  EXPECT_LT(wa.tcam_kb, cs.tcam_kb);
+}
+
+TEST(Table1, UnderQuarterUtilization) {
+  // Section 7.1: "the prototype occupies less than 25% of any given type of
+  // dedicated resource".
+  for (const auto v :
+       {Variant::PacketCount, Variant::WrapAround, Variant::ChannelState}) {
+    EXPECT_LT(max_utilization_fraction(estimate(v, 64)), 0.25)
+        << variant_name(v);
+  }
+}
+
+TEST(Table1, RejectsInvalidPortCounts) {
+  EXPECT_THROW(estimate(Variant::PacketCount, 0), std::invalid_argument);
+  EXPECT_THROW(estimate(Variant::PacketCount, 65), std::invalid_argument);
+}
+
+TEST(Table1, PrintsAllRows) {
+  std::ostringstream os;
+  print_table1(os, 64);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Stateful ALUs"), std::string::npos);
+  EXPECT_NE(out.find("SRAM"), std::string::npos);
+  EXPECT_NE(out.find("TCAM"), std::string::npos);
+  EXPECT_NE(out.find("770"), std::string::npos);
+  EXPECT_NE(out.find("606"), std::string::npos);
+}
+
+TEST(PipelineLayout, TotalsMatchTable1Constants) {
+  for (const auto v :
+       {Variant::PacketCount, Variant::WrapAround, Variant::ChannelState}) {
+    const PipelineLayout layout = make_pipeline(v);
+    const ResourceUsage from_layout = layout.totals();
+    const ResourceUsage from_table = estimate(v, 64);
+    EXPECT_EQ(from_layout.stateless_alus, from_table.stateless_alus)
+        << variant_name(v);
+    EXPECT_EQ(from_layout.stateful_alus, from_table.stateful_alus)
+        << variant_name(v);
+    EXPECT_EQ(from_layout.logical_table_ids, from_table.logical_table_ids)
+        << variant_name(v);
+    EXPECT_EQ(from_layout.conditional_gateways,
+              from_table.conditional_gateways)
+        << variant_name(v);
+    EXPECT_EQ(from_layout.physical_stages, from_table.physical_stages)
+        << variant_name(v);
+  }
+}
+
+TEST(PipelineLayout, StagesRespectDependencies) {
+  const PipelineLayout layout = make_pipeline(Variant::ChannelState);
+  std::unordered_map<std::string, std::size_t> index;
+  for (std::size_t i = 0; i < layout.tables.size(); ++i) {
+    index[layout.tables[i].name] = i;
+  }
+  for (std::size_t i = 0; i < layout.tables.size(); ++i) {
+    for (const auto& dep : layout.tables[i].deps) {
+      EXPECT_LT(layout.stages[index.at(dep)], layout.stages[i])
+          << layout.tables[i].name << " vs " << dep;
+    }
+    if (layout.tables[i].min_stage >= 0) {
+      EXPECT_GE(layout.stages[i], layout.tables[i].min_stage);
+    }
+  }
+}
+
+TEST(PipelineLayout, FitsOneTofinoPipe) {
+  for (const auto v :
+       {Variant::PacketCount, Variant::WrapAround, Variant::ChannelState}) {
+    const PipelineLayout layout = make_pipeline(v);
+    EXPECT_LE(layout.stages_used(Gress::Ingress), 12) << variant_name(v);
+    EXPECT_LE(layout.stages_used(Gress::Egress), 12) << variant_name(v);
+  }
+}
+
+TEST(PipelineLayout, CycleDetection) {
+  PipelineLayout layout;
+  layout.tables = {
+      {"a", Gress::Ingress, 0, 0, 0, {"b"}, -1},
+      {"b", Gress::Ingress, 0, 0, 0, {"a"}, -1},
+  };
+  EXPECT_THROW(layout.assign_stages(), std::invalid_argument);
+}
+
+TEST(PipelineLayout, UnknownDependencyRejected) {
+  PipelineLayout layout;
+  layout.tables = {{"a", Gress::Ingress, 0, 0, 0, {"ghost"}, -1}};
+  EXPECT_THROW(layout.assign_stages(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace speedlight::res

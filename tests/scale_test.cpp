@@ -1,0 +1,154 @@
+// Scale and feature-interaction integration tests: larger fabrics and all
+// optional switch features enabled at once.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/experiment.hpp"
+#include "core/network.hpp"
+#include "net/topology.hpp"
+#include "polling/int_telemetry.hpp"
+#include "polling/sampling.hpp"
+#include "workload/basic.hpp"
+
+namespace speedlight {
+namespace {
+
+using core::Network;
+using core::NetworkOptions;
+
+TEST(Scale, FatTree6ChannelStateSnapshot) {
+  // k=6 fat-tree: 45 switches, 54 hosts, 432 processing units.
+  NetworkOptions opt;
+  opt.seed = 606;
+  opt.snapshot.channel_state = true;
+  Network net(net::make_fat_tree(6), opt);
+  ASSERT_EQ(net.num_switches(), 45u);
+  ASSERT_EQ(net.num_hosts(), 54u);
+
+  std::vector<std::unique_ptr<wl::Generator>> gens;
+  for (std::size_t h = 0; h < net.num_hosts(); h += 3) {
+    auto g = std::make_unique<wl::PoissonGenerator>(
+        net.simulator(), net.host(h),
+        std::vector<net::NodeId>{net.host_id((h + 27) % 54)}, 30000, 1200,
+        sim::Rng(606 + h));
+    g->start(net.now());
+    gens.push_back(std::move(g));
+  }
+  net.run_for(sim::msec(3));
+  const auto* snap = net.take_snapshot(sim::msec(1), sim::msec(400));
+  ASSERT_NE(snap, nullptr);
+  EXPECT_TRUE(snap->complete);
+  EXPECT_TRUE(snap->excluded_devices.empty());
+  // 45 switches x 6 ports x 2 directions.
+  EXPECT_EQ(snap->reports.size(), 540u);
+}
+
+TEST(Scale, FatTree6Conservation) {
+  NetworkOptions opt;
+  opt.seed = 607;
+  opt.snapshot.channel_state = true;
+  Network net(net::make_fat_tree(6), opt);
+  std::vector<std::unique_ptr<wl::Generator>> gens;
+  for (std::size_t h = 0; h < net.num_hosts(); h += 2) {
+    auto g = std::make_unique<wl::PoissonGenerator>(
+        net.simulator(), net.host(h),
+        std::vector<net::NodeId>{net.host_id((h + 13) % 54),
+                                 net.host_id((h + 31) % 54)},
+        40000, 1000, sim::Rng(707 + h));
+    g->start(net.now());
+    gens.push_back(std::move(g));
+  }
+  net.run_for(sim::msec(3));
+  const auto* snap = net.take_snapshot(sim::msec(1), sim::msec(400));
+  ASSERT_NE(snap, nullptr);
+  ASSERT_TRUE(snap->complete);
+  EXPECT_TRUE(snap->all_consistent());
+  // Conservation on every one of the 216 trunk directions.
+  std::size_t checked = 0;
+  for (const auto& t : net.spec().trunks) {
+    for (const bool fwd : {true, false}) {
+      const auto sa = static_cast<net::NodeId>(fwd ? t.switch_a : t.switch_b);
+      const auto sb = static_cast<net::NodeId>(fwd ? t.switch_b : t.switch_a);
+      const auto pa = fwd ? t.port_a : t.port_b;
+      const auto pb = fwd ? t.port_b : t.port_a;
+      const auto e = snap->reports.find({sa, pa, net::Direction::Egress});
+      const auto i = snap->reports.find({sb, pb, net::Direction::Ingress});
+      ASSERT_NE(e, snap->reports.end());
+      ASSERT_NE(i, snap->reports.end());
+      EXPECT_EQ(e->second.local_value,
+                i->second.local_value + i->second.channel_value);
+      ++checked;
+    }
+  }
+  EXPECT_EQ(checked, net.spec().trunks.size() * 2);
+  // Synchronization bound holds at this scale too.
+  EXPECT_LT(snap->advance_span(), sim::usec(100));
+}
+
+TEST(FeatureInteraction, EverythingOnAtOnce) {
+  // CoS + ECN + INT + sampling + channel-state snapshots + flowlet + small
+  // wire-id space, simultaneously: features must not interfere with the
+  // protocol's guarantees.
+  NetworkOptions opt;
+  opt.seed = 99;
+  opt.snapshot.channel_state = true;
+  opt.snapshot.wire_id_modulus = 16;
+  opt.load_balancer = sw::LoadBalancerKind::Flowlet;
+  opt.cos_classes = 2;
+  opt.classifier = [](const net::Packet& p) {
+    return static_cast<std::size_t>(p.flow % 2);
+  };
+  opt.ecn_threshold = 16;
+  opt.int_enabled = true;
+  Network net(net::make_leaf_spine(2, 2, 3), opt);
+
+  poll::SamplingCollector sampler(net.simulator(), 10);
+  auto sink = sampler.sink();
+  for (std::size_t s = 0; s < net.num_switches(); ++s) {
+    net.switch_at(s).enable_sampling(
+        10,
+        [&sink, &net](net::NodeId sw, net::PortId port, const net::Packet& p) {
+          sink({sw, port, p.size_bytes, net.simulator().now()});
+        });
+  }
+  poll::IntCollector int_collector;
+  int_collector.attach_to(net.host(5));
+  for (std::size_t h = 0; h < net.num_hosts(); ++h) {
+    net.host(h).set_int_marking(true);
+  }
+
+  std::vector<std::unique_ptr<wl::Generator>> gens;
+  for (std::size_t h = 0; h < net.num_hosts(); ++h) {
+    auto g = std::make_unique<wl::PoissonGenerator>(
+        net.simulator(), net.host(h),
+        std::vector<net::NodeId>{net.host_id((h + 1) % 6),
+                                 net.host_id((h + 5) % 6)},
+        80000, 1100, sim::Rng(99 + h));
+    g->start(net.now());
+    gens.push_back(std::move(g));
+  }
+  net.run_for(sim::msec(3));
+  const auto campaign = core::run_snapshot_campaign(net, 6, sim::msec(4));
+  const auto results = campaign.results(net);
+  ASSERT_EQ(results.size(), 6u);
+  for (const auto* snap : results) {
+    EXPECT_TRUE(snap->all_consistent());
+    for (const auto& t : net.spec().trunks) {
+      const auto e = snap->reports.find(
+          {static_cast<net::NodeId>(t.switch_a), t.port_a, net::Direction::Egress});
+      const auto i = snap->reports.find(
+          {static_cast<net::NodeId>(t.switch_b), t.port_b, net::Direction::Ingress});
+      ASSERT_NE(e, snap->reports.end());
+      ASSERT_NE(i, snap->reports.end());
+      EXPECT_EQ(e->second.local_value,
+                i->second.local_value + i->second.channel_value);
+    }
+  }
+  // The side-channels all saw traffic too.
+  EXPECT_GT(sampler.total_samples(), 50u);
+  EXPECT_GT(int_collector.telemetry_packets(), 100u);
+}
+
+}  // namespace
+}  // namespace speedlight

@@ -1,0 +1,222 @@
+// Switch model behavior: forwarding, counters, queues, CoS, load balancing,
+// and snapshot header handling — exercised through the core Network
+// builder on small topologies.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/network.hpp"
+#include "net/topology.hpp"
+#include "switchlib/load_balancer.hpp"
+#include "switchlib/queue.hpp"
+
+namespace speedlight {
+namespace {
+
+using core::Network;
+using core::NetworkOptions;
+
+TEST(SwitchForwarding, StarDeliversBetweenHosts) {
+  Network net(net::make_star(3), NetworkOptions{});
+  net.host(0).send(net.host_id(1), 1, 1500);
+  net.host(0).send(net.host_id(2), 2, 1500);
+  net.run_for(sim::msec(1));
+  EXPECT_EQ(net.host(1).packets_received(), 1u);
+  EXPECT_EQ(net.host(2).packets_received(), 1u);
+  EXPECT_EQ(net.host(1).header_leaks(), 0u);  // Stripped at egress.
+}
+
+TEST(SwitchForwarding, LeafSpineCrossRackDelivery) {
+  Network net(net::make_leaf_spine(2, 2, 3), NetworkOptions{});
+  // Host 0 (leaf0) -> host 5 (leaf1): exactly 3 switch hops.
+  for (int i = 0; i < 20; ++i) net.host(0).send(net.host_id(5), 1, 1500);
+  net.run_for(sim::msec(2));
+  EXPECT_EQ(net.host(5).packets_received(), 20u);
+  EXPECT_EQ(net.host(5).header_leaks(), 0u);
+}
+
+TEST(SwitchForwarding, UnroutableDropsCounted) {
+  Network net(net::make_star(2), NetworkOptions{});
+  net.host(0).send(9999, 1, 100);  // No such destination.
+  net.run_for(sim::msec(1));
+  EXPECT_EQ(net.switch_at(0).forwarding_drops(), 1u);
+}
+
+TEST(SwitchCounters, IngressEgressPacketCounts) {
+  Network net(net::make_star(2), NetworkOptions{});
+  for (int i = 0; i < 7; ++i) net.host(0).send(net.host_id(1), 1, 1000);
+  net.run_for(sim::msec(1));
+  const auto& in = net.switch_at(0).counters(0, net::Direction::Ingress);
+  const auto& out = net.switch_at(0).counters(1, net::Direction::Egress);
+  EXPECT_EQ(in.packets(), 7u);
+  EXPECT_EQ(in.bytes(), 7000u);
+  EXPECT_EQ(out.packets(), 7u);
+}
+
+TEST(SwitchCounters, EwmaInterarrivalTracksRate) {
+  NetworkOptions opt;
+  opt.metric = sw::MetricKind::EwmaInterarrival;
+  Network net(net::make_star(2), opt);
+  // 1000 packets, 10us apart.
+  for (int i = 0; i < 1000; ++i) {
+    net.simulator().at(i * sim::usec(10),
+                       [&net]() { net.host(0).send(net.host_id(1), 1, 500); });
+  }
+  net.run_for(sim::msec(20));
+  const auto& c = net.switch_at(0).counters(0, net::Direction::Ingress);
+  EXPECT_NEAR(c.ewma_interarrival_ns(), 10000.0, 500.0);
+}
+
+TEST(SwitchQueues, FifoQueueDropsWhenFull) {
+  sw::FifoQueue q(3);
+  for (int i = 0; i < 5; ++i) q.push(net::Packet{});
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.drops(), 2u);
+  EXPECT_EQ(q.max_depth(), 3u);
+}
+
+TEST(SwitchQueues, CosStrictPriority) {
+  sw::CosQueueSet q(2, 10);
+  net::Packet low;
+  low.id = 1;
+  net::Packet high;
+  high.id = 2;
+  ASSERT_TRUE(q.push(low, 1));
+  ASSERT_TRUE(q.push(high, 0));
+  auto first = q.pop();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->first.id, 2u);  // Class 0 drains first.
+  EXPECT_EQ(first->second, 0u);
+  auto second = q.pop();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->first.id, 1u);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(SwitchQueues, OversubscriptionDropsAtEgress) {
+  // Two hosts blast one destination at full host-link rate: the shared
+  // egress link saturates and the bounded queue eventually drops.
+  net::TopologySpec spec = net::make_star(3);
+  spec.host_link_bandwidth_bps = 25e9;
+  NetworkOptions opt;
+  opt.queue_capacity = 16;
+  Network net(spec, opt);
+  for (int i = 0; i < 3000; ++i) {
+    net.simulator().at(i * sim::nsec(480), [&net]() {
+      net.host(0).send(net.host_id(2), 1, 1500);
+      net.host(1).send(net.host_id(2), 2, 1500);
+    });
+  }
+  net.run_for(sim::msec(10));
+  EXPECT_GT(net.switch_at(0).queue_drops(), 0u);
+  EXPECT_GT(net.host(2).packets_received(), 1000u);
+}
+
+TEST(LoadBalancer, EcmpPinsFlows) {
+  sw::EcmpBalancer lb(42);
+  net::Packet p;
+  p.flow = 7;
+  p.src_host = 1;
+  p.dst_host = 2;
+  const std::vector<net::PortId> candidates{3, 4, 5};
+  const net::PortId first = lb.choose(p, candidates, 0);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(lb.choose(p, candidates, i * 1000), first);
+  }
+}
+
+TEST(LoadBalancer, EcmpSpreadsFlows) {
+  sw::EcmpBalancer lb(42);
+  const std::vector<net::PortId> candidates{0, 1};
+  std::set<net::PortId> used;
+  for (net::FlowId f = 0; f < 64; ++f) {
+    net::Packet p;
+    p.flow = f;
+    used.insert(lb.choose(p, candidates, 0));
+  }
+  EXPECT_EQ(used.size(), 2u);
+}
+
+TEST(LoadBalancer, FlowletSticksWithinGap) {
+  sw::FlowletBalancer lb(42, sim::usec(100), sim::Rng(1));
+  net::Packet p;
+  p.flow = 9;
+  const std::vector<net::PortId> candidates{0, 1, 2};
+  const net::PortId first = lb.choose(p, candidates, 0);
+  // Packets 10us apart never exceed the gap: same path.
+  for (int i = 1; i <= 20; ++i) {
+    EXPECT_EQ(lb.choose(p, candidates, i * sim::usec(10)), first);
+  }
+  EXPECT_EQ(lb.flowlets_started(), 1u);
+}
+
+TEST(LoadBalancer, FlowletRepicksAfterGap) {
+  sw::FlowletBalancer lb(42, sim::usec(100), sim::Rng(1));
+  net::Packet p;
+  p.flow = 9;
+  const std::vector<net::PortId> candidates{0, 1};
+  sim::SimTime t = 0;
+  for (int i = 0; i < 200; ++i) {
+    lb.choose(p, candidates, t);
+    t += sim::usec(500);  // Every packet starts a new flowlet.
+  }
+  EXPECT_EQ(lb.flowlets_started(), 200u);
+}
+
+TEST(SwitchSnapshot, HeadersAddedInsideStrippedAtEdge) {
+  // On a 2-switch line, verify headers traverse the trunk but never reach
+  // hosts.
+  Network net(net::make_line(2), NetworkOptions{});
+  for (int i = 0; i < 10; ++i) net.host(0).send(net.host_id(1), 1, 1000);
+  net.run_for(sim::msec(2));
+  EXPECT_EQ(net.host(1).packets_received(), 10u);
+  EXPECT_EQ(net.host(1).header_leaks(), 0u);
+}
+
+TEST(SwitchSnapshot, FibVersionStamped) {
+  NetworkOptions opt;
+  opt.metric = sw::MetricKind::ForwardingVersion;
+  Network net(net::make_star(2), opt);
+  const std::uint64_t v0 = net.switch_at(0).routing().version();
+  net.host(0).send(net.host_id(1), 1, 100);
+  net.run_for(sim::msec(1));
+  EXPECT_EQ(net.switch_at(0)
+                .counters(0, net::Direction::Ingress)
+                .read(sw::MetricKind::ForwardingVersion),
+            v0);
+  // A route change bumps the version; the next packet stamps it.
+  net.switch_at(0).set_route(net.host_id(1), {1});
+  net.host(0).send(net.host_id(1), 1, 100);
+  net.run_for(sim::msec(1));
+  EXPECT_EQ(net.switch_at(0)
+                .counters(0, net::Direction::Ingress)
+                .read(sw::MetricKind::ForwardingVersion),
+            v0 + 1);
+}
+
+TEST(SwitchSnapshot, QueueDepthGaugeReadable) {
+  NetworkOptions opt;
+  opt.metric = sw::MetricKind::QueueDepth;
+  Network net(net::make_star(2), opt);
+  EXPECT_EQ(net.switch_at(0)
+                .counters(1, net::Direction::Egress)
+                .read(sw::MetricKind::QueueDepth),
+            0u);
+}
+
+TEST(SwitchCos, ClassifierSeparatesTraffic) {
+  NetworkOptions opt;
+  opt.cos_classes = 2;
+  net::TopologySpec spec = net::make_star(2);
+  // Flow 1 -> class 1 (low priority), flow 0 -> class 0.
+  // Classifier set through switch options is applied per switch; configure
+  // via NetworkOptions is not exposed, so verify the queue layer directly
+  // plus end-to-end default behavior here.
+  Network net(spec, opt);
+  net.host(0).send(net.host_id(1), 0, 800);
+  net.run_for(sim::msec(1));
+  EXPECT_EQ(net.host(1).packets_received(), 1u);
+}
+
+}  // namespace
+}  // namespace speedlight

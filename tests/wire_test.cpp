@@ -1,0 +1,86 @@
+// Wire encoding of the snapshot header.
+#include <gtest/gtest.h>
+
+#include "net/snapshot_wire.hpp"
+
+namespace speedlight::net {
+namespace {
+
+TEST(SnapshotWire, RoundTrip) {
+  SnapshotHeader h;
+  h.present = true;
+  h.kind = PacketKind::Data;
+  h.wire_sid = 0xDEADBEEF;
+  h.channel = 0x1234;
+  const auto bytes = encode_snapshot_header(h);
+  const auto back = decode_snapshot_header(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->present);
+  EXPECT_EQ(back->kind, PacketKind::Data);
+  EXPECT_EQ(back->wire_sid, 0xDEADBEEFu);
+  EXPECT_EQ(back->channel, 0x1234u);
+}
+
+TEST(SnapshotWire, RoundTripAllKinds) {
+  for (const auto kind :
+       {PacketKind::Data, PacketKind::Initiation, PacketKind::Probe}) {
+    SnapshotHeader h;
+    h.present = true;
+    h.kind = kind;
+    h.wire_sid = 7;
+    const auto back = decode_snapshot_header(encode_snapshot_header(h));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->kind, kind);
+  }
+}
+
+TEST(SnapshotWire, NetworkByteOrder) {
+  SnapshotHeader h;
+  h.present = true;
+  h.wire_sid = 0x01020304;
+  h.channel = 0x0506;
+  const auto bytes = encode_snapshot_header(h);
+  EXPECT_EQ(bytes[0], kSnapshotHeaderMagic);
+  EXPECT_EQ(bytes[2], 0x01);
+  EXPECT_EQ(bytes[3], 0x02);
+  EXPECT_EQ(bytes[4], 0x03);
+  EXPECT_EQ(bytes[5], 0x04);
+  EXPECT_EQ(bytes[6], 0x05);
+  EXPECT_EQ(bytes[7], 0x06);
+}
+
+TEST(SnapshotWire, RejectsBadMagic) {
+  auto bytes = encode_snapshot_header({true, PacketKind::Data, 1, 2});
+  bytes[0] = 0x00;
+  EXPECT_FALSE(decode_snapshot_header(bytes).has_value());
+}
+
+TEST(SnapshotWire, RejectsShortBuffer) {
+  const auto bytes = encode_snapshot_header({true, PacketKind::Data, 1, 2});
+  EXPECT_FALSE(
+      decode_snapshot_header(std::span(bytes.data(), 7)).has_value());
+  EXPECT_FALSE(decode_snapshot_header({}).has_value());
+}
+
+TEST(SnapshotWire, RejectsUnknownKind) {
+  auto bytes = encode_snapshot_header({true, PacketKind::Data, 1, 2});
+  bytes[1] = 0x09;
+  EXPECT_FALSE(decode_snapshot_header(bytes).has_value());
+}
+
+TEST(Packet, KindPredicates) {
+  Packet p;
+  EXPECT_TRUE(p.is_data());
+  EXPECT_TRUE(p.counts_for_metrics());
+  p.snap.present = true;
+  p.snap.kind = PacketKind::Initiation;
+  EXPECT_TRUE(p.is_initiation());
+  EXPECT_FALSE(p.is_data());
+  EXPECT_FALSE(p.counts_for_metrics());
+  p.snap.kind = PacketKind::Probe;
+  EXPECT_TRUE(p.is_probe());
+  EXPECT_FALSE(p.counts_for_metrics());
+}
+
+}  // namespace
+}  // namespace speedlight::net
