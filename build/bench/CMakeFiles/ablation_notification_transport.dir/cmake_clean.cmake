@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_notification_transport.dir/ablation_notification_transport.cpp.o"
+  "CMakeFiles/ablation_notification_transport.dir/ablation_notification_transport.cpp.o.d"
+  "ablation_notification_transport"
+  "ablation_notification_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_notification_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_wraparound.dir/ablation_wraparound.cpp.o"
+  "CMakeFiles/ablation_wraparound.dir/ablation_wraparound.cpp.o.d"
+  "ablation_wraparound"
+  "ablation_wraparound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wraparound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_correlation.dir/fig13_correlation.cpp.o"
+  "CMakeFiles/fig13_correlation.dir/fig13_correlation.cpp.o.d"
+  "fig13_correlation"
+  "fig13_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_synchronization.dir/fig9_synchronization.cpp.o"
+  "CMakeFiles/fig9_synchronization.dir/fig9_synchronization.cpp.o.d"
+  "fig9_synchronization"
+  "fig9_synchronization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_synchronization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_dataplane.dir/micro_dataplane.cpp.o"
+  "CMakeFiles/micro_dataplane.dir/micro_dataplane.cpp.o.d"
+  "micro_dataplane"
+  "micro_dataplane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_dataplane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

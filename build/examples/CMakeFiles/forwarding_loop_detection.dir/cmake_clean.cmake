@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forwarding_loop_detection.dir/forwarding_loop_detection.cpp.o"
+  "CMakeFiles/forwarding_loop_detection.dir/forwarding_loop_detection.cpp.o.d"
+  "forwarding_loop_detection"
+  "forwarding_loop_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forwarding_loop_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

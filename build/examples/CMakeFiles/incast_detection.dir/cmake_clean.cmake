@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incast_detection.dir/incast_detection.cpp.o"
+  "CMakeFiles/incast_detection.dir/incast_detection.cpp.o.d"
+  "incast_detection"
+  "incast_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incast_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/load_balancing_audit.dir/load_balancing_audit.cpp.o"
+  "CMakeFiles/load_balancing_audit.dir/load_balancing_audit.cpp.o.d"
+  "load_balancing_audit"
+  "load_balancing_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/load_balancing_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

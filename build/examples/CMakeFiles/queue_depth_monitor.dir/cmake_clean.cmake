@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/queue_depth_monitor.dir/queue_depth_monitor.cpp.o"
+  "CMakeFiles/queue_depth_monitor.dir/queue_depth_monitor.cpp.o.d"
+  "queue_depth_monitor"
+  "queue_depth_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/queue_depth_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapshot_cli.dir/snapshot_cli.cpp.o"
+  "CMakeFiles/snapshot_cli.dir/snapshot_cli.cpp.o.d"
+  "snapshot_cli"
+  "snapshot_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapshot_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

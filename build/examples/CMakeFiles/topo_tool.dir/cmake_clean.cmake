@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topo_tool.dir/topo_tool.cpp.o"
+  "CMakeFiles/topo_tool.dir/topo_tool.cpp.o.d"
+  "topo_tool"
+  "topo_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topo_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

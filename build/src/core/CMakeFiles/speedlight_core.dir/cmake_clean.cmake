@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedlight_core.dir/experiment.cpp.o"
+  "CMakeFiles/speedlight_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/speedlight_core.dir/network.cpp.o"
+  "CMakeFiles/speedlight_core.dir/network.cpp.o.d"
+  "libspeedlight_core.a"
+  "libspeedlight_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedlight_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

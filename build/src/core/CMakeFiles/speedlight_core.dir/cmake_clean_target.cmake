@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libspeedlight_core.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/host.cpp" "src/net/CMakeFiles/speedlight_net.dir/host.cpp.o" "gcc" "src/net/CMakeFiles/speedlight_net.dir/host.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/net/CMakeFiles/speedlight_net.dir/link.cpp.o" "gcc" "src/net/CMakeFiles/speedlight_net.dir/link.cpp.o.d"
+  "/root/repo/src/net/snapshot_wire.cpp" "src/net/CMakeFiles/speedlight_net.dir/snapshot_wire.cpp.o" "gcc" "src/net/CMakeFiles/speedlight_net.dir/snapshot_wire.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/net/CMakeFiles/speedlight_net.dir/topology.cpp.o" "gcc" "src/net/CMakeFiles/speedlight_net.dir/topology.cpp.o.d"
+  "/root/repo/src/net/topology_io.cpp" "src/net/CMakeFiles/speedlight_net.dir/topology_io.cpp.o" "gcc" "src/net/CMakeFiles/speedlight_net.dir/topology_io.cpp.o.d"
+  "/root/repo/src/net/trace.cpp" "src/net/CMakeFiles/speedlight_net.dir/trace.cpp.o" "gcc" "src/net/CMakeFiles/speedlight_net.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/speedlight_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedlight_net.dir/host.cpp.o"
+  "CMakeFiles/speedlight_net.dir/host.cpp.o.d"
+  "CMakeFiles/speedlight_net.dir/link.cpp.o"
+  "CMakeFiles/speedlight_net.dir/link.cpp.o.d"
+  "CMakeFiles/speedlight_net.dir/snapshot_wire.cpp.o"
+  "CMakeFiles/speedlight_net.dir/snapshot_wire.cpp.o.d"
+  "CMakeFiles/speedlight_net.dir/topology.cpp.o"
+  "CMakeFiles/speedlight_net.dir/topology.cpp.o.d"
+  "CMakeFiles/speedlight_net.dir/topology_io.cpp.o"
+  "CMakeFiles/speedlight_net.dir/topology_io.cpp.o.d"
+  "CMakeFiles/speedlight_net.dir/trace.cpp.o"
+  "CMakeFiles/speedlight_net.dir/trace.cpp.o.d"
+  "libspeedlight_net.a"
+  "libspeedlight_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedlight_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

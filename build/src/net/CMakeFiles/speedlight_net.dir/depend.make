@@ -1,0 +1,2 @@
+# Empty dependencies file for speedlight_net.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedlight_polling.dir/polling_observer.cpp.o"
+  "CMakeFiles/speedlight_polling.dir/polling_observer.cpp.o.d"
+  "libspeedlight_polling.a"
+  "libspeedlight_polling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedlight_polling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libspeedlight_polling.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for speedlight_polling.
+# This may be replaced when dependencies are built.

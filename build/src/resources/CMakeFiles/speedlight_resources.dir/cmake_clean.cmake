@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedlight_resources.dir/pipeline_layout.cpp.o"
+  "CMakeFiles/speedlight_resources.dir/pipeline_layout.cpp.o.d"
+  "CMakeFiles/speedlight_resources.dir/tofino_model.cpp.o"
+  "CMakeFiles/speedlight_resources.dir/tofino_model.cpp.o.d"
+  "libspeedlight_resources.a"
+  "libspeedlight_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedlight_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedlight_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/speedlight_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/speedlight_sim.dir/random.cpp.o"
+  "CMakeFiles/speedlight_sim.dir/random.cpp.o.d"
+  "CMakeFiles/speedlight_sim.dir/simulator.cpp.o"
+  "CMakeFiles/speedlight_sim.dir/simulator.cpp.o.d"
+  "libspeedlight_sim.a"
+  "libspeedlight_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedlight_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/snapshot/control_plane.cpp" "src/snapshot/CMakeFiles/speedlight_snapshot.dir/control_plane.cpp.o" "gcc" "src/snapshot/CMakeFiles/speedlight_snapshot.dir/control_plane.cpp.o.d"
+  "/root/repo/src/snapshot/dataplane.cpp" "src/snapshot/CMakeFiles/speedlight_snapshot.dir/dataplane.cpp.o" "gcc" "src/snapshot/CMakeFiles/speedlight_snapshot.dir/dataplane.cpp.o.d"
+  "/root/repo/src/snapshot/digest_channel.cpp" "src/snapshot/CMakeFiles/speedlight_snapshot.dir/digest_channel.cpp.o" "gcc" "src/snapshot/CMakeFiles/speedlight_snapshot.dir/digest_channel.cpp.o.d"
+  "/root/repo/src/snapshot/notification_channel.cpp" "src/snapshot/CMakeFiles/speedlight_snapshot.dir/notification_channel.cpp.o" "gcc" "src/snapshot/CMakeFiles/speedlight_snapshot.dir/notification_channel.cpp.o.d"
+  "/root/repo/src/snapshot/observer.cpp" "src/snapshot/CMakeFiles/speedlight_snapshot.dir/observer.cpp.o" "gcc" "src/snapshot/CMakeFiles/speedlight_snapshot.dir/observer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/speedlight_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/speedlight_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedlight_snapshot.dir/control_plane.cpp.o"
+  "CMakeFiles/speedlight_snapshot.dir/control_plane.cpp.o.d"
+  "CMakeFiles/speedlight_snapshot.dir/dataplane.cpp.o"
+  "CMakeFiles/speedlight_snapshot.dir/dataplane.cpp.o.d"
+  "CMakeFiles/speedlight_snapshot.dir/digest_channel.cpp.o"
+  "CMakeFiles/speedlight_snapshot.dir/digest_channel.cpp.o.d"
+  "CMakeFiles/speedlight_snapshot.dir/notification_channel.cpp.o"
+  "CMakeFiles/speedlight_snapshot.dir/notification_channel.cpp.o.d"
+  "CMakeFiles/speedlight_snapshot.dir/observer.cpp.o"
+  "CMakeFiles/speedlight_snapshot.dir/observer.cpp.o.d"
+  "libspeedlight_snapshot.a"
+  "libspeedlight_snapshot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedlight_snapshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

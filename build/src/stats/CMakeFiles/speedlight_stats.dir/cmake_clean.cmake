@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedlight_stats.dir/cdf.cpp.o"
+  "CMakeFiles/speedlight_stats.dir/cdf.cpp.o.d"
+  "CMakeFiles/speedlight_stats.dir/histogram.cpp.o"
+  "CMakeFiles/speedlight_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/speedlight_stats.dir/spearman.cpp.o"
+  "CMakeFiles/speedlight_stats.dir/spearman.cpp.o.d"
+  "CMakeFiles/speedlight_stats.dir/summary.cpp.o"
+  "CMakeFiles/speedlight_stats.dir/summary.cpp.o.d"
+  "libspeedlight_stats.a"
+  "libspeedlight_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedlight_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/switchlib/switch.cpp" "src/switchlib/CMakeFiles/speedlight_switch.dir/switch.cpp.o" "gcc" "src/switchlib/CMakeFiles/speedlight_switch.dir/switch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/speedlight_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/snapshot/CMakeFiles/speedlight_snapshot.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/speedlight_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/speedlight_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

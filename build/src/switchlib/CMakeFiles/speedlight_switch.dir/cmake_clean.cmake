@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedlight_switch.dir/switch.cpp.o"
+  "CMakeFiles/speedlight_switch.dir/switch.cpp.o.d"
+  "libspeedlight_switch.a"
+  "libspeedlight_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedlight_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedlight_workload.dir/apps.cpp.o"
+  "CMakeFiles/speedlight_workload.dir/apps.cpp.o.d"
+  "CMakeFiles/speedlight_workload.dir/flow.cpp.o"
+  "CMakeFiles/speedlight_workload.dir/flow.cpp.o.d"
+  "libspeedlight_workload.a"
+  "libspeedlight_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedlight_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libspeedlight_workload.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/int_faults_test.dir/int_faults_test.cpp.o"
+  "CMakeFiles/int_faults_test.dir/int_faults_test.cpp.o.d"
+  "int_faults_test"
+  "int_faults_test.pdb"
+  "int_faults_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/int_faults_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

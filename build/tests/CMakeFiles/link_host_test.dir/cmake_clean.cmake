@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/link_host_test.dir/link_host_test.cpp.o"
+  "CMakeFiles/link_host_test.dir/link_host_test.cpp.o.d"
+  "link_host_test"
+  "link_host_test.pdb"
+  "link_host_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/link_host_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polling_test.dir/polling_test.cpp.o"
+  "CMakeFiles/polling_test.dir/polling_test.cpp.o.d"
+  "polling_test"
+  "polling_test.pdb"
+  "polling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

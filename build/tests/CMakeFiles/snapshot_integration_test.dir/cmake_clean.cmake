@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapshot_integration_test.dir/snapshot_integration_test.cpp.o"
+  "CMakeFiles/snapshot_integration_test.dir/snapshot_integration_test.cpp.o.d"
+  "snapshot_integration_test"
+  "snapshot_integration_test.pdb"
+  "snapshot_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapshot_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

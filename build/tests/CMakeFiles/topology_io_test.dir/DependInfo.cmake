@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/topology_io_test.cpp" "tests/CMakeFiles/topology_io_test.dir/topology_io_test.cpp.o" "gcc" "tests/CMakeFiles/topology_io_test.dir/topology_io_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/speedlight_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/switchlib/CMakeFiles/speedlight_switch.dir/DependInfo.cmake"
+  "/root/repo/build/src/polling/CMakeFiles/speedlight_polling.dir/DependInfo.cmake"
+  "/root/repo/build/src/snapshot/CMakeFiles/speedlight_snapshot.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/speedlight_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/speedlight_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/speedlight_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/resources/CMakeFiles/speedlight_resources.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/speedlight_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/ids_test[1]_include.cmake")
+include("/root/repo/build/tests/wire_test[1]_include.cmake")
+include("/root/repo/build/tests/dataplane_test[1]_include.cmake")
+include("/root/repo/build/tests/notification_test[1]_include.cmake")
+include("/root/repo/build/tests/control_plane_test[1]_include.cmake")
+include("/root/repo/build/tests/link_host_test[1]_include.cmake")
+include("/root/repo/build/tests/topology_test[1]_include.cmake")
+include("/root/repo/build/tests/switch_test[1]_include.cmake")
+include("/root/repo/build/tests/snapshot_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/observer_test[1]_include.cmake")
+include("/root/repo/build/tests/polling_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/resources_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/sampling_test[1]_include.cmake")
+include("/root/repo/build/tests/audit_test[1]_include.cmake")
+include("/root/repo/build/tests/topology_io_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_histogram_test[1]_include.cmake")
+include("/root/repo/build/tests/int_faults_test[1]_include.cmake")
+include("/root/repo/build/tests/attachment_test[1]_include.cmake")
+include("/root/repo/build/tests/ecn_test[1]_include.cmake")
+include("/root/repo/build/tests/periodic_test[1]_include.cmake")
+include("/root/repo/build/tests/scale_test[1]_include.cmake")
