@@ -51,6 +51,7 @@ Result run(bool probe_on_initiate, bool probe_on_reinitiate) {
 }  // namespace
 
 int main() {
+  bench::JsonReport report("ablation_liveness");
   bench::banner(
       "Ablation — channel-state liveness without traffic (Section 6)",
       "\"if there is no such traffic on which to piggyback, the snapshot "
@@ -90,5 +91,5 @@ int main() {
                "without probes, traffic-less channel-state snapshots stall "
                "until devices are excluded (the failure mode Section 6 "
                "warns about)");
-  return bench::finish();
+  return bench::finish(report);
 }

@@ -58,6 +58,7 @@ double max_rate(snap::NotificationMode mode, int ports) {
 }  // namespace
 
 int main() {
+  bench::JsonReport report("ablation_notification_transport");
   bench::banner(
       "Ablation — notification transport: raw socket vs digest stream",
       "Section 7.2: raw sockets were chosen because they \"offered "
@@ -90,5 +91,5 @@ int main() {
                  "raw socket sustains a higher snapshot rate at " +
                      std::to_string(ports[i]) + " ports");
   }
-  return bench::finish();
+  return bench::finish(report);
 }

@@ -53,6 +53,7 @@ Result run(std::uint32_t modulus) {
 }  // namespace
 
 int main() {
+  bench::JsonReport report("ablation_wraparound");
   bench::banner(
       "Ablation — wire snapshot-id space vs snapshot cadence",
       "Section 5.3: rollover trades register memory for the out-of-band "
@@ -88,5 +89,5 @@ int main() {
   }
   bench::check(results[0].slot_kb_per_unit < results[3].slot_kb_per_unit,
                "smaller id spaces shrink the per-unit register arrays");
-  return bench::finish();
+  return bench::finish(report);
 }

@@ -1,14 +1,26 @@
 // Shared helpers for the figure/table reproduction harnesses: uniform
-// headers and PASS/FAIL shape checks against the paper's qualitative
-// claims.
+// headers, PASS/FAIL shape checks against the paper's qualitative claims,
+// and machine-readable JSON result emission.
+//
+// Every bench writes BENCH_<name>.json (schema "speedlight-bench-v1", see
+// DESIGN.md "Performance methodology") so runs can be diffed across PRs:
+//   { "bench": ..., "schema": ..., "wall_time_s": ...,
+//     "checks_passed": N, "checks_failed": M, "metrics": {...} }
 #pragma once
 
+#include <chrono>
+#include <cstdint>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace speedlight::bench {
 
 inline int g_checks_failed = 0;
+inline int g_checks_passed = 0;
 
 inline void banner(const std::string& title, const std::string& paper_claim) {
   std::cout << "==============================================================\n"
@@ -19,10 +31,79 @@ inline void banner(const std::string& title, const std::string& paper_claim) {
 
 inline void check(bool ok, const std::string& what) {
   std::cout << (ok ? "[PASS] " : "[FAIL] ") << what << "\n";
-  if (!ok) ++g_checks_failed;
+  if (ok) {
+    ++g_checks_passed;
+  } else {
+    ++g_checks_failed;
+  }
 }
 
-inline int finish() {
+/// Accumulates headline metrics for one bench run and renders the JSON
+/// result file. Construct it first thing in main() so wall_time_s covers
+/// the whole run.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name)
+      : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {}
+
+  void metric(const std::string& key, double value) {
+    std::ostringstream os;
+    os.precision(12);
+    os << value;
+    fields_.emplace_back(key, os.str());
+  }
+
+  void metric(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, "\"" + escaped(value) + "\"");
+  }
+
+  [[nodiscard]] double elapsed_seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Write BENCH_<name>.json into the working directory.
+  void write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    out.precision(12);
+    out << "{\n"
+        << "  \"bench\": \"" << escaped(name_) << "\",\n"
+        << "  \"schema\": \"speedlight-bench-v1\",\n"
+        << "  \"wall_time_s\": " << elapsed_seconds() << ",\n"
+        << "  \"checks_passed\": " << g_checks_passed << ",\n"
+        << "  \"checks_failed\": " << g_checks_failed << ",\n"
+        << "  \"metrics\": {";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      out << (i == 0 ? "\n" : ",\n") << "    \"" << escaped(fields_[i].first)
+          << "\": " << fields_[i].second;
+    }
+    out << (fields_.empty() ? "}\n" : "\n  }\n") << "}\n";
+    std::cout << "Wrote " << path << "\n";
+  }
+
+ private:
+  static std::string escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Print the verdict, emit the JSON result file, and return the exit code.
+inline int finish(JsonReport& report) {
+  report.write();
   if (g_checks_failed == 0) {
     std::cout << "\nAll shape checks passed.\n";
     return 0;

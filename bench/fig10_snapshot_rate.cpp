@@ -55,6 +55,7 @@ double max_rate(int ports) {
 }  // namespace
 
 int main() {
+  bench::JsonReport report("fig10_snapshot_rate");
   bench::banner(
       "Figure 10 — max sustained snapshot rate vs ports/router",
       ">70 snapshots/s at 64 ports; rate falls roughly linearly in port "
@@ -87,5 +88,9 @@ int main() {
                      std::to_string(ratio) + ")");
   }
 
-  return bench::finish();
+  for (int i = 0; i < 5; ++i) {
+    report.metric("max_rate_hz_" + std::to_string(ports[i]) + "_ports",
+                  rates[i]);
+  }
+  return bench::finish(report);
 }

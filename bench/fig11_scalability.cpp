@@ -79,6 +79,7 @@ double full_sim_sync_us(std::size_t routers, std::size_t snapshots) {
 }
 
 int main() {
+  bench::JsonReport report("fig11_scalability");
   bench::banner(
       "Figure 11 — average synchronization vs number of routers",
       "64-port routers, no channel state: sync grows slowly with network "
@@ -116,5 +117,5 @@ int main() {
   bench::check(simulated > 0.5 * model && simulated < 2.0 * model,
                "full-simulation sync agrees with the sampled model within 2x");
 
-  return bench::finish();
+  return bench::finish(report);
 }

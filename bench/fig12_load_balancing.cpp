@@ -143,6 +143,7 @@ Curves run_config(Workload w, sw::LoadBalancerKind lb, std::size_t samples,
 }  // namespace
 
 int main() {
+  bench::JsonReport report("fig12_load_balancing");
   bench::banner(
       "Figure 12 — stddev of uplink load balancing (ECMP vs flowlet; "
       "snapshots vs polling)",
@@ -227,5 +228,5 @@ int main() {
   bench::check(worst_error > 0.10,
                "polling's view diverges from the consistent view (>10%)");
 
-  return bench::finish();
+  return bench::finish(report);
 }

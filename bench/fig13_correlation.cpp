@@ -100,6 +100,7 @@ void print_matrix(const Analysis& a, const Series& s, const char* title) {
 }  // namespace
 
 int main() {
+  bench::JsonReport report("fig13_correlation");
   bench::banner(
       "Figure 13 — pairwise correlation of egress port rates (GraphX)",
       "snapshots find ~43% more significant pairs than polling and recover "
@@ -196,5 +197,5 @@ int main() {
                    poll_a.min_uplink_pair_rho < snap_a.min_uplink_pair_rho,
                "polling misses or weakens the ECMP uplink correlations");
 
-  return bench::finish();
+  return bench::finish(report);
 }

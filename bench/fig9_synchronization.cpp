@@ -68,6 +68,7 @@ stats::Cdf polling_sync(std::size_t count) {
 }  // namespace
 
 int main() {
+  bench::JsonReport report("fig9_synchronization");
   bench::banner(
       "Figure 9 — synchronization of network-wide measurements (CDF)",
       "Speedlight median ~6.4us (max 22us w/o CS, 27us w/ CS); polling "
@@ -111,5 +112,10 @@ int main() {
   bench::check(m_poll_ms * 1000.0 / m_nocs_us > 50.0,
                "snapshots are orders of magnitude tighter than polling");
 
-  return speedlight::bench::finish();
+  report.metric("median_sync_nocs_us", m_nocs_us);
+  report.metric("median_sync_cs_us", m_cs_us);
+  report.metric("max_sync_nocs_us", no_cs.max() / 1e3);
+  report.metric("max_sync_cs_us", with_cs.max() / 1e3);
+  report.metric("median_polling_sync_ms", m_poll_ms);
+  return speedlight::bench::finish(report);
 }

@@ -1,0 +1,308 @@
+// Event-core performance harness: the new slab/4-ary-heap EventQueue versus
+// the seed implementation (std::priority_queue + unordered_map callbacks,
+// reproduced verbatim below as LegacyEventQueue), on the workloads that
+// dominate every figure reproduction:
+//   1. mixed    — steady-state schedule/cancel/pop lifecycles at ~10k
+//                 pending events: execute, schedule the next arrival, and
+//                 re-arm a protocol timeout (a loaded simulation run);
+//   2. rearm    — a periodic timer that is cancelled and re-armed over and
+//                 over (the snapshot re-initiation pattern that leaked
+//                 stale heap entries in the seed queue);
+//   3. simulator — end-to-end Simulator::after() self-rescheduling timers,
+//                 exercising InplaceCallback and the stats counters.
+// Emits BENCH_perf_event_core.json (events/sec, wall time, peak depth) per
+// the schema in DESIGN.md "Performance methodology".
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <iostream>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace speedlight;
+
+// ---------------------------------------------------------------------------
+// The seed event queue, kept as the measured baseline.
+// ---------------------------------------------------------------------------
+class LegacyEventQueue {
+ public:
+  using Callback = std::function<void()>;
+  using EventId = std::uint64_t;
+
+  EventId schedule(sim::SimTime when, Callback fn) {
+    const EventId id = next_id_++;
+    heap_.push(Entry{when, id});
+    callbacks_.emplace(id, std::move(fn));
+    ++live_count_;
+    return id;
+  }
+
+  bool cancel(EventId id) {
+    const auto it = callbacks_.find(id);
+    if (it == callbacks_.end()) return false;
+    callbacks_.erase(it);
+    --live_count_;
+    return true;
+  }
+
+  [[nodiscard]] bool empty() const { return live_count_ == 0; }
+  [[nodiscard]] std::size_t size() const { return live_count_; }
+  [[nodiscard]] std::size_t heap_entries() const { return heap_.size(); }
+
+  struct Popped {
+    sim::SimTime time;
+    Callback fn;
+  };
+  Popped pop() {
+    drop_cancelled();
+    const Entry top = heap_.top();
+    heap_.pop();
+    auto it = callbacks_.find(top.id);
+    Popped popped{top.time, std::move(it->second)};
+    callbacks_.erase(it);
+    --live_count_;
+    return popped;
+  }
+
+ private:
+  struct Entry {
+    sim::SimTime time;
+    EventId id;
+    bool operator>(const Entry& other) const {
+      if (time != other.time) return time > other.time;
+      return id > other.id;
+    }
+  };
+
+  void drop_cancelled() {
+    while (!heap_.empty() &&
+           callbacks_.find(heap_.top().id) == callbacks_.end()) {
+      heap_.pop();
+    }
+  }
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_map<EventId, Callback> callbacks_;
+  EventId next_id_ = 1;
+  std::size_t live_count_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// A realistically sized capture: the data-path lambdas carry `this`, a
+/// packet handle, and a timestamp or port (roughly 24-40 bytes). This is
+/// beyond std::function's inline buffer, inside InplaceCallback's.
+struct Payload {
+  std::uint64_t* counter;
+  std::uint64_t pad[4];
+  void operator()() const { *counter += pad[0]; }
+};
+
+struct MixedResult {
+  double wall_s = 0.0;
+  double events_per_sec = 0.0;
+  std::uint64_t executed = 0;
+  std::size_t peak_depth = 0;
+};
+
+/// The event lifecycle mix a loaded simulation run executes: pop + execute
+/// one event, schedule its replacement (the next hop / next arrival), and
+/// re-arm one protocol timeout (schedule a far-future event, cancel the
+/// previously armed one -- most timeouts never fire). Both implementations
+/// replay the identical deterministic sequence; "events" counts completed
+/// lifecycles (an executed event, or a timeout scheduled+cancelled).
+template <typename Queue>
+MixedResult run_mixed(std::size_t depth, std::size_t iters) {
+  Queue q;
+  std::uint64_t sink = 0;
+  std::uint64_t executed = 0;
+  sim::SimTime now = 0;
+  std::uint64_t x = 88172645463325252ull;  // xorshift64 state
+  constexpr std::size_t kTimeoutRing = 512;
+  std::vector<std::uint64_t> timeouts(kTimeoutRing);  // EventId is uint64
+
+  MixedResult res;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < depth; ++i) {
+    q.schedule(static_cast<sim::SimTime>(i), Payload{&sink, {1, 0, 0, 0}});
+  }
+  for (std::size_t i = 0; i < kTimeoutRing; ++i) {
+    timeouts[i] = q.schedule(1'000'000'000 + static_cast<sim::SimTime>(i),
+                             Payload{&sink, {1, 0, 0, 0}});
+  }
+  for (std::size_t i = 0; i < iters; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    auto popped = q.pop();
+    now = popped.time;
+    popped.fn();
+    ++executed;
+    q.schedule(now + 1 + static_cast<sim::SimTime>(x % 8192),
+               Payload{&sink, {1, 0, 0, 0}});
+    const std::size_t slot = i & (kTimeoutRing - 1);
+    q.cancel(timeouts[slot]);
+    timeouts[slot] = q.schedule(now + 1'000'000'000, Payload{&sink, {1, 0, 0, 0}});
+    if ((i & 1023) == 0 && q.size() > res.peak_depth) res.peak_depth = q.size();
+  }
+  // Drain so both implementations pay their full cleanup cost.
+  while (!q.empty()) {
+    auto popped = q.pop();
+    popped.fn();
+    ++executed;
+  }
+  res.wall_s = seconds_since(t0);
+  res.events_per_sec = static_cast<double>(2 * iters) / res.wall_s;
+  res.executed = executed + sink * 0;  // keep `sink` alive
+  return res;
+}
+
+/// The snapshot re-arm pattern: one shot is pending at any time; each tick
+/// cancels it and schedules a replacement. The seed queue only trimmed
+/// stale entries at the top of the heap, so its heap grew by one entry per
+/// re-arm, without bound.
+template <typename Queue>
+std::pair<double, std::size_t> run_rearm(std::size_t rearms) {
+  Queue q;
+  std::uint64_t sink = 0;
+  std::size_t peak_heap = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  auto pending = q.schedule(1'000'000, Payload{&sink, {1, 0, 0, 0}});
+  for (std::size_t i = 0; i < rearms; ++i) {
+    const auto fresh = q.schedule(
+        1'000'000 + static_cast<sim::SimTime>(i), Payload{&sink, {1, 0, 0, 0}});
+    q.cancel(pending);
+    pending = fresh;
+    if (q.heap_entries() > peak_heap) peak_heap = q.heap_entries();
+  }
+  return {seconds_since(t0), peak_heap};
+}
+
+}  // namespace
+
+int main() {
+  bench::JsonReport report("perf_event_core");
+  bench::banner(
+      "Event-core performance: slab/4-ary heap vs priority_queue+hash-map",
+      "not a paper figure — the engineering floor under every figure "
+      "reproduction (millions of packet events per evaluation run)");
+
+  // --- Workload 1: mixed schedule/cancel/pop lifecycles -------------------
+  constexpr std::size_t kIters = 2'000'000;
+  constexpr std::size_t kDepth = 10'000;
+
+  const MixedResult legacy = run_mixed<LegacyEventQueue>(kDepth, kIters);
+  const MixedResult fresh = run_mixed<sim::EventQueue>(kDepth, kIters);
+  const double speedup = fresh.events_per_sec / legacy.events_per_sec;
+
+  std::cout << "\nmixed workload (" << kIters << " lifecycles, depth "
+            << kDepth << "):\n"
+            << "  legacy: " << legacy.events_per_sec / 1e6 << " M events/s ("
+            << legacy.wall_s << " s, peak depth " << legacy.peak_depth
+            << ")\n"
+            << "  new:    " << fresh.events_per_sec / 1e6 << " M events/s ("
+            << fresh.wall_s << " s, peak depth " << fresh.peak_depth << ")\n"
+            << "  speedup: " << speedup << "x\n";
+
+  bench::check(legacy.executed == fresh.executed,
+               "identical events executed by both implementations");
+  bench::check(legacy.peak_depth == fresh.peak_depth,
+               "identical peak queue depth (same pending-set evolution)");
+  bench::check(speedup >= 2.0,
+               "new queue is >= 2x the legacy queue on the mixed workload");
+
+  // --- Workload 2: cancel/re-arm churn (the stale-entry leak) -------------
+  constexpr std::size_t kRearms = 1'000'000;
+  const auto [legacy_rearm_s, legacy_peak_heap] =
+      run_rearm<LegacyEventQueue>(kRearms);
+  const auto [fresh_rearm_s, fresh_peak_heap] =
+      run_rearm<sim::EventQueue>(kRearms);
+
+  std::cout << "\nre-arm churn (" << kRearms << " cancel+reschedule):\n"
+            << "  legacy: " << legacy_rearm_s << " s, peak heap "
+            << legacy_peak_heap << " entries (1 live event)\n"
+            << "  new:    " << fresh_rearm_s << " s, peak heap "
+            << fresh_peak_heap << " entries\n";
+
+  bench::check(legacy_peak_heap >= kRearms / 2,
+               "seed queue leaks stale heap entries under re-arm churn");
+  bench::check(fresh_peak_heap <= 4,
+               "new queue heap stays O(live) under re-arm churn");
+
+  // --- Workload 3: Simulator end-to-end -----------------------------------
+  constexpr std::uint64_t kSimEvents = 2'000'000;
+  constexpr int kTimers = 1024;
+  sim::Simulator s;
+  std::uint64_t fired = 0;
+  std::size_t peak_pending = 0;
+  // A visible clamped schedule, so silent time-travel shows up in stats.
+  for (int i = 0; i < 16; ++i) s.at(-1, [] {});
+  struct Timer {
+    sim::Simulator* s;
+    std::uint64_t* fired;
+    std::uint64_t state;
+    void operator()() {
+      ++*fired;
+      if (*fired >= kSimEvents) return;
+      state ^= state << 13;
+      state ^= state >> 7;
+      state ^= state << 17;
+      s->after(1 + static_cast<sim::Duration>(state % 1024), Timer{*this});
+    }
+  };
+  static_assert(sim::InplaceCallback::fits_inline<Timer>);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kTimers; ++i) {
+    s.after(i + 1, Timer{&s, &fired, 0x9E3779B97F4A7C15ull + i});
+  }
+  while (s.step()) {
+    if (s.pending() > peak_pending) peak_pending = s.pending();
+  }
+  const double sim_wall = seconds_since(t0);
+  const double sim_rate = static_cast<double>(s.stats().executed) / sim_wall;
+
+  std::cout << "\nsimulator self-rescheduling timers:\n"
+            << "  " << s.stats().executed << " events in " << sim_wall
+            << " s = " << sim_rate / 1e6 << " M events/s (peak pending "
+            << peak_pending << ")\n"
+            << "  stats: scheduled " << s.stats().scheduled << ", executed "
+            << s.stats().executed << ", cancelled " << s.stats().cancelled
+            << ", clamped " << s.stats().clamped_schedules << "\n";
+
+  bench::check(s.stats().clamped_schedules == 16,
+               "clamped past-time schedules are counted and visible");
+  bench::check(s.stats().executed >= kSimEvents,
+               "simulator executed the full event budget");
+
+  report.metric("mixed_lifecycles", static_cast<double>(2 * kIters));
+  report.metric("mixed_events_per_sec_legacy", legacy.events_per_sec);
+  report.metric("mixed_events_per_sec_new", fresh.events_per_sec);
+  report.metric("mixed_speedup", speedup);
+  report.metric("mixed_wall_s_legacy", legacy.wall_s);
+  report.metric("mixed_wall_s_new", fresh.wall_s);
+  report.metric("peak_queue_depth", static_cast<double>(fresh.peak_depth));
+  report.metric("rearm_peak_heap_entries_legacy",
+                static_cast<double>(legacy_peak_heap));
+  report.metric("rearm_peak_heap_entries_new",
+                static_cast<double>(fresh_peak_heap));
+  report.metric("sim_events_per_sec", sim_rate);
+  report.metric("sim_peak_pending", static_cast<double>(peak_pending));
+  report.metric("sim_executed", static_cast<double>(s.stats().executed));
+  report.metric("sim_clamped_schedules",
+                static_cast<double>(s.stats().clamped_schedules));
+  report.metric("sim_cancelled", static_cast<double>(s.stats().cancelled));
+  return bench::finish(report);
+}

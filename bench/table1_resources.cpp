@@ -11,6 +11,7 @@
 int main() {
   using namespace speedlight;
   using res::Variant;
+  bench::JsonReport report("table1_resources");
 
   bench::banner(
       "Table 1 — Speedlight data plane resource usage (Tofino)",
@@ -60,5 +61,5 @@ int main() {
                                " stays under 25% of any dedicated resource");
   }
 
-  return bench::finish();
+  return bench::finish(report);
 }

@@ -29,7 +29,7 @@ class Host final : public Node {
   /// Mark all future sends for In-band Network Telemetry collection.
   void set_int_marking(bool on) { int_marking_ = on; }
 
-  void receive(Packet pkt, PortId port) override;
+  void receive(PooledPacket pkt, PortId port) override;
 
   [[nodiscard]] bool is_host() const override { return true; }
 

@@ -5,15 +5,15 @@
 
 namespace speedlight::net {
 
-void Link::send(Packet pkt) {
+void Link::send(PooledPacket pkt) {
   const sim::SimTime start =
       busy_until_ > sim_.now() ? busy_until_ : sim_.now();
-  const sim::SimTime departed = start + serialization_delay(pkt.size_bytes);
+  const sim::SimTime departed = start + serialization_delay(pkt->size_bytes);
   busy_until_ = departed;
   deliver(std::move(pkt), departed);
 }
 
-void Link::deliver(Packet pkt, sim::SimTime departed) {
+void Link::deliver(PooledPacket pkt, sim::SimTime departed) {
   assert(dst_ != nullptr && "link not connected");
 
   bool dropped = false;
@@ -25,17 +25,20 @@ void Link::deliver(Packet pkt, sim::SimTime departed) {
   }
   if (dropped) {
     ++packets_dropped_;
-    return;
+    return;  // The handle recycles the packet.
   }
 
   ++packets_sent_;
   const sim::SimTime arrives = departed + propagation_;
-  if (on_depart_) on_depart_(pkt, departed);
+  if (on_depart_) on_depart_(*pkt, departed);
 
-  sim_.at(arrives, [this, pkt = std::move(pkt), arrives]() mutable {
-    if (on_arrive_) on_arrive_(pkt, arrives);
+  auto arrival = [this, pkt = std::move(pkt), arrives]() mutable {
+    if (on_arrive_) on_arrive_(*pkt, arrives);
     dst_->receive(std::move(pkt), dst_port_);
-  });
+  };
+  static_assert(sim::InplaceCallback::fits_inline<decltype(arrival)>,
+                "propagation event must not heap-allocate");
+  sim_.at(arrives, std::move(arrival));
 }
 
 }  // namespace speedlight::net

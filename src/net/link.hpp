@@ -42,13 +42,13 @@ class Link {
 
   /// Transmit a packet: waits for the transmitter to be idle, serializes at
   /// the link rate, then propagates. May drop (loss model).
-  void send(Packet pkt);
+  void send(PooledPacket pkt);
 
   /// Hand over a packet whose serialization the sender already paced (a
   /// switch egress port drains its queue at the link rate and calls this at
   /// serialization-complete time). Applies only the loss model, taps, and
   /// propagation delay; FIFO as long as callers pass non-decreasing times.
-  void deliver(Packet pkt, sim::SimTime departed);
+  void deliver(PooledPacket pkt, sim::SimTime departed);
 
   /// Random per-packet loss probability in [0, 1].
   void set_loss_probability(double p) { loss_probability_ = p; }

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "net/packet.hpp"
+#include "net/packet_pool.hpp"
 #include "net/types.hpp"
 
 namespace speedlight::net {
@@ -20,7 +21,8 @@ class Node {
   [[nodiscard]] const std::string& name() const { return name_; }
 
   /// A packet has finished propagating over a link attached to `port`.
-  virtual void receive(Packet pkt, PortId port) = 0;
+  /// The handle owns a pool slot; dropping it recycles the packet.
+  virtual void receive(PooledPacket pkt, PortId port) = 0;
 
   /// Hosts never participate in the snapshot protocol.
   [[nodiscard]] virtual bool is_host() const = 0;

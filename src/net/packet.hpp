@@ -82,6 +82,25 @@ struct Packet {
   }
   /// Packets counted by the measured counters: real traffic only.
   [[nodiscard]] bool counts_for_metrics() const { return is_data(); }
+
+  /// Restore default-constructed state while keeping the int_stack's heap
+  /// capacity, so pooled packets (net/packet_pool.hpp) stop reallocating
+  /// telemetry storage once the pool is warm.
+  void reset() {
+    id = 0;
+    src_host = kInvalidNode;
+    dst_host = kInvalidNode;
+    flow = 0;
+    size_bytes = 0;
+    ttl = 64;
+    created_at = 0;
+    snap = SnapshotHeader{};
+    int_marked = false;
+    int_stack.clear();
+    ecn_ce = false;
+    meta_ingress_port = kInvalidPort;
+    audit_virtual_sid = 0;
+  }
 };
 
 }  // namespace speedlight::net

@@ -1,0 +1,26 @@
+#include "net/packet_pool.hpp"
+
+namespace speedlight::net {
+
+PacketPool& PacketPool::instance() {
+  static thread_local PacketPool pool;
+  return pool;
+}
+
+Packet* PacketPool::acquire() {
+  if (!free_.empty()) {
+    Packet* pkt = free_.back().release();
+    free_.pop_back();
+    ++recycled_;
+    pkt->reset();
+    return pkt;
+  }
+  ++allocated_;
+  return new Packet();
+}
+
+void PacketPool::release(Packet* pkt) noexcept {
+  free_.emplace_back(pkt);
+}
+
+}  // namespace speedlight::net

@@ -1,48 +1,117 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
 namespace speedlight::sim {
 
+std::uint32_t EventQueue::acquire_slot() {
+  if (!free_.empty()) {
+    const std::uint32_t idx = free_.back();
+    free_.pop_back();
+    return idx;
+  }
+  assert(slots_.size() < 0xffffffffu && "event slab exhausted");
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void EventQueue::release_slot(std::uint32_t idx) {
+  Slot& s = slots_[idx];
+  s.fn.reset();
+  ++s.generation;
+  if (s.generation == 0) ++s.generation;  // Skip 0: ids stay non-zero.
+  free_.push_back(idx);
+}
+
 EventId EventQueue::schedule(SimTime when, Callback fn) {
   assert(fn && "cannot schedule an empty callback");
-  const EventId id = next_id_++;
-  heap_.push(Entry{when, id});
-  callbacks_.emplace(id, std::move(fn));
+  const std::uint32_t idx = acquire_slot();
+  Slot& s = slots_[idx];
+  s.fn = std::move(fn);
+  heap_.push_back(HeapEntry{when, next_seq_++, idx, s.generation});
+  sift_up(heap_.size() - 1);
   ++live_count_;
-  return id;
+  return (static_cast<EventId>(s.generation) << 32) | idx;
 }
 
 bool EventQueue::cancel(EventId id) {
-  const auto it = callbacks_.find(id);
-  if (it == callbacks_.end()) return false;
-  callbacks_.erase(it);
+  const auto idx = static_cast<std::uint32_t>(id & 0xffffffffu);
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  if (idx >= slots_.size() || slots_[idx].generation != gen) return false;
+  release_slot(idx);  // O(1); the heap entry goes stale.
   --live_count_;
+  // Keep stale entries at no more than half the heap: compaction is O(n)
+  // but amortizes to O(1) per cancel, and bounds the heap at 2x live.
+  if (heap_.size() - live_count_ > heap_.size() / 2) compact();
   return true;
 }
 
-void EventQueue::drop_cancelled() const {
-  while (!heap_.empty() &&
-         callbacks_.find(heap_.top().id) == callbacks_.end()) {
-    heap_.pop();
+void EventQueue::sift_up(std::size_t i) const {
+  HeapEntry e = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kArity;
+    if (!e.before(heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
   }
+  heap_[i] = e;
+}
+
+void EventQueue::sift_down(std::size_t i) const {
+  const std::size_t n = heap_.size();
+  HeapEntry e = heap_[i];
+  for (;;) {
+    const std::size_t first = kArity * i + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = std::min(first + kArity, n);
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (heap_[c].before(heap_[best])) best = c;
+    }
+    if (!heap_[best].before(e)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = e;
+}
+
+void EventQueue::remove_top() const {
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+}
+
+void EventQueue::purge_stale_top() const {
+  while (!heap_.empty() && stale(heap_.front())) remove_top();
+}
+
+void EventQueue::compact() {
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < heap_.size(); ++r) {
+    if (!stale(heap_[r])) heap_[w++] = heap_[r];
+  }
+  heap_.resize(w);
+  if (w > 1) {
+    for (std::size_t i = (w - 2) / kArity + 1; i-- > 0;) sift_down(i);
+  }
+  ++compactions_;
 }
 
 SimTime EventQueue::next_time() const {
-  drop_cancelled();
+  purge_stale_top();
   assert(!heap_.empty());
-  return heap_.top().time;
+  return heap_.front().time;
 }
 
 EventQueue::Popped EventQueue::pop() {
-  drop_cancelled();
+  purge_stale_top();
   assert(!heap_.empty());
-  const Entry top = heap_.top();
-  heap_.pop();
-  auto it = callbacks_.find(top.id);
-  Popped popped{top.time, std::move(it->second)};
-  callbacks_.erase(it);
+  const HeapEntry top = heap_.front();
+  Popped popped{top.time, std::move(slots_[top.slot].fn)};
+  release_slot(top.slot);
+  remove_top();
   --live_count_;
   return popped;
 }

@@ -1,0 +1,122 @@
+// A small-buffer-optimized, move-only callable for the event hot path.
+//
+// std::function heap-allocates any capture list larger than (typically) two
+// pointers and requires copyability; every packet hop paid that allocation.
+// InplaceCallback stores up to kInlineBytes of capture state inline in the
+// event slot itself, supports move-only captures (e.g. a PooledPacket
+// handle), and falls back to a single heap allocation only for oversized
+// callables — hot call sites static_assert fits_inline so the fallback can
+// never silently reappear there.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace speedlight::sim {
+
+class InplaceCallback {
+ public:
+  /// Inline capture budget. Sized so `[this, PooledPacket, SimTime, ...]`
+  /// hot-path lambdas fit with room to spare, while an event slot stays
+  /// within a cache line pair.
+  static constexpr std::size_t kInlineBytes = 64;
+  static constexpr std::size_t kInlineAlign = alignof(std::max_align_t);
+
+  /// True when `F` is stored inline (no heap allocation on construction).
+  template <typename F>
+  static constexpr bool fits_inline =
+      sizeof(std::decay_t<F>) <= kInlineBytes &&
+      alignof(std::decay_t<F>) <= kInlineAlign &&
+      std::is_nothrow_move_constructible_v<std::decay_t<F>>;
+
+  InplaceCallback() noexcept = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::decay_t<F>, InplaceCallback> &&
+             std::is_invocable_v<std::decay_t<F>&>)
+  InplaceCallback(F&& fn) {  // NOLINT(google-explicit-constructor)
+    using D = std::decay_t<F>;
+    if constexpr (fits_inline<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(fn));
+      ops_ = &kInlineOps<D>;
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(fn)));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  InplaceCallback(InplaceCallback&& other) noexcept { steal(other); }
+
+  InplaceCallback& operator=(InplaceCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(other);
+    }
+    return *this;
+  }
+
+  InplaceCallback(const InplaceCallback&) = delete;
+  InplaceCallback& operator=(const InplaceCallback&) = delete;
+
+  ~InplaceCallback() { reset(); }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return ops_ != nullptr;
+  }
+
+  /// Drop the stored callable (used by the event queue on cancellation).
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    /// Move-construct the callable into `dst` from `src`, destroying `src`.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* storage) noexcept;
+  };
+
+  template <typename D>
+  static D* as(void* p) noexcept {
+    return std::launder(reinterpret_cast<D*>(p));
+  }
+
+  template <typename D>
+  static constexpr Ops kInlineOps{
+      [](void* p) { (*as<D>(p))(); },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) D(std::move(*as<D>(src)));
+        as<D>(src)->~D();
+      },
+      [](void* p) noexcept { as<D>(p)->~D(); },
+  };
+
+  // The stored D* is trivially destructible; only the pointee needs care.
+  template <typename D>
+  static constexpr Ops kHeapOps{
+      [](void* p) { (**as<D*>(p))(); },
+      [](void* dst, void* src) noexcept { ::new (dst) D*(*as<D*>(src)); },
+      [](void* p) noexcept { delete *as<D*>(p); },
+  };
+
+  void steal(InplaceCallback& other) noexcept {
+    if (other.ops_ != nullptr) {
+      other.ops_->relocate(buf_, other.buf_);
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(kInlineAlign) std::byte buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace speedlight::sim

@@ -10,6 +10,7 @@ std::size_t Simulator::run_until(SimTime until) {
     fn();
     ++executed;
   }
+  stats_.executed += executed;
   // Even when nothing remains to execute, time advances to the horizon so
   // back-to-back run_until() calls behave like one continuous run.
   if (until != std::numeric_limits<SimTime>::max() && now_ < until) {
@@ -23,6 +24,7 @@ bool Simulator::step() {
   auto [time, fn] = queue_.pop();
   now_ = time;
   fn();
+  ++stats_.executed;
   return true;
 }
 

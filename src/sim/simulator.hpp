@@ -11,6 +11,15 @@
 
 namespace speedlight::sim {
 
+/// Event accounting, exposed so harnesses can surface silent behaviours
+/// (e.g. past-time schedules being clamped to now) in their output.
+struct SimulatorStats {
+  std::uint64_t scheduled = 0;          ///< at()/after() calls.
+  std::uint64_t executed = 0;           ///< Callbacks run.
+  std::uint64_t cancelled = 0;          ///< Successful cancel() calls.
+  std::uint64_t clamped_schedules = 0;  ///< Past timestamps clamped to now.
+};
+
 class Simulator {
  public:
   explicit Simulator(std::uint64_t seed = 1) : rng_(seed) {}
@@ -23,7 +32,12 @@ class Simulator {
 
   /// Schedule `fn` at absolute time `when` (clamped to now if in the past).
   EventId at(SimTime when, EventQueue::Callback fn) {
-    return queue_.schedule(when < now_ ? now_ : when, std::move(fn));
+    ++stats_.scheduled;
+    if (when < now_) {
+      ++stats_.clamped_schedules;
+      when = now_;
+    }
+    return queue_.schedule(when, std::move(fn));
   }
 
   /// Schedule `fn` after a relative delay (negative delays clamp to now).
@@ -32,7 +46,11 @@ class Simulator {
   }
 
   /// Cancel a pending event.
-  bool cancel(EventId id) { return queue_.cancel(id); }
+  bool cancel(EventId id) {
+    const bool cancelled = queue_.cancel(id);
+    if (cancelled) ++stats_.cancelled;
+    return cancelled;
+  }
 
   /// Run until the queue drains or virtual time would exceed `until`.
   /// Returns the number of events executed.
@@ -44,6 +62,12 @@ class Simulator {
   /// Pending events.
   [[nodiscard]] std::size_t pending() const { return queue_.size(); }
 
+  /// Lifetime event accounting (scheduled/executed/cancelled/clamped).
+  [[nodiscard]] const SimulatorStats& stats() const { return stats_; }
+
+  /// Read-only queue access (heap/slab introspection for benches).
+  [[nodiscard]] const EventQueue& queue() const { return queue_; }
+
   /// Master RNG; components should fork() their own streams.
   Rng& rng() { return rng_; }
 
@@ -51,6 +75,7 @@ class Simulator {
   EventQueue queue_;
   SimTime now_ = 0;
   Rng rng_;
+  SimulatorStats stats_;
 };
 
 }  // namespace speedlight::sim

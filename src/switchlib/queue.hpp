@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "net/packet.hpp"
+#include "net/packet_pool.hpp"
 
 namespace speedlight::sw {
 
@@ -19,20 +20,31 @@ class FifoQueue {
  public:
   explicit FifoQueue(std::size_t capacity) : capacity_(capacity) {}
 
+  // Explicitly noexcept so vector reallocation moves instead of trying to
+  // copy (deque's move constructor lacks the noexcept guarantee, and the
+  // pooled-packet elements are move-only).
+  FifoQueue(FifoQueue&& other) noexcept
+      : capacity_(other.capacity_),
+        q_(std::move(other.q_)),
+        max_depth_(other.max_depth_),
+        drops_(other.drops_) {}
+  FifoQueue(const FifoQueue&) = delete;
+  FifoQueue& operator=(const FifoQueue&) = delete;
+
   /// False (and the packet is dropped by the caller) when full.
-  bool push(net::Packet pkt) {
+  bool push(net::PooledPacket pkt) {
     if (q_.size() >= capacity_) {
       ++drops_;
-      return false;
+      return false;  // Dropping the handle recycles the packet.
     }
     q_.push_back(std::move(pkt));
     if (q_.size() > max_depth_) max_depth_ = q_.size();
     return true;
   }
 
-  std::optional<net::Packet> pop() {
+  std::optional<net::PooledPacket> pop() {
     if (q_.empty()) return std::nullopt;
-    net::Packet pkt = std::move(q_.front());
+    net::PooledPacket pkt = std::move(q_.front());
     q_.pop_front();
     return pkt;
   }
@@ -45,7 +57,7 @@ class FifoQueue {
 
  private:
   std::size_t capacity_;
-  std::deque<net::Packet> q_;
+  std::deque<net::PooledPacket> q_;
   std::size_t max_depth_ = 0;
   std::uint64_t drops_ = 0;
 };
@@ -60,14 +72,14 @@ class CosQueueSet {
     }
   }
 
-  bool push(net::Packet pkt, std::size_t cls) {
+  bool push(net::PooledPacket pkt, std::size_t cls) {
     return queues_[cls < queues_.size() ? cls : queues_.size() - 1].push(
         std::move(pkt));
   }
 
   /// Strict priority: lowest class index first. Returns the packet and its
   /// class.
-  std::optional<std::pair<net::Packet, std::size_t>> pop() {
+  std::optional<std::pair<net::PooledPacket, std::size_t>> pop() {
     for (std::size_t c = 0; c < queues_.size(); ++c) {
       if (auto pkt = queues_[c].pop()) return std::make_pair(std::move(*pkt), c);
     }

@@ -193,7 +193,7 @@ std::size_t Switch::classify(const net::Packet& pkt) const {
   return cls < options_.cos_classes ? cls : options_.cos_classes - 1;
 }
 
-void Switch::receive(net::Packet pkt, net::PortId in_port) {
+void Switch::receive(net::PooledPacket pkt, net::PortId in_port) {
   assert(finalized_ && "switch used before finalize()");
   Port& port = *ports_.at(in_port);
   const sim::SimTime now = sim_.now();
@@ -201,66 +201,69 @@ void Switch::receive(net::Packet pkt, net::PortId in_port) {
   // --- Ingress processing unit (Figure 4) ---------------------------------
   if (options_.snapshot_enabled) {
     snap::PacketView view;
-    view.packet_id = pkt.id;
-    view.size_bytes = pkt.size_bytes;
-    view.counts_for_metrics = pkt.counts_for_metrics();
-    view.has_marker = pkt.snap.present;
-    view.wire_sid = pkt.snap.wire_sid;
+    view.packet_id = pkt->id;
+    view.size_bytes = pkt->size_bytes;
+    view.counts_for_metrics = pkt->counts_for_metrics();
+    view.has_marker = pkt->snap.present;
+    view.wire_sid = pkt->snap.wire_sid;
     const snap::WireSid stamped =
         port.ingress.dataplane()->on_packet(view, kIngressExternalChannel, now);
-    if (!pkt.snap.present) {
+    if (!pkt->snap.present) {
       // First snapshot-enabled router on the path: add the header.
-      pkt.snap.present = true;
-      pkt.snap.kind = net::PacketKind::Data;
+      pkt->snap.present = true;
+      pkt->snap.kind = net::PacketKind::Data;
     }
-    pkt.snap.wire_sid = stamped;
-    pkt.audit_virtual_sid = port.ingress.dataplane()->virtual_sid();
+    pkt->snap.wire_sid = stamped;
+    pkt->audit_virtual_sid = port.ingress.dataplane()->virtual_sid();
   }
   // Counter update strictly after the snapshot logic (see header comment).
-  port.ingress.counters().on_packet(pkt, now);
+  port.ingress.counters().on_packet(*pkt, now);
 
   // sFlow-style sampling mirror (independent of the snapshot machinery).
-  if (sample_rate_ > 0 && sample_sink_ && pkt.counts_for_metrics() &&
+  if (sample_rate_ > 0 && sample_sink_ && pkt->counts_for_metrics() &&
       rng_.chance(1.0 / sample_rate_)) {
-    sample_sink_(id(), in_port, pkt);
+    sample_sink_(id(), in_port, *pkt);
   }
 
   // Probes are single-hop: they exist to carry markers across one link.
-  if (pkt.is_probe()) return;
+  if (pkt->is_probe()) return;
 
   // --- Forwarding -----------------------------------------------------------
-  if (pkt.ttl == 0) {  // Transient loop protection, as in real networks.
+  if (pkt->ttl == 0) {  // Transient loop protection, as in real networks.
     ++ttl_drops_;
     return;
   }
-  --pkt.ttl;
-  pkt.meta_ingress_port = in_port;
-  const auto& candidates = routing_.lookup(pkt.dst_host);
+  --pkt->ttl;
+  pkt->meta_ingress_port = in_port;
+  const auto& candidates = routing_.lookup(pkt->dst_host);
   if (candidates.empty()) {
     ++fwd_drops_;
     return;
   }
-  if (pkt.counts_for_metrics()) {
+  if (pkt->counts_for_metrics()) {
     port.ingress.counters().stamp_fib_version(routing_.version());
   }
   const net::PortId out = candidates.size() == 1
                               ? candidates[0]
-                              : lb_->choose(pkt, candidates, now);
+                              : lb_->choose(*pkt, candidates, now);
 
   if (audit_) {
-    audit_->on_internal_send(id(), in_port, out, pkt.audit_virtual_sid,
-                             pkt.counts_for_metrics());
+    audit_->on_internal_send(id(), in_port, out, pkt->audit_virtual_sid,
+                             pkt->counts_for_metrics());
   }
-  sim_.after(options_.fabric_delay, [this, out, pkt = std::move(pkt)]() mutable {
+  auto fabric_hop = [this, out, pkt = std::move(pkt)]() mutable {
     enqueue(out, std::move(pkt));
-  });
+  };
+  static_assert(sim::InplaceCallback::fits_inline<decltype(fabric_hop)>,
+                "fabric-hop event must not heap-allocate");
+  sim_.after(options_.fabric_delay, std::move(fabric_hop));
 }
 
-void Switch::enqueue(net::PortId out, net::Packet pkt,
+void Switch::enqueue(net::PortId out, net::PooledPacket pkt,
                      std::size_t forced_class) {
   Port& port = *ports_.at(out);
   const std::size_t cls =
-      forced_class == kClassifyByPacket ? classify(pkt) : forced_class;
+      forced_class == kClassifyByPacket ? classify(*pkt) : forced_class;
   if (!port.queue.push(std::move(pkt), cls)) {
     if (audit_) audit_->on_queue_drop(id(), out);
     return;
@@ -279,15 +282,18 @@ void Switch::start_transmission(net::PortId out) {
   auto& [pkt, cls] = *popped;
 
   // Egress processing happens as the packet leaves the queue (Figure 5).
-  process_egress(out, pkt, cls);
+  process_egress(out, *pkt, cls);
 
   const sim::Duration ser =
-      port.link ? port.link->serialization_delay(pkt.size_bytes)
+      port.link ? port.link->serialization_delay(pkt->size_bytes)
                 : sim::nsec(100);
-  sim_.after(ser, [this, out, pkt = std::move(pkt)]() mutable {
+  auto done = [this, out, pkt = std::move(pkt)]() mutable {
     transmit(out, std::move(pkt));
     start_transmission(out);
-  });
+  };
+  static_assert(sim::InplaceCallback::fits_inline<decltype(done)>,
+                "serialization event must not heap-allocate");
+  sim_.after(ser, std::move(done));
 }
 
 void Switch::process_egress(net::PortId out, net::Packet& pkt,
@@ -321,16 +327,16 @@ void Switch::process_egress(net::PortId out, net::Packet& pkt,
   }
 }
 
-void Switch::transmit(net::PortId out, net::Packet pkt) {
+void Switch::transmit(net::PortId out, net::PooledPacket pkt) {
   Port& port = *ports_.at(out);
-  if (!port.link) return;  // Unconnected port: blackhole.
+  if (!port.link) return;  // Unconnected port: blackhole (packet recycled).
   if (port.to_host) {
-    if (pkt.is_probe()) return;  // Probes never reach applications.
-    pkt.snap = net::SnapshotHeader{};  // Strip before delivery (Section 5.1).
+    if (pkt->is_probe()) return;  // Probes never reach applications.
+    pkt->snap = net::SnapshotHeader{};  // Strip before delivery (Section 5.1).
   }
   if (audit_) {
-    audit_->on_external_send(id(), out, pkt.audit_virtual_sid,
-                             pkt.counts_for_metrics());
+    audit_->on_external_send(id(), out, pkt->audit_virtual_sid,
+                             pkt->counts_for_metrics());
   }
   port.link->deliver(std::move(pkt), sim_.now());
 }
@@ -366,15 +372,15 @@ void Switch::do_inject_probe(net::PortId port_id) {
     const snap::WireSid stamped = port.ingress.dataplane()->on_packet(
         view, kIngressCpuChannel, sim_.now());
 
-    net::Packet probe;
-    probe.id = (static_cast<std::uint64_t>(id()) << 40) |
-               (0xABull << 32) | probe_serial_++;
-    probe.size_bytes = 64;
-    probe.snap.present = true;
-    probe.snap.kind = net::PacketKind::Probe;
-    probe.snap.wire_sid = stamped;
-    probe.meta_ingress_port = port_id;
-    probe.audit_virtual_sid = port.ingress.dataplane()->virtual_sid();
+    net::PooledPacket probe = net::PooledPacket::make();
+    probe->id = (static_cast<std::uint64_t>(id()) << 40) |
+                (0xABull << 32) | probe_serial_++;
+    probe->size_bytes = 64;
+    probe->snap.present = true;
+    probe->snap.kind = net::PacketKind::Probe;
+    probe->snap.wire_sid = stamped;
+    probe->meta_ingress_port = port_id;
+    probe->audit_virtual_sid = port.ingress.dataplane()->virtual_sid();
 
     // Flood every egress port — including unconnected ones, whose egress
     // units still participate in snapshots and need their internal
@@ -384,11 +390,12 @@ void Switch::do_inject_probe(net::PortId port_id) {
     // happen to carry no traffic.
     for (net::PortId out = 0; out < options_.num_ports; ++out) {
       for (std::size_t cls = 0; cls < options_.cos_classes; ++cls) {
-        net::Packet copy = probe;
-        sim_.after(options_.fabric_delay,
-                   [this, out, cls, copy = std::move(copy)]() mutable {
-                     enqueue(out, std::move(copy), cls);
-                   });
+        auto flood = [this, out, cls, copy = probe.clone()]() mutable {
+          enqueue(out, std::move(copy), cls);
+        };
+        static_assert(sim::InplaceCallback::fits_inline<decltype(flood)>,
+                      "probe-flood event must not heap-allocate");
+        sim_.after(options_.fabric_delay, std::move(flood));
       }
     }
   });

@@ -113,7 +113,7 @@ class Switch final : public net::Node {
   void finalize();
 
   // --- Data path ------------------------------------------------------------
-  void receive(net::Packet pkt, net::PortId port) override;
+  void receive(net::PooledPacket pkt, net::PortId port) override;
   [[nodiscard]] bool is_host() const override { return false; }
 
   // --- Access ----------------------------------------------------------------
@@ -159,12 +159,12 @@ class Switch final : public net::Node {
   class PortUnit;
   struct Port;
 
-  void enqueue(net::PortId out, net::Packet pkt,
+  void enqueue(net::PortId out, net::PooledPacket pkt,
                std::size_t forced_class = kClassifyByPacket);
   static constexpr std::size_t kClassifyByPacket = ~std::size_t{0};
   void start_transmission(net::PortId out);
   void process_egress(net::PortId out, net::Packet& pkt, std::size_t cls);
-  void transmit(net::PortId out, net::Packet pkt);
+  void transmit(net::PortId out, net::PooledPacket pkt);
   [[nodiscard]] std::size_t classify(const net::Packet& pkt) const;
   void do_inject_initiation(net::PortId port, snap::WireSid sid);
   void do_inject_probe(net::PortId port);

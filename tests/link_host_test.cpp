@@ -13,8 +13,8 @@ namespace {
 class SinkNode final : public Node {
  public:
   SinkNode(NodeId id) : Node(id, "sink") {}
-  void receive(Packet pkt, PortId port) override {
-    received.push_back({pkt, port});
+  void receive(PooledPacket pkt, PortId port) override {
+    received.push_back({*pkt, port});
   }
   [[nodiscard]] bool is_host() const override { return false; }
   std::vector<std::pair<Packet, PortId>> received;

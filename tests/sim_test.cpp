@@ -2,7 +2,10 @@
 // local clocks.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "sim/clock.hpp"
@@ -64,6 +67,98 @@ TEST(EventQueue, CancelledEventsSkippedInPop) {
   EXPECT_EQ(q.size(), 2u);
   while (!q.empty()) q.pop().fn();
   EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, StaleEntriesNeverLeak) {
+  // Regression for the seed implementation's unbounded growth: cancelled
+  // events stayed in the heap until they surfaced at the top, so a
+  // periodically re-armed timer (the snapshot re-initiation pattern) grew
+  // the heap by one entry per re-arm, forever. The slab queue compacts
+  // whenever stale entries exceed half the heap, pinning heap size to at
+  // most live events x 2.
+  EventQueue q;
+  EventId pending = q.schedule(1'000'000, [] {});
+  for (int i = 0; i < 100'000; ++i) {
+    const EventId fresh = q.schedule(1'000'000 + i, [] {});
+    EXPECT_TRUE(q.cancel(pending));
+    pending = fresh;
+    ASSERT_LE(q.heap_entries(), 2 * q.size());
+  }
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_LE(q.heap_entries(), 2u);
+  EXPECT_GT(q.compactions(), 0u);
+  // The slab itself also stays O(live): slots recycle through the freelist.
+  EXPECT_LE(q.slab_slots(), 4u);
+}
+
+TEST(EventQueue, EventIdsAreNeverReusedOrZero) {
+  EventQueue q;
+  // kInvalidEvent (0) is the "no event" sentinel used across the codebase
+  // (e.g. digest flush timers); cancelling it must always be a safe no-op.
+  EXPECT_FALSE(q.cancel(kInvalidEvent));
+  std::vector<EventId> seen;
+  for (int round = 0; round < 1000; ++round) {
+    const EventId id = q.schedule(round, [] {});
+    EXPECT_NE(id, kInvalidEvent);
+    for (const EventId old : seen) EXPECT_NE(id, old);
+    seen.push_back(id);
+    q.cancel(id);  // Recycles the slot; the next id must still be fresh.
+  }
+}
+
+TEST(InplaceCallback, StoresMoveOnlyCapturesInline) {
+  auto payload = std::make_unique<int>(41);
+  InplaceCallback cb = [p = std::move(payload)]() mutable { ++*p; };
+  static_assert(
+      InplaceCallback::fits_inline<decltype([p = std::unique_ptr<int>()] {})>);
+  EXPECT_TRUE(static_cast<bool>(cb));
+  InplaceCallback moved = std::move(cb);
+  moved();
+  EXPECT_FALSE(static_cast<bool>(cb));  // NOLINT: moved-from is empty
+}
+
+TEST(InplaceCallback, LargeCapturesFallBackToHeap) {
+  struct Big {
+    std::array<std::uint64_t, 32> data{};  // 256 bytes: beyond the buffer.
+  };
+  Big big;
+  big.data[7] = 123;
+  std::uint64_t out = 0;
+  auto fn = [big, &out] { out = big.data[7]; };
+  static_assert(!InplaceCallback::fits_inline<decltype(fn)>);
+  InplaceCallback cb = std::move(fn);
+  InplaceCallback moved = std::move(cb);
+  moved();
+  EXPECT_EQ(out, 123u);
+}
+
+TEST(InplaceCallback, ResetDestroysCapture) {
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  InplaceCallback cb = [token = std::move(token)] {};
+  EXPECT_FALSE(watch.expired());
+  cb.reset();
+  EXPECT_TRUE(watch.expired());
+  EXPECT_FALSE(static_cast<bool>(cb));
+}
+
+TEST(Simulator, StatsCountersTrackLifecycle) {
+  Simulator sim;
+  int ran = 0;
+  sim.at(10, [&] { ++ran; });
+  const EventId doomed = sim.at(20, [&] { ++ran; });
+  sim.at(30, [&] {
+    ++ran;
+    sim.at(5, [&] { ++ran; });  // Past time: clamped to now.
+  });
+  EXPECT_TRUE(sim.cancel(doomed));
+  EXPECT_FALSE(sim.cancel(doomed));  // No-op does not double count.
+  sim.run_until(100);
+  EXPECT_EQ(ran, 3);
+  EXPECT_EQ(sim.stats().scheduled, 4u);
+  EXPECT_EQ(sim.stats().executed, 3u);
+  EXPECT_EQ(sim.stats().cancelled, 1u);
+  EXPECT_EQ(sim.stats().clamped_schedules, 1u);
 }
 
 TEST(Simulator, RunUntilAdvancesTime) {

@@ -85,11 +85,11 @@ TEST(SwitchQueues, CosStrictPriority) {
   ASSERT_TRUE(q.push(high, 0));
   auto first = q.pop();
   ASSERT_TRUE(first.has_value());
-  EXPECT_EQ(first->first.id, 2u);  // Class 0 drains first.
+  EXPECT_EQ(first->first->id, 2u);  // Class 0 drains first.
   EXPECT_EQ(first->second, 0u);
   auto second = q.pop();
   ASSERT_TRUE(second.has_value());
-  EXPECT_EQ(second->first.id, 1u);
+  EXPECT_EQ(second->first->id, 1u);
   EXPECT_FALSE(q.pop().has_value());
 }
 
