@@ -24,7 +24,8 @@ struct Result {
   std::size_t excluded_devices = 0;
 };
 
-Result run(bool probe_on_initiate, bool probe_on_reinitiate) {
+Result run(bool probe_on_initiate, bool probe_on_reinitiate,
+           bench::JsonReport* report = nullptr) {
   core::NetworkOptions opt;
   opt.seed = 4;
   opt.snapshot.channel_state = true;
@@ -34,7 +35,8 @@ Result run(bool probe_on_initiate, bool probe_on_reinitiate) {
   opt.observer.completion_timeout = sim::msec(60);
   core::Network net(net::make_leaf_spine(2, 2, 3), opt);
   // NO traffic at all: the hard case for channel-state completion.
-  const auto campaign = core::run_snapshot_campaign(net, 10, sim::msec(80));
+  const auto campaign = core::run_snapshot_campaign(
+      net, bench::scaled<std::size_t>(10, 4), sim::msec(80));
   Result r;
   stats::Summary latency;
   for (const auto* snap : campaign.results(net)) {
@@ -45,25 +47,28 @@ Result run(bool probe_on_initiate, bool probe_on_reinitiate) {
     }
   }
   r.mean_completion_ms = latency.count() > 0 ? latency.mean() : -1.0;
+  if (report != nullptr) report->embed_registry(net.metrics());
   return r;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
   bench::JsonReport report("ablation_liveness");
   bench::banner(
       "Ablation — channel-state liveness without traffic (Section 6)",
       "\"if there is no such traffic on which to piggyback, the snapshot "
       "may never complete ... we can inject broadcasts into the network\"");
 
-  const Result at_init = run(true, true);
+  const Result at_init = run(true, true, &report);
   const Result at_reinit = run(false, true);
   const Result none = run(false, false);
 
-  auto show = [](const char* label, const Result& r) {
-    std::cout << "  " << label << ": " << r.completed
-              << "/10 snapshots assembled, mean full completion ";
+  const std::size_t requested = bench::scaled<std::size_t>(10, 4);
+  auto show = [requested](const char* label, const Result& r) {
+    std::cout << "  " << label << ": " << r.completed << "/" << requested
+              << " snapshots assembled, mean full completion ";
     if (r.mean_completion_ms >= 0) {
       std::cout << r.mean_completion_ms << " ms";
     } else {

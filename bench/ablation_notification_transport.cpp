@@ -18,16 +18,19 @@ namespace {
 using namespace speedlight;
 
 /// Mean scheduled-fire -> observer-complete latency over a campaign.
-double completion_latency_ms(snap::NotificationMode mode) {
+double completion_latency_ms(snap::NotificationMode mode,
+                             bench::JsonReport* report = nullptr) {
   core::NetworkOptions opt;
   opt.seed = 99;
   opt.notification_mode = mode;
   core::Network net(net::make_leaf_spine(2, 2, 3), opt);
-  const auto campaign = core::run_snapshot_campaign(net, 30, sim::msec(10));
+  const auto campaign = core::run_snapshot_campaign(
+      net, bench::scaled<std::size_t>(30, 10), sim::msec(10));
   stats::Summary latency;
   for (const auto* snap : campaign.results(net)) {
     latency.add(sim::to_msec(snap->completed_at - snap->scheduled_at));
   }
+  if (report != nullptr) report->embed_registry(net.metrics());
   return latency.mean();
 }
 
@@ -38,17 +41,19 @@ bool sustains(snap::NotificationMode mode, int ports, double rate_hz) {
   opt.observer.completion_timeout = sim::sec(5.0);
   core::Network net(net::make_star(static_cast<std::size_t>(ports)), opt);
   core::run_snapshot_campaign(
-      net, 25, static_cast<sim::Duration>(sim::kSecond / rate_hz),
-      sim::msec(1), sim::msec(100));
+      net, bench::scaled<std::size_t>(25, 8),
+      static_cast<sim::Duration>(sim::kSecond / rate_hz), sim::msec(1),
+      sim::msec(100));
   auto& notif = net.switch_at(0).notifications();
   const std::size_t one_burst = 2 * static_cast<std::size_t>(ports) + 8;
   return notif.dropped_overflow() == 0 && notif.max_backlog() <= one_burst;
 }
 
 double max_rate(snap::NotificationMode mode, int ports) {
+  const int kBisections = bench::scaled(12, 7);
   double lo = 0.5;
   double hi = 20000.0;
-  for (int iter = 0; iter < 12; ++iter) {
+  for (int iter = 0; iter < kBisections; ++iter) {
     const double mid = std::sqrt(lo * hi);
     (sustains(mode, ports, mid) ? lo : hi) = mid;
   }
@@ -57,14 +62,16 @@ double max_rate(snap::NotificationMode mode, int ports) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
   bench::JsonReport report("ablation_notification_transport");
   bench::banner(
       "Ablation — notification transport: raw socket vs digest stream",
       "Section 7.2: raw sockets were chosen because they \"offered "
       "significantly better performance\" than the P4 digest stream");
 
-  const double raw_lat = completion_latency_ms(snap::NotificationMode::RawSocket);
+  const double raw_lat =
+      completion_latency_ms(snap::NotificationMode::RawSocket, &report);
   const double digest_lat = completion_latency_ms(snap::NotificationMode::Digest);
   std::cout << "\nSnapshot collection latency (fire -> observer complete):\n"
             << "  raw socket:    " << raw_lat << " ms\n"

@@ -23,7 +23,7 @@ struct Result {
   double slot_kb_per_unit = 0.0;
 };
 
-Result run(std::uint32_t modulus) {
+Result run(std::uint32_t modulus, bench::JsonReport* report = nullptr) {
   core::NetworkOptions opt;
   opt.seed = 12;
   opt.snapshot.channel_state = true;
@@ -39,7 +39,9 @@ Result run(std::uint32_t modulus) {
   }
   net.run_for(sim::msec(2));
   // Aggressive cadence: one snapshot per 500us, 60 requests.
-  const auto campaign = core::run_snapshot_campaign(net, 60, sim::usec(500));
+  const auto campaign = core::run_snapshot_campaign(
+      net, bench::scaled<std::size_t>(60, 24), sim::usec(500));
+  if (report != nullptr) report->embed_registry(net.metrics());
   Result r;
   r.accepted = campaign.ids.size();
   r.skipped = campaign.skipped;
@@ -52,7 +54,8 @@ Result run(std::uint32_t modulus) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
   bench::JsonReport report("ablation_wraparound");
   bench::banner(
       "Ablation — wire snapshot-id space vs snapshot cadence",
@@ -64,7 +67,7 @@ int main() {
   Result results[5];
   std::cout << "\n  id space   accepted  refused  completed  slot-KB/unit\n";
   for (int i = 0; i < 5; ++i) {
-    results[i] = run(moduli[i]);
+    results[i] = run(moduli[i], i == 4 ? &report : nullptr);
     std::cout << "  " << (moduli[i] == 0 ? std::string("2^32")
                                          : std::to_string(moduli[i]))
               << "\t     " << results[i].accepted << "\t  "

@@ -2,14 +2,23 @@
 // headers, PASS/FAIL shape checks against the paper's qualitative claims,
 // and machine-readable JSON result emission.
 //
-// Every bench writes BENCH_<name>.json (schema "speedlight-bench-v1", see
+// Every bench writes BENCH_<name>.json (schema "speedlight-bench-v2", see
 // DESIGN.md "Performance methodology") so runs can be diffed across PRs:
 //   { "bench": ..., "schema": ..., "wall_time_s": ...,
-//     "checks_passed": N, "checks_failed": M, "metrics": {...} }
+//     "checks_passed": N, "checks_failed": M, "metrics": {...},
+//     "registry": {...} }
+// where "registry" is the flight recorder's metrics dump (obs/metrics.hpp)
+// of the last simulation the bench embedded, empty when none.
+//
+// Smoke mode (--smoke): heavily reduced iteration counts for CI. Shape
+// checks still run, but the committed BENCH_*.json reference files are NOT
+// overwritten (smoke numbers are not comparable) and the exit code stays 0
+// unless a check fails.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -17,10 +26,26 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace speedlight::bench {
 
 inline int g_checks_failed = 0;
 inline int g_checks_passed = 0;
+inline bool g_smoke = false;
+
+/// Parse the shared bench flags (currently --smoke). Call first in main().
+inline void parse_args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) g_smoke = true;
+  }
+}
+
+/// `full` normally, `smoke` under --smoke.
+template <typename T>
+[[nodiscard]] inline T scaled(T full, T smoke) {
+  return g_smoke ? smoke : full;
+}
 
 inline void banner(const std::string& title, const std::string& paper_claim) {
   std::cout << "==============================================================\n"
@@ -57,6 +82,15 @@ class JsonReport {
     fields_.emplace_back(key, "\"" + escaped(value) + "\"");
   }
 
+  /// Snapshot the flight recorder's registry into the report. The dump is
+  /// rendered immediately (readers are cheap, cold-path), so call this while
+  /// the simulation that owns the registry is still alive. Last call wins.
+  void embed_registry(const obs::MetricsRegistry& reg) {
+    std::ostringstream os;
+    reg.write_json(os, /*indent=*/2);
+    registry_ = os.str();
+  }
+
   [[nodiscard]] double elapsed_seconds() const {
     return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                          start_)
@@ -65,14 +99,19 @@ class JsonReport {
 
   [[nodiscard]] const std::string& name() const { return name_; }
 
-  /// Write BENCH_<name>.json into the working directory.
+  /// Write BENCH_<name>.json into the working directory. Smoke runs skip
+  /// the write so reduced-iteration numbers never clobber committed results.
   void write() const {
+    if (g_smoke) {
+      std::cout << "Smoke mode: skipping BENCH_" << name_ << ".json\n";
+      return;
+    }
     const std::string path = "BENCH_" + name_ + ".json";
     std::ofstream out(path);
     out.precision(12);
     out << "{\n"
         << "  \"bench\": \"" << escaped(name_) << "\",\n"
-        << "  \"schema\": \"speedlight-bench-v1\",\n"
+        << "  \"schema\": \"speedlight-bench-v2\",\n"
         << "  \"wall_time_s\": " << elapsed_seconds() << ",\n"
         << "  \"checks_passed\": " << g_checks_passed << ",\n"
         << "  \"checks_failed\": " << g_checks_failed << ",\n"
@@ -81,7 +120,9 @@ class JsonReport {
       out << (i == 0 ? "\n" : ",\n") << "    \"" << escaped(fields_[i].first)
           << "\": " << fields_[i].second;
     }
-    out << (fields_.empty() ? "}\n" : "\n  }\n") << "}\n";
+    out << (fields_.empty() ? "},\n" : "\n  },\n")
+        << "  \"registry\": " << (registry_.empty() ? "{}" : registry_) << "\n"
+        << "}\n";
     std::cout << "Wrote " << path << "\n";
   }
 
@@ -99,6 +140,7 @@ class JsonReport {
   std::string name_;
   std::chrono::steady_clock::time_point start_;
   std::vector<std::pair<std::string, std::string>> fields_;
+  std::string registry_;  ///< Pre-rendered registry JSON, "" when not embedded.
 };
 
 /// Print the verdict, emit the JSON result file, and return the exit code.

@@ -20,7 +20,8 @@ using namespace speedlight;
 /// snapshots (max backlog stays within a single snapshot's burst of 2*ports
 /// notifications) and nothing is dropped — the paper's criterion of "the
 /// highest frequency without [notification] drops / queue buildup".
-bool sustains(int ports, double rate_hz, std::size_t count) {
+bool sustains(int ports, double rate_hz, std::size_t count,
+              bench::JsonReport* report = nullptr) {
   core::NetworkOptions opt;
   opt.seed = 7;
   opt.timing.notification_buffer_capacity = 4096;
@@ -31,6 +32,7 @@ bool sustains(int ports, double rate_hz, std::size_t count) {
       static_cast<sim::Duration>(sim::kSecond / rate_hz);
   core::run_snapshot_campaign(net, count, interval, sim::msec(1),
                               sim::msec(100));
+  if (report != nullptr) report->embed_registry(net.metrics());
   auto& notif = net.switch_at(0).notifications();
   const std::size_t one_burst =
       2 * static_cast<std::size_t>(ports) + 4;  // ingress+egress per port
@@ -38,10 +40,11 @@ bool sustains(int ports, double rate_hz, std::size_t count) {
 }
 
 double max_rate(int ports) {
-  constexpr std::size_t kSnapshots = 25;
+  const std::size_t kSnapshots = bench::scaled<std::size_t>(25, 8);
+  const int kBisections = bench::scaled(14, 8);
   double lo = 1.0;      // Always sustainable.
   double hi = 20000.0;  // Never sustainable.
-  for (int iter = 0; iter < 14; ++iter) {
+  for (int iter = 0; iter < kBisections; ++iter) {
     const double mid = std::sqrt(lo * hi);  // Log-scale bisection.
     if (sustains(ports, mid, kSnapshots)) {
       lo = mid;
@@ -54,7 +57,8 @@ double max_rate(int ports) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
   bench::JsonReport report("fig10_snapshot_rate");
   bench::banner(
       "Figure 10 — max sustained snapshot rate vs ports/router",
@@ -92,5 +96,8 @@ int main() {
     report.metric("max_rate_hz_" + std::to_string(ports[i]) + "_ports",
                   rates[i]);
   }
+  // One representative run at the 64-port sustained rate to capture the
+  // flight recorder's registry dump in the report.
+  sustains(64, rates[4], bench::scaled<std::size_t>(25, 8), &report);
   return bench::finish(report);
 }

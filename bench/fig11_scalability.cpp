@@ -65,7 +65,8 @@ double average_sync_us(std::size_t routers, int trials, sim::Rng& rng,
 // Cross-validation: the same quantity measured in the *full* simulator
 // (every packet, clock, and control-plane event) on a ring of
 // 3-port routers, vs the sampled model at matched parameters.
-double full_sim_sync_us(std::size_t routers, std::size_t snapshots) {
+double full_sim_sync_us(std::size_t routers, std::size_t snapshots,
+                        bench::JsonReport* report = nullptr) {
   core::NetworkOptions opt;
   opt.seed = 818;
   core::Network net(net::make_ring(routers), opt);
@@ -75,10 +76,12 @@ double full_sim_sync_us(std::size_t routers, std::size_t snapshots) {
   for (const auto* snap : campaign.results(net)) {
     sync.add(sim::to_usec(snap->advance_span()));
   }
+  if (report != nullptr) report->embed_registry(net.metrics());
   return sync.mean();
 }
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
   bench::JsonReport report("fig11_scalability");
   bench::banner(
       "Figure 11 — average synchronization vs number of routers",
@@ -91,7 +94,8 @@ int main() {
 
   std::cout << "\n  routers   avg synchronization (us)\n";
   for (const auto n : sizes) {
-    const int trials = n >= 10000 ? 5 : 30;
+    const int trials =
+        bench::scaled(n >= 10000 ? 5 : 30, n >= 10000 ? 1 : 5);
     avg.push_back(average_sync_us(n, trials, rng));
     std::cout << "  " << n << "\t" << avg.back() << "\n";
   }
@@ -109,8 +113,10 @@ int main() {
 
   // Cross-validate the sampled model against the full simulator at a scale
   // the simulator can run exhaustively (12 x 3-port routers).
-  const double model = average_sync_us(12, 200, rng, /*ports=*/3);
-  const double simulated = full_sim_sync_us(12, 60);
+  const double model = average_sync_us(12, bench::scaled(200, 40), rng,
+                                       /*ports=*/3);
+  const double simulated =
+      full_sim_sync_us(12, bench::scaled<std::size_t>(60, 15), &report);
   std::cout << "\nCross-validation @ 12 routers x 3 ports:\n"
             << "  sampled model:  " << model << " us\n"
             << "  full simulator: " << simulated << " us\n";

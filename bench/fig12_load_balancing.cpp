@@ -116,7 +116,8 @@ struct Curves {
 };
 
 Curves run_config(Workload w, sw::LoadBalancerKind lb, std::size_t samples,
-                  sim::Duration interval) {
+                  sim::Duration interval,
+                  bench::JsonReport* report = nullptr) {
   Setup s = make_setup(w, lb);
   core::Network& net = *s.net;
   net.run_for(sim::msec(60));  // Warm up EWMAs.
@@ -137,12 +138,14 @@ Curves run_config(Workload w, sw::LoadBalancerKind lb, std::size_t samples,
   }
   const auto sweeps = core::run_polling_campaign(net, samples, interval);
   for (const auto& sweep : sweeps) add_stddev(curves.polling, sweep);
+  if (report != nullptr) report->embed_registry(net.metrics());
   return curves;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
   bench::JsonReport report("fig12_load_balancing");
   bench::banner(
       "Figure 12 — stddev of uplink load balancing (ECMP vs flowlet; "
@@ -172,10 +175,15 @@ int main() {
   int idx = 0;
   for (const auto& cfg : configs) {
     std::cout << "\n--- " << workload_name(cfg.w) << " ---\n";
+    // /2, not lower: the flowlet-vs-ECMP medians need enough samples for
+    // the ordering to be stable.
+    const std::size_t samples =
+        bench::scaled(cfg.samples, cfg.samples / 2);
     const Curves ecmp =
-        run_config(cfg.w, sw::LoadBalancerKind::Ecmp, cfg.samples, cfg.interval);
-    const Curves flowlet = run_config(cfg.w, sw::LoadBalancerKind::Flowlet,
-                                      cfg.samples, cfg.interval);
+        run_config(cfg.w, sw::LoadBalancerKind::Ecmp, samples, cfg.interval);
+    const Curves flowlet =
+        run_config(cfg.w, sw::LoadBalancerKind::Flowlet, samples, cfg.interval,
+                   idx == 0 ? &report : nullptr);
     ecmp.snapshots.print(std::cout, "ECMP / snapshots", cfg.scale, cfg.unit, 8);
     flowlet.snapshots.print(std::cout, "Flowlet / snapshots", cfg.scale,
                             cfg.unit, 8);

@@ -99,7 +99,8 @@ void print_matrix(const Analysis& a, const Series& s, const char* title) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
   bench::JsonReport report("fig13_correlation");
   bench::banner(
       "Figure 13 — pairwise correlation of egress port rates (GraphX)",
@@ -147,6 +148,9 @@ int main() {
   // 100 snapshots and 100 polling sweeps, interleaved offsets, both at the
   // same cadence (scaled down from the paper's 1s to keep simulated time
   // tractable; the superstep:interval ratio matches).
+  // Not scaled down under --smoke: the run takes well under a second, and
+  // the uplink-pair correlations need the full 100 sweeps to stay
+  // significant at p < 0.1.
   constexpr std::size_t kSamples = 100;
   const auto campaign =
       core::run_snapshot_campaign(net, kSamples, sim::msec(23));
@@ -197,5 +201,6 @@ int main() {
                    poll_a.min_uplink_pair_rho < snap_a.min_uplink_pair_rho,
                "polling misses or weakens the ECMP uplink correlations");
 
+  report.embed_registry(net.metrics());
   return bench::finish(report);
 }

@@ -35,11 +35,14 @@ std::vector<std::unique_ptr<wl::Generator>> light_traffic(core::Network& net) {
   return gens;
 }
 
-stats::Cdf snapshot_sync(bool channel_state, std::size_t count) {
+stats::Cdf snapshot_sync(bool channel_state, std::size_t count,
+                         bench::JsonReport* report = nullptr,
+                         const char* trace_path = nullptr) {
   core::NetworkOptions opt;
   opt.seed = 2018;
   opt.snapshot.channel_state = channel_state;
   core::Network net(net::make_leaf_spine(2, 2, 3), opt);
+  if (trace_path != nullptr) net.enable_tracing();
   auto gens = light_traffic(net);
   net.run_for(sim::msec(5));
   const auto campaign = core::run_snapshot_campaign(net, count, sim::msec(5));
@@ -50,6 +53,13 @@ stats::Cdf snapshot_sync(bool channel_state, std::size_t count) {
     // last-seen (completion) progress, without it only the local advance.
     cdf.add(static_cast<double>(channel_state ? snap->finalize_span()
                                               : snap->advance_span()));
+  }
+  if (report != nullptr) report->embed_registry(net.metrics());
+  if (trace_path != nullptr) {
+    if (net.export_chrome_trace(trace_path)) {
+      std::cout << "Wrote " << trace_path
+                << " (load in Perfetto / chrome://tracing)\n";
+    }
   }
   return cdf;
 }
@@ -67,17 +77,22 @@ stats::Cdf polling_sync(std::size_t count) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
   bench::JsonReport report("fig9_synchronization");
   bench::banner(
       "Figure 9 — synchronization of network-wide measurements (CDF)",
       "Speedlight median ~6.4us (max 22us w/o CS, 27us w/ CS); polling "
       "median ~2.6ms — three orders of magnitude apart");
 
-  constexpr std::size_t kSnapshots = 300;
+  const std::size_t kSnapshots = bench::scaled<std::size_t>(300, 30);
   const stats::Cdf no_cs = snapshot_sync(false, kSnapshots);
-  const stats::Cdf with_cs = snapshot_sync(true, kSnapshots);
-  const stats::Cdf polling = polling_sync(100);
+  // The channel-state run doubles as the flight-recorder showcase: it runs
+  // with tracing on, exports a Perfetto-loadable timeline, and its registry
+  // dump lands in the JSON report.
+  const stats::Cdf with_cs =
+      snapshot_sync(true, kSnapshots, &report, "fig9_trace.json");
+  const stats::Cdf polling = polling_sync(bench::scaled<std::size_t>(100, 10));
 
   std::cout << "\n";
   no_cs.print(std::cout, "Switch State (Speedlight, no channel state)", 1e-3,

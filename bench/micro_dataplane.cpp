@@ -6,6 +6,7 @@
 
 #include "core/network.hpp"
 #include "net/topology.hpp"
+#include "obs/trace.hpp"
 #include "snapshot/dataplane.hpp"
 #include "stats/spearman.hpp"
 #include "workload/basic.hpp"
@@ -36,6 +37,24 @@ void BM_DataplaneSameEpoch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DataplaneSameEpoch);
+
+void BM_DataplaneSameEpochTraced(benchmark::State& state) {
+  // Same-epoch packets with the flight recorder attached and enabled:
+  // measures the per-packet cost ceiling of tracing (same-epoch packets
+  // themselves emit no events; initiations/captures do).
+  obs::Tracer tracer;
+  tracer.enable();
+  auto unit = make_unit(true);
+  unit.attach_observability(&tracer);
+  unit.on_initiation(1, 0);
+  snap::PacketView view;
+  view.wire_sid = 1;
+  sim::SimTime now = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(unit.on_packet(view, 0, ++now));
+  }
+}
+BENCHMARK(BM_DataplaneSameEpochTraced);
 
 void BM_DataplaneInFlight(benchmark::State& state) {
   auto unit = make_unit(true);

@@ -193,7 +193,8 @@ std::pair<double, std::size_t> run_rearm(std::size_t rearms) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
   bench::JsonReport report("perf_event_core");
   bench::banner(
       "Event-core performance: slab/4-ary heap vs priority_queue+hash-map",
@@ -201,7 +202,7 @@ int main() {
       "reproduction (millions of packet events per evaluation run)");
 
   // --- Workload 1: mixed schedule/cancel/pop lifecycles -------------------
-  constexpr std::size_t kIters = 2'000'000;
+  const std::size_t kIters = bench::scaled<std::size_t>(2'000'000, 300'000);
   constexpr std::size_t kDepth = 10'000;
 
   const MixedResult legacy = run_mixed<LegacyEventQueue>(kDepth, kIters);
@@ -225,7 +226,7 @@ int main() {
                "new queue is >= 2x the legacy queue on the mixed workload");
 
   // --- Workload 2: cancel/re-arm churn (the stale-entry leak) -------------
-  constexpr std::size_t kRearms = 1'000'000;
+  const std::size_t kRearms = bench::scaled<std::size_t>(1'000'000, 200'000);
   const auto [legacy_rearm_s, legacy_peak_heap] =
       run_rearm<LegacyEventQueue>(kRearms);
   const auto [fresh_rearm_s, fresh_peak_heap] =
@@ -243,7 +244,10 @@ int main() {
                "new queue heap stays O(live) under re-arm churn");
 
   // --- Workload 3: Simulator end-to-end -----------------------------------
-  constexpr std::uint64_t kSimEvents = 2'000'000;
+  // static: the local Timer struct below names it, which requires a
+  // variable with static storage, not a stack local.
+  static const std::uint64_t kSimEvents =
+      bench::scaled<std::uint64_t>(2'000'000, 300'000);
   constexpr int kTimers = 1024;
   sim::Simulator s;
   std::uint64_t fired = 0;
@@ -304,5 +308,6 @@ int main() {
   report.metric("sim_clamped_schedules",
                 static_cast<double>(s.stats().clamped_schedules));
   report.metric("sim_cancelled", static_cast<double>(s.stats().cancelled));
+  report.embed_registry(s.metrics());
   return bench::finish(report);
 }

@@ -8,9 +8,10 @@
 #include "bench_common.hpp"
 #include "resources/tofino_model.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace speedlight;
   using res::Variant;
+  bench::parse_args(argc, argv);
   bench::JsonReport report("table1_resources");
 
   bench::banner(

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/chrome_trace.hpp"
+
 namespace speedlight::core {
 
 Network::Network(const net::TopologySpec& spec, NetworkOptions options)
@@ -131,6 +133,41 @@ void Network::register_all_units_for_polling() {
       poller_->add_unit(swch->unit(p, net::Direction::Egress));
     }
   }
+}
+
+void Network::enable_tracing(std::size_t capacity) {
+  obs::Tracer& tr = sim_.tracer();
+  tr.enable(capacity);
+
+  // Name every lane so the exported trace reads like the topology.
+  for (std::size_t i = 0; i < switches_.size(); ++i) {
+    const sw::Switch& swch = *switches_[i];
+    const net::NodeId id = swch.id();
+    tr.name_process(id, swch.name());
+    tr.name_track(obs::cpu_track(id), "control-plane");
+    tr.name_track(obs::notif_track(id), "notif-channel");
+    for (net::PortId p = 0; p < swch.options().num_ports; ++p) {
+      const std::string port = "port" + std::to_string(p);
+      tr.name_track(obs::unit_track({id, p, net::Direction::Ingress}),
+                    port + "/ingress");
+      tr.name_track(obs::unit_track({id, p, net::Direction::Egress}),
+                    port + "/egress");
+    }
+  }
+  tr.name_process(obs::kObserverPid, "snapshot-observer");
+  tr.name_track(obs::observer_track(), "assembly");
+  tr.name_process(obs::kPollerPid, "polling-observer");
+  tr.name_track(obs::poller_track(), "sweeps");
+  tr.name_process(obs::kPacketTapPid, "packet-taps");
+  tr.name_track(obs::packet_tap_track(), "links");
+}
+
+bool Network::export_chrome_trace(const std::string& path) const {
+  return obs::export_chrome_trace(path, sim_.tracer());
+}
+
+obs::SnapshotTimeline Network::snapshot_timeline(std::uint64_t id) const {
+  return obs::SnapshotTimeline::build(sim_.tracer(), id);
 }
 
 const snap::GlobalSnapshot* Network::take_snapshot(sim::Duration lead,

@@ -18,11 +18,13 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "net/host.hpp"
 #include "net/link.hpp"
 #include "net/topology.hpp"
+#include "obs/timeline.hpp"
 #include "polling/polling_observer.hpp"
 #include "sim/simulator.hpp"
 #include "sim/timing_model.hpp"
@@ -126,6 +128,23 @@ class Network {
   /// simulation until it completes (or `max_wait` elapses), and return it.
   const snap::GlobalSnapshot* take_snapshot(
       sim::Duration lead = sim::msec(1), sim::Duration max_wait = sim::msec(500));
+
+  // --- Flight recorder ---------------------------------------------------------
+  /// Start recording structured trace events into a bounded ring (oldest
+  /// records are overwritten once full) and name every track after its
+  /// device/unit so exports are human-readable. Idempotent.
+  void enable_tracing(std::size_t capacity = obs::Tracer::kDefaultCapacity);
+
+  [[nodiscard]] obs::Tracer& tracer() { return sim_.tracer(); }
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return sim_.metrics(); }
+
+  /// Write the recorded trace as Chrome trace-event JSON (loadable in
+  /// Perfetto / chrome://tracing). Returns false on I/O failure.
+  bool export_chrome_trace(const std::string& path) const;
+
+  /// Reconstruct the causal timeline of snapshot `id` from the trace ring.
+  /// Requires enable_tracing() before the snapshot ran.
+  [[nodiscard]] obs::SnapshotTimeline snapshot_timeline(std::uint64_t id) const;
 
  private:
   NetworkOptions options_;

@@ -8,11 +8,11 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
 #include "net/node.hpp"
 #include "net/packet.hpp"
 #include "net/types.hpp"
+#include "sim/inplace_callback.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 
@@ -21,8 +21,9 @@ namespace speedlight::net {
 class Link {
  public:
   /// Observer hooks for audit/instrumentation: called with the packet and
-  /// the simulation time at which the event occurs.
-  using Tap = std::function<void(const Packet&, sim::SimTime)>;
+  /// the simulation time at which the event occurs. Inline-stored (no
+  /// std::function heap churn): taps sit on the per-packet delivery path.
+  using Tap = sim::InplaceFunction<void(const Packet&, sim::SimTime)>;
 
   Link(sim::Simulator& sim, double bandwidth_bps, sim::Duration propagation,
        sim::Rng rng)

@@ -21,7 +21,7 @@ const char* kind_name(PacketKind k) {
 
 void PacketTrace::dump(std::ostream& os) const {
   os << "# time_us  id  src->dst  flow  bytes  kind  sid\n";
-  for (const auto& r : records_) {
+  for_each([&os](const TraceRecord& r) {
     os << std::fixed << std::setprecision(3)
        << static_cast<double>(r.time) / 1e3 << "  " << r.packet_id << "  "
        << r.src_host << "->" << r.dst_host << "  " << r.flow << "  "
@@ -32,7 +32,7 @@ void PacketTrace::dump(std::ostream& os) const {
       os << "-";
     }
     os << "\n";
-  }
+  });
   os.unsetf(std::ios::fixed);
 }
 

@@ -1,16 +1,25 @@
-// Packet trace recorder: a bounded ring buffer of per-packet records with
-// an optional filter, attachable to any Link's taps. The in-simulation
+// Packet trace recorder: a bounded flat ring of per-packet records with an
+// optional filter, attachable to any Link's taps. The in-simulation
 // equivalent of a capture port — used by examples and for debugging
 // protocol behaviour (e.g. watching snapshot markers propagate).
+//
+// Hot-path discipline matches the event core: the filter is a
+// sim::InplaceFunction (no std::function type erasure), the ring is a
+// pre-reserved vector that overwrites the oldest record when full (no
+// per-record deque node churn), and recording never allocates after
+// construction. A trace can additionally mirror into the flight recorder's
+// obs::Tracer, so link taps and the simulation-wide trace ring share one
+// sink and one record format.
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <iosfwd>
+#include <vector>
 
 #include "net/link.hpp"
 #include "net/packet.hpp"
+#include "obs/trace.hpp"
+#include "sim/inplace_callback.hpp"
 
 namespace speedlight::net {
 
@@ -28,15 +37,22 @@ struct TraceRecord {
 
 class PacketTrace {
  public:
-  using Filter = std::function<bool(const Packet&)>;
+  using Filter = sim::InplaceFunction<bool(const Packet&)>;
 
-  explicit PacketTrace(std::size_t capacity = 4096) : capacity_(capacity) {}
+  explicit PacketTrace(std::size_t capacity = 4096) : capacity_(capacity) {
+    ring_.reserve(capacity_);
+  }
 
   PacketTrace(const PacketTrace&) = delete;
   PacketTrace& operator=(const PacketTrace&) = delete;
 
   /// Only packets for which `f` returns true are recorded (null = all).
   void set_filter(Filter f) { filter_ = std::move(f); }
+
+  /// Also emit every recorded packet as a PktSeen instant on the flight
+  /// recorder's packet-tap track (null detaches). The obs ring applies its
+  /// own capacity/overwrite policy independently of this trace's.
+  void mirror_to(obs::Tracer* tracer) { mirror_ = tracer; }
 
   /// Attach to a link's arrival tap. Multiple links may share one trace;
   /// attaching replaces any tap previously installed on that link.
@@ -50,10 +66,6 @@ class PacketTrace {
   void record(const Packet& pkt, sim::SimTime t) {
     ++seen_;
     if (filter_ && !filter_(pkt)) return;
-    if (records_.size() == capacity_) {
-      records_.pop_front();
-      ++evicted_;
-    }
     TraceRecord r;
     r.time = t;
     r.packet_id = pkt.id;
@@ -64,17 +76,44 @@ class PacketTrace {
     r.kind = pkt.snap.present ? pkt.snap.kind : PacketKind::Data;
     r.has_snapshot_header = pkt.snap.present;
     r.wire_sid = pkt.snap.wire_sid;
-    records_.push_back(r);
+    if (ring_.size() < capacity_) {
+      ring_.push_back(r);
+    } else {
+      ring_[head_] = r;
+      head_ = (head_ + 1) % capacity_;
+      ++evicted_;
+    }
+    if (mirror_ != nullptr) {
+      mirror_->instant(obs::Category::Packet, obs::EventName::PktSeen,
+                       obs::packet_tap_track(), t, pkt.id,
+                       (static_cast<std::uint64_t>(pkt.src_host) << 32) |
+                           pkt.dst_host);
+    }
   }
 
-  [[nodiscard]] const std::deque<TraceRecord>& records() const {
-    return records_;
+  /// Records oldest-to-newest, materialized (cold path: tests, dumps).
+  [[nodiscard]] std::vector<TraceRecord> records() const {
+    std::vector<TraceRecord> out;
+    out.reserve(ring_.size());
+    for_each([&out](const TraceRecord& r) { out.push_back(r); });
+    return out;
   }
-  [[nodiscard]] std::size_t size() const { return records_.size(); }
+
+  /// Visit records oldest-to-newest without copying.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    const std::size_t n = ring_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      fn(ring_[(head_ + i) % n]);
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return ring_.size(); }
   [[nodiscard]] std::uint64_t seen() const { return seen_; }
   [[nodiscard]] std::uint64_t evicted() const { return evicted_; }
   void clear() {
-    records_.clear();
+    ring_.clear();
+    head_ = 0;
     seen_ = evicted_ = 0;
   }
 
@@ -83,8 +122,10 @@ class PacketTrace {
 
  private:
   std::size_t capacity_;
+  std::size_t head_ = 0;
   Filter filter_;
-  std::deque<TraceRecord> records_;
+  obs::Tracer* mirror_ = nullptr;
+  std::vector<TraceRecord> ring_;
   std::uint64_t seen_ = 0;
   std::uint64_t evicted_ = 0;
 };

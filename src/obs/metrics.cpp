@@ -1,0 +1,55 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <utility>
+
+namespace speedlight::obs {
+
+std::string MetricsRegistry::register_reader(std::string name, MetricKind kind,
+                                             Reader read) {
+  std::string candidate = std::move(name);
+  for (int n = 2; readers_.contains(candidate); ++n) {
+    candidate = candidate.substr(0, candidate.find_last_of('#')) + "#" +
+                std::to_string(n);
+  }
+  readers_.emplace(candidate, Entry{kind, std::move(read)});
+  return candidate;
+}
+
+std::vector<MetricsRegistry::Sample> MetricsRegistry::collect() const {
+  std::vector<Sample> out;
+  out.reserve(readers_.size() + 7 * histograms_.size());
+  for (const auto& [name, entry] : readers_) {
+    out.push_back({name, entry.kind, entry.read ? entry.read() : 0});
+  }
+  for (const auto& [name, h] : histograms_) {
+    out.push_back({name + ".count", MetricKind::Counter, h.count()});
+    out.push_back({name + ".min", MetricKind::Gauge, h.min()});
+    out.push_back({name + ".max", MetricKind::Gauge, h.max()});
+    out.push_back({name + ".mean", MetricKind::Gauge,
+                   static_cast<std::uint64_t>(std::llround(h.mean()))});
+    out.push_back({name + ".p50", MetricKind::Gauge, h.percentile(0.50)});
+    out.push_back({name + ".p95", MetricKind::Gauge, h.percentile(0.95)});
+    out.push_back({name + ".p99", MetricKind::Gauge, h.percentile(0.99)});
+  }
+  // Both maps are sorted, but interleaved histogram expansions are not:
+  // merge by name for a deterministic dump.
+  std::sort(out.begin(), out.end(),
+            [](const Sample& a, const Sample& b) { return a.name < b.name; });
+  return out;
+}
+
+void MetricsRegistry::write_json(std::ostream& os, int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  const auto samples = collect();
+  os << "{";
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << pad << "  \"" << samples[i].name
+       << "\": " << samples[i].value;
+  }
+  os << (samples.empty() ? "}" : "\n" + pad + "}");
+}
+
+}  // namespace speedlight::obs

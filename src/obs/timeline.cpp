@@ -1,0 +1,157 @@
+#include "obs/timeline.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace speedlight::obs {
+
+bool UnitTimeline::causally_ordered() const {
+  sim::SimTime prev = 0;
+  for (const sim::SimTime t : {capture, notify, cpu_process, collect}) {
+    if (t == kUnset) continue;
+    if (t < prev) return false;
+    prev = t;
+  }
+  return true;
+}
+
+SnapshotTimeline SnapshotTimeline::build(const Tracer& tracer,
+                                         std::uint64_t sid) {
+  SnapshotTimeline tl;
+  tl.sid = sid;
+
+  std::map<std::uint64_t, UnitTimeline> by_unit;  // key: pack_unit
+  const auto stage = [&](std::uint64_t key) -> UnitTimeline& {
+    auto [it, inserted] = by_unit.try_emplace(key);
+    if (inserted) it->second.unit = unpack_unit(key);
+    return it->second;
+  };
+  const auto first = [](sim::SimTime& slot, sim::SimTime ts) {
+    if (slot == kUnset) slot = ts;
+  };
+
+  tracer.for_each([&](const TraceEvent& e) {
+    switch (e.name) {
+      case EventName::ObsRequest:
+        if (e.a0 == sid) first(tl.requested, e.ts);
+        break;
+      case EventName::CpInitiate:
+      case EventName::CpReinitiate:
+        if (e.a0 >= sid) first(tl.initiated, e.ts);
+        break;
+      case EventName::SnapCapture:
+        if (e.a0 == sid) first(stage(e.a1).capture, e.ts);
+        break;
+      case EventName::SnapNotify:
+        if (e.a0 >= sid) first(stage(e.a1).notify, e.ts);
+        break;
+      case EventName::CpProcess:
+        if (e.a0 >= sid) first(stage(e.a1).cpu_process, e.ts);
+        break;
+      case EventName::ObsCollect:
+        if (e.a0 == sid) first(stage(e.a1).collect, e.ts);
+        break;
+      case EventName::ObsComplete:
+        if (e.a0 == sid) first(tl.completed, e.ts);
+        break;
+      default:
+        break;
+    }
+  });
+
+  // The snapshot's units are the collected ones; stage records for units
+  // that never reached the observer (excluded device, ring overwrite) are
+  // dropped rather than reported as half-empty rows.
+  tl.units.reserve(by_unit.size());
+  for (auto& [key, unit] : by_unit) {
+    (void)key;
+    if (unit.collect != kUnset) tl.units.push_back(unit);
+  }
+  std::sort(tl.units.begin(), tl.units.end(),
+            [](const UnitTimeline& a, const UnitTimeline& b) {
+              return a.unit < b.unit;
+            });
+  return tl;
+}
+
+std::size_t SnapshotTimeline::complete_units() const {
+  return static_cast<std::size_t>(
+      std::count_if(units.begin(), units.end(),
+                    [](const UnitTimeline& u) { return u.complete(); }));
+}
+
+bool SnapshotTimeline::causally_ordered() const {
+  return std::all_of(units.begin(), units.end(), [&](const UnitTimeline& u) {
+    if (!u.causally_ordered()) return false;
+    if (initiated != kUnset && u.capture != kUnset && u.capture < initiated) {
+      return false;
+    }
+    return true;
+  });
+}
+
+namespace {
+sim::Duration spread(const std::vector<UnitTimeline>& units,
+                     sim::SimTime UnitTimeline::* field) {
+  sim::SimTime lo = 0;
+  sim::SimTime hi = 0;
+  bool any = false;
+  for (const auto& u : units) {
+    const sim::SimTime t = u.*field;
+    if (t == UnitTimeline::kUnset) continue;
+    if (!any) {
+      lo = hi = t;
+      any = true;
+    } else {
+      lo = std::min(lo, t);
+      hi = std::max(hi, t);
+    }
+  }
+  return any ? hi - lo : 0;
+}
+
+double mean_gap(const std::vector<UnitTimeline>& units,
+                sim::SimTime UnitTimeline::* from,
+                sim::SimTime UnitTimeline::* to) {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& u : units) {
+    if (u.*from == UnitTimeline::kUnset || u.*to == UnitTimeline::kUnset) {
+      continue;
+    }
+    sum += static_cast<double>(u.*to - u.*from);
+    ++n;
+  }
+  return n ? sum / static_cast<double>(n) : 0.0;
+}
+}  // namespace
+
+sim::Duration SnapshotTimeline::capture_skew() const {
+  return spread(units, &UnitTimeline::capture);
+}
+
+sim::Duration SnapshotTimeline::collect_skew() const {
+  return spread(units, &UnitTimeline::collect);
+}
+
+double SnapshotTimeline::mean_capture_to_notify() const {
+  return mean_gap(units, &UnitTimeline::capture, &UnitTimeline::notify);
+}
+
+double SnapshotTimeline::mean_notify_to_cpu() const {
+  return mean_gap(units, &UnitTimeline::notify, &UnitTimeline::cpu_process);
+}
+
+double SnapshotTimeline::mean_cpu_to_collect() const {
+  return mean_gap(units, &UnitTimeline::cpu_process, &UnitTimeline::collect);
+}
+
+sim::Duration SnapshotTimeline::end_to_end() const {
+  if (initiated == kUnset) return kUnset;
+  if (completed != kUnset) return completed - initiated;
+  sim::SimTime last = kUnset;
+  for (const auto& u : units) last = std::max(last, u.collect);
+  return last == kUnset ? kUnset : last - initiated;
+}
+
+}  // namespace speedlight::obs

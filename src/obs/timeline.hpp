@@ -1,0 +1,88 @@
+// Per-snapshot causal timeline reconstruction: given the flight recorder's
+// ring and a snapshot id, rebuild the chain
+//
+//   initiation -> per-unit marker propagation / register capture
+//              -> notification -> CPU processing -> observer collection
+//
+// and compute the skew/latency breakdowns programmatically — the numbers
+// behind the paper's Figure 9 (capture skew across units) and Figure 10
+// (per-notification control-plane service time) become library calls.
+//
+// Identification rules (all times are true simulation time):
+//  * `initiated`  — earliest cp.initiate covering the id (a0 >= sid: a unit
+//    that jumps past sid resolves it too);
+//  * per-unit `capture` — first snap.capture with a0 == sid;
+//  * per-unit `notify` — first snap.notify with a0 >= sid (the
+//    notification that carried this unit's advance past sid);
+//  * per-unit `cpu_process` — first cp.process for the unit with a0 >= sid;
+//  * per-unit `collect` — first obs.collect with a0 == sid (this is also
+//    what enumerates the units of the snapshot);
+//  * `completed` — the obs.complete instant for the id.
+//
+// Units whose value was inferred or marked inconsistent may miss a capture
+// record (the hardware never wrote the slot); `UnitTimeline::complete()`
+// distinguishes them, and the skew/latency accessors skip them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/types.hpp"
+#include "obs/trace.hpp"
+#include "sim/time.hpp"
+
+namespace speedlight::obs {
+
+struct UnitTimeline {
+  static constexpr sim::SimTime kUnset = -1;
+
+  net::UnitId unit;
+  sim::SimTime capture = kUnset;      ///< Register capture (local advance).
+  sim::SimTime notify = kUnset;       ///< Notification left the data plane.
+  sim::SimTime cpu_process = kUnset;  ///< Control plane digested it.
+  sim::SimTime collect = kUnset;      ///< Observer collected the report.
+
+  /// All five stages observed for this unit.
+  [[nodiscard]] bool complete() const {
+    return capture != kUnset && notify != kUnset && cpu_process != kUnset &&
+           collect != kUnset;
+  }
+  /// capture <= notify <= cpu_process <= collect (stages that exist).
+  [[nodiscard]] bool causally_ordered() const;
+};
+
+struct SnapshotTimeline {
+  static constexpr sim::SimTime kUnset = UnitTimeline::kUnset;
+
+  std::uint64_t sid = 0;
+  sim::SimTime requested = kUnset;  ///< Observer issued the request.
+  sim::SimTime initiated = kUnset;  ///< First control-plane initiation.
+  sim::SimTime completed = kUnset;  ///< Global snapshot assembled.
+  std::vector<UnitTimeline> units;  ///< Sorted by unit id.
+
+  /// Reconstruct the timeline of `sid` from the recorder's ring.
+  static SnapshotTimeline build(const Tracer& tracer, std::uint64_t sid);
+
+  [[nodiscard]] std::size_t complete_units() const;
+
+  /// initiated <= every complete unit's ordered chain. The acceptance bar
+  /// for a healthy run.
+  [[nodiscard]] bool causally_ordered() const;
+
+  /// Figure 9's "synchronization": spread of register-capture instants
+  /// across units (kUnset-free units only; 0 if fewer than two).
+  [[nodiscard]] sim::Duration capture_skew() const;
+  /// Spread of observer collection instants.
+  [[nodiscard]] sim::Duration collect_skew() const;
+
+  // Latency decomposition (mean over complete units, ns; 0 if none).
+  [[nodiscard]] double mean_capture_to_notify() const;
+  [[nodiscard]] double mean_notify_to_cpu() const;  ///< Fig. 10's bottleneck.
+  [[nodiscard]] double mean_cpu_to_collect() const;
+
+  /// initiated -> completed (falls back to the last collection if the
+  /// completion record was overwritten). kUnset if unreconstructable.
+  [[nodiscard]] sim::Duration end_to_end() const;
+};
+
+}  // namespace speedlight::obs

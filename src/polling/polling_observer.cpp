@@ -10,13 +10,22 @@ void PollingObserver::sweep_at(sim::SimTime when,
   auto sweep = std::make_shared<PollSweep>();
   sweep->samples.reserve(units_.size());
   auto cb = std::make_shared<std::function<void(PollSweep)>>(std::move(done));
-  sim_.at(when, [this, sweep, cb]() { poll_next(sweep, 0, cb); });
+  sim_.at(when, [this, sweep, cb]() {
+    sweep->started = sim_.now();
+    poll_next(sweep, 0, cb);
+  });
 }
 
 void PollingObserver::poll_next(
     std::shared_ptr<PollSweep> sweep, std::size_t index,
     std::shared_ptr<std::function<void(PollSweep)>> done) {
   if (index >= units_.size()) {
+    ++sweeps_;
+    if (sweep_span_) sweep_span_->record(sweep->span());
+    sim_.tracer().complete(obs::Category::Observer, obs::EventName::PollSweep,
+                           obs::poller_track(), sweep->started,
+                           sim_.now() - sweep->started,
+                           sweep->samples.size());
     if (*done) (*done)(std::move(*sweep));
     return;
   }
@@ -26,8 +35,12 @@ void PollingObserver::poll_next(
   const sim::Duration rtt = timing_.sample_poll_latency(rng_);
   snap::UnitHandle* unit = units_[index];
   sim_.after(rtt, [this, sweep, index, done, unit]() {
-    sweep->samples.push_back(
-        {unit->unit_id(), unit->read_live_counter(), sim_.now()});
+    const std::uint64_t value = unit->read_live_counter();
+    sweep->samples.push_back({unit->unit_id(), value, sim_.now()});
+    ++samples_;
+    sim_.tracer().instant(obs::Category::Observer, obs::EventName::PollRead,
+                          obs::poller_track(), sim_.now(),
+                          obs::pack_unit(unit->unit_id()), value);
     poll_next(sweep, index + 1, done);
   });
 }

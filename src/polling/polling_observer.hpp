@@ -27,6 +27,7 @@ struct PollSample {
 
 struct PollSweep {
   std::vector<PollSample> samples;
+  sim::SimTime started = 0;  ///< True time the sweep began.
 
   /// First-to-last read time: the sweep's intrinsic asynchronicity.
   [[nodiscard]] sim::Duration span() const {
@@ -45,7 +46,14 @@ class PollingObserver {
  public:
   PollingObserver(sim::Simulator& sim, const sim::TimingModel& timing,
                   sim::Rng rng)
-      : sim_(sim), timing_(timing), rng_(rng) {}
+      : sim_(sim), timing_(timing), rng_(rng) {
+    auto& reg = sim_.metrics();
+    reg.register_reader("polling.sweeps", obs::MetricKind::Counter,
+                        [this] { return sweeps_; });
+    reg.register_reader("polling.samples", obs::MetricKind::Counter,
+                        [this] { return samples_; });
+    sweep_span_ = &reg.histogram("polling.sweep_span_ns");
+  }
 
   PollingObserver(const PollingObserver&) = delete;
   PollingObserver& operator=(const PollingObserver&) = delete;
@@ -68,6 +76,9 @@ class PollingObserver {
   const sim::TimingModel& timing_;
   sim::Rng rng_;
   std::vector<snap::UnitHandle*> units_;
+  std::uint64_t sweeps_ = 0;
+  std::uint64_t samples_ = 0;
+  obs::Histogram* sweep_span_ = nullptr;  // registry-owned
 };
 
 }  // namespace speedlight::poll

@@ -2,11 +2,12 @@
 //
 // std::function heap-allocates any capture list larger than (typically) two
 // pointers and requires copyability; every packet hop paid that allocation.
-// InplaceCallback stores up to kInlineBytes of capture state inline in the
-// event slot itself, supports move-only captures (e.g. a PooledPacket
-// handle), and falls back to a single heap allocation only for oversized
-// callables — hot call sites static_assert fits_inline so the fallback can
-// never silently reappear there.
+// InplaceFunction<R(Args...)> stores up to kInlineBytes of capture state
+// inline, supports move-only captures (e.g. a PooledPacket handle), and
+// falls back to a single heap allocation only for oversized callables — hot
+// call sites static_assert fits_inline so the fallback can never silently
+// reappear there. InplaceCallback is the nullary void specialization the
+// event queue stores.
 #pragma once
 
 #include <cstddef>
@@ -16,7 +17,11 @@
 
 namespace speedlight::sim {
 
-class InplaceCallback {
+template <typename Signature>
+class InplaceFunction;
+
+template <typename R, typename... Args>
+class InplaceFunction<R(Args...)> {
  public:
   /// Inline capture budget. Sized so `[this, PooledPacket, SimTime, ...]`
   /// hot-path lambdas fit with room to spare, while an event slot stays
@@ -31,12 +36,12 @@ class InplaceCallback {
       alignof(std::decay_t<F>) <= kInlineAlign &&
       std::is_nothrow_move_constructible_v<std::decay_t<F>>;
 
-  InplaceCallback() noexcept = default;
+  InplaceFunction() noexcept = default;
 
   template <typename F>
-    requires(!std::is_same_v<std::decay_t<F>, InplaceCallback> &&
-             std::is_invocable_v<std::decay_t<F>&>)
-  InplaceCallback(F&& fn) {  // NOLINT(google-explicit-constructor)
+    requires(!std::is_same_v<std::decay_t<F>, InplaceFunction> &&
+             std::is_invocable_r_v<R, std::decay_t<F>&, Args...>)
+  InplaceFunction(F&& fn) {  // NOLINT(google-explicit-constructor)
     using D = std::decay_t<F>;
     if constexpr (fits_inline<D>) {
       ::new (static_cast<void*>(buf_)) D(std::forward<F>(fn));
@@ -47,9 +52,9 @@ class InplaceCallback {
     }
   }
 
-  InplaceCallback(InplaceCallback&& other) noexcept { steal(other); }
+  InplaceFunction(InplaceFunction&& other) noexcept { steal(other); }
 
-  InplaceCallback& operator=(InplaceCallback&& other) noexcept {
+  InplaceFunction& operator=(InplaceFunction&& other) noexcept {
     if (this != &other) {
       reset();
       steal(other);
@@ -57,12 +62,14 @@ class InplaceCallback {
     return *this;
   }
 
-  InplaceCallback(const InplaceCallback&) = delete;
-  InplaceCallback& operator=(const InplaceCallback&) = delete;
+  InplaceFunction(const InplaceFunction&) = delete;
+  InplaceFunction& operator=(const InplaceFunction&) = delete;
 
-  ~InplaceCallback() { reset(); }
+  ~InplaceFunction() { reset(); }
 
-  void operator()() { ops_->invoke(buf_); }
+  R operator()(Args... args) {
+    return ops_->invoke(buf_, std::forward<Args>(args)...);
+  }
 
   [[nodiscard]] explicit operator bool() const noexcept {
     return ops_ != nullptr;
@@ -78,7 +85,7 @@ class InplaceCallback {
 
  private:
   struct Ops {
-    void (*invoke)(void* storage);
+    R (*invoke)(void* storage, Args&&... args);
     /// Move-construct the callable into `dst` from `src`, destroying `src`.
     void (*relocate)(void* dst, void* src) noexcept;
     void (*destroy)(void* storage) noexcept;
@@ -91,7 +98,9 @@ class InplaceCallback {
 
   template <typename D>
   static constexpr Ops kInlineOps{
-      [](void* p) { (*as<D>(p))(); },
+      [](void* p, Args&&... args) -> R {
+        return (*as<D>(p))(std::forward<Args>(args)...);
+      },
       [](void* dst, void* src) noexcept {
         ::new (dst) D(std::move(*as<D>(src)));
         as<D>(src)->~D();
@@ -102,12 +111,14 @@ class InplaceCallback {
   // The stored D* is trivially destructible; only the pointee needs care.
   template <typename D>
   static constexpr Ops kHeapOps{
-      [](void* p) { (**as<D*>(p))(); },
+      [](void* p, Args&&... args) -> R {
+        return (**as<D*>(p))(std::forward<Args>(args)...);
+      },
       [](void* dst, void* src) noexcept { ::new (dst) D*(*as<D*>(src)); },
       [](void* p) noexcept { delete *as<D*>(p); },
   };
 
-  void steal(InplaceCallback& other) noexcept {
+  void steal(InplaceFunction& other) noexcept {
     if (other.ops_ != nullptr) {
       other.ops_->relocate(buf_, other.buf_);
       ops_ = other.ops_;
@@ -118,5 +129,8 @@ class InplaceCallback {
   alignas(kInlineAlign) std::byte buf_[kInlineBytes];
   const Ops* ops_ = nullptr;
 };
+
+/// The event queue's callback slot: nullary, void-returning.
+using InplaceCallback = InplaceFunction<void()>;
 
 }  // namespace speedlight::sim

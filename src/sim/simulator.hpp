@@ -1,10 +1,14 @@
 // The simulation driver: owns the event queue, the current virtual time,
-// and the master RNG from which every component forks its own stream.
+// the master RNG from which every component forks its own stream, and the
+// simulation-wide flight recorder (trace ring + metrics registry) every
+// component reaches through its `sim::Simulator&`.
 #pragma once
 
 #include <cstdint>
 #include <limits>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/random.hpp"
 #include "sim/time.hpp"
@@ -22,7 +26,21 @@ struct SimulatorStats {
 
 class Simulator {
  public:
-  explicit Simulator(std::uint64_t seed = 1) : rng_(seed) {}
+  explicit Simulator(std::uint64_t seed = 1) : rng_(seed) {
+    // The simulator's own accounting joins the uniform metrics surface, so
+    // a registry dump always includes the event-core counters.
+    metrics_.register_reader("sim.events.scheduled", obs::MetricKind::Counter,
+                             [this] { return stats_.scheduled; });
+    metrics_.register_reader("sim.events.executed", obs::MetricKind::Counter,
+                             [this] { return stats_.executed; });
+    metrics_.register_reader("sim.events.cancelled", obs::MetricKind::Counter,
+                             [this] { return stats_.cancelled; });
+    metrics_.register_reader("sim.events.clamped_schedules",
+                             obs::MetricKind::Counter,
+                             [this] { return stats_.clamped_schedules; });
+    metrics_.register_reader("sim.events.pending", obs::MetricKind::Gauge,
+                             [this] { return std::uint64_t{queue_.size()}; });
+  }
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
@@ -40,9 +58,15 @@ class Simulator {
     return queue_.schedule(when, std::move(fn));
   }
 
-  /// Schedule `fn` after a relative delay (negative delays clamp to now).
+  /// Schedule `fn` after a relative delay. Negative delays clamp to now and
+  /// count as clamped_schedules, same as a past-time at().
   EventId after(Duration delay, EventQueue::Callback fn) {
-    return at(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+    if (delay < 0) {
+      ++stats_.scheduled;
+      ++stats_.clamped_schedules;
+      return queue_.schedule(now_, std::move(fn));
+    }
+    return at(now_ + delay, std::move(fn));
   }
 
   /// Cancel a pending event.
@@ -71,11 +95,22 @@ class Simulator {
   /// Master RNG; components should fork() their own streams.
   Rng& rng() { return rng_; }
 
+  /// The simulation-wide flight recorder. Disabled (one predicted branch
+  /// per record call) until a harness calls tracer().enable().
+  [[nodiscard]] obs::Tracer& tracer() { return tracer_; }
+  [[nodiscard]] const obs::Tracer& tracer() const { return tracer_; }
+
+  /// The unified metrics registry all components register into.
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const { return metrics_; }
+
  private:
   EventQueue queue_;
   SimTime now_ = 0;
   Rng rng_;
   SimulatorStats stats_;
+  obs::Tracer tracer_;
+  obs::MetricsRegistry metrics_;
 };
 
 }  // namespace speedlight::sim

@@ -16,7 +16,18 @@ ControlPlane::ControlPlane(sim::Simulator& sim, net::NodeId device,
       timing_(timing),
       options_(options),
       rng_(rng),
-      space_(options.snapshot.sid_space()) {}
+      space_(options.snapshot.sid_space()),
+      track_(obs::cpu_track(device)) {
+  using obs::MetricKind;
+  auto& reg = sim_.metrics();
+  const std::string prefix = "cp." + name_;
+  reg.register_reader(prefix + ".initiations_sent", MetricKind::Counter,
+                      [this] { return initiations_sent_; });
+  reg.register_reader(prefix + ".reinitiation_rounds", MetricKind::Counter,
+                      [this] { return reinit_rounds_; });
+  reg.register_reader(prefix + ".reports_sent", MetricKind::Counter,
+                      [this] { return reports_sent_; });
+}
 
 void ControlPlane::add_unit(UnitHandle* unit, std::vector<bool> completion_mask) {
   assert(unit != nullptr);
@@ -54,6 +65,9 @@ void ControlPlane::schedule_snapshot(VirtualSid id, sim::SimTime local_fire_time
 void ControlPlane::initiate_now(VirtualSid id) {
   latest_initiated_ = std::max(latest_initiated_, id);
   const WireSid wire = space_.to_wire(latest_initiated_);
+  sim_.tracer().instant(obs::Category::ControlPlane,
+                        obs::EventName::CpInitiate, track_, sim_.now(),
+                        latest_initiated_);
   // Sequential dispatch over ingress units: the CPU writes one initiation
   // at a time into the ASIC (Figure 6 path 3).
   sim::Duration offset = 0;
@@ -81,6 +95,9 @@ void ControlPlane::arm_reinitiation(VirtualSid id, int attempt) {
     if (locally_complete(id)) return;
     if (attempt >= options_.max_reinitiations) return;
     ++reinit_rounds_;
+    sim_.tracer().instant(obs::Category::ControlPlane,
+                          obs::EventName::CpReinitiate, track_, sim_.now(),
+                          latest_initiated_);
     // Always resend the *latest* initiated id: per-channel ids must stay
     // monotonic, and advancing a lagging unit past `id` resolves `id` too
     // (by marking or inference).
@@ -123,6 +140,9 @@ void ControlPlane::handle_notification_cs(UnitState& u, const Notification& n) {
   // Figure 7, OnNotifyCS. Wire values are unrolled against the controller's
   // own (monotonic) view; notifications arrive in order per unit.
   const VirtualSid current = space_.unroll_monotonic(u.ctrl_sid, n.new_sid);
+  sim_.tracer().instant(obs::Category::ControlPlane, obs::EventName::CpProcess,
+                        track_, sim_.now(), current,
+                        obs::pack_unit(n.unit));
   if (current != u.ctrl_sid) {
     // Ids the unit skipped past before their channel state was final can no
     // longer accumulate in-flight packets correctly: mark inconsistent.
@@ -161,6 +181,9 @@ void ControlPlane::handle_notification_nocs(UnitState& u, const Notification& n)
   // moment its id advances; skipped ids are inferred from the next valid
   // value (lines 19-21).
   const VirtualSid current = space_.unroll_monotonic(u.ctrl_sid, n.new_sid);
+  sim_.tracer().instant(obs::Category::ControlPlane, obs::EventName::CpProcess,
+                        track_, sim_.now(), current,
+                        obs::pack_unit(n.unit));
   if (current == u.ctrl_sid) return;
   const std::uint64_t window = options_.snapshot.slots();
   VirtualSid stamp_from = u.ctrl_sid + 1;
@@ -292,6 +315,8 @@ void ControlPlane::report_inconsistent(UnitState& u, VirtualSid sid) {
 
 void ControlPlane::ship(const UnitReport& r) {
   ++reports_sent_;
+  sim_.tracer().instant(obs::Category::ControlPlane, obs::EventName::CpReport,
+                        track_, sim_.now(), r.sid, obs::pack_unit(r.unit));
   if (!report_) return;
   sim_.after(timing_.observer_rpc_latency, [this, r]() { report_(r); });
 }

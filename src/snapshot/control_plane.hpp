@@ -130,6 +130,7 @@ class ControlPlane {
   ReportSink report_;
 
   VirtualSid latest_initiated_ = 0;
+  std::uint64_t track_ = 0;  ///< Flight-recorder lane (obs::cpu_track).
   std::uint64_t initiations_sent_ = 0;
   std::uint64_t reinit_rounds_ = 0;
   std::uint64_t reports_sent_ = 0;

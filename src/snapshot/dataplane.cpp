@@ -29,6 +29,11 @@ void DataplaneUnit::save_local_state(VirtualSid sid, sim::SimTime now) {
   s.wire_sid = space_.to_wire(sid);
   s.initialized = true;
   s.saved_at = now;
+  ++captures_;
+  if (tracer_) {
+    tracer_->instant(obs::Category::SnapshotSm, obs::EventName::SnapCapture,
+                     track_, now, sid, obs::pack_unit(id_));
+  }
 }
 
 WireSid DataplaneUnit::on_packet(const PacketView& pkt, std::uint16_t channel,
@@ -73,6 +78,7 @@ WireSid DataplaneUnit::on_packet(const PacketView& pkt, std::uint16_t channel,
       for (VirtualSid i = first; i <= v; ++i) save_local_state(i, now);
     }
     sid_ = v;
+    ++advances_;
   } else if (v < sid_) {
     // In-flight packet: sent before snapshot sid_, received after. Control
     // messages are never treated as in-flight (Section 6).
@@ -111,6 +117,11 @@ WireSid DataplaneUnit::on_packet(const PacketView& pkt, std::uint16_t channel,
       n.new_last_seen = space_.to_wire(last_seen_[channel]);
     }
     n.timestamp = now;
+    ++notifications_;
+    if (tracer_) {
+      tracer_->instant(obs::Category::SnapshotSm, obs::EventName::SnapNotify,
+                       track_, now, sid_, obs::pack_unit(id_));
+    }
     notify_(n);
   }
 

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "net/types.hpp"
+#include "obs/trace.hpp"
 #include "sim/time.hpp"
 #include "snapshot/config.hpp"
 #include "snapshot/ids.hpp"
@@ -101,6 +102,22 @@ class DataplaneUnit {
   [[nodiscard]] net::UnitId id() const { return id_; }
   [[nodiscard]] const SnapshotConfig& config() const { return config_; }
 
+  // --- Observability -------------------------------------------------------
+  // The unit is a pure state machine with no simulator reference, so the
+  // embedding switch attaches the flight recorder after construction.
+  void attach_observability(obs::Tracer* tracer) {
+    tracer_ = tracer;
+    track_ = obs::unit_track(id_);
+  }
+  /// Snapshot-id advances observed by this unit (sid register moved forward).
+  [[nodiscard]] std::uint64_t advances() const { return advances_; }
+  /// Local-state captures written into the register array.
+  [[nodiscard]] std::uint64_t captures() const { return captures_; }
+  /// Notifications emitted towards the CPU.
+  [[nodiscard]] std::uint64_t notifications_sent() const {
+    return notifications_;
+  }
+
  private:
   void save_local_state(VirtualSid sid, sim::SimTime now);
   SlotValue& slot(VirtualSid sid) { return slots_[sid % slots_.size()]; }
@@ -117,6 +134,12 @@ class DataplaneUnit {
   VirtualSid sid_ = 0;
   std::vector<VirtualSid> last_seen_;
   std::vector<SlotValue> slots_;
+
+  obs::Tracer* tracer_ = nullptr;  // null until attach_observability()
+  std::uint64_t track_ = 0;
+  std::uint64_t advances_ = 0;
+  std::uint64_t captures_ = 0;
+  std::uint64_t notifications_ = 0;
 };
 
 }  // namespace speedlight::snap

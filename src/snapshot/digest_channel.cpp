@@ -15,6 +15,10 @@ void DigestChannel::push(const Notification& n) {
   if (timing_.notification_drop_probability > 0.0 &&
       rng_.chance(timing_.notification_drop_probability)) {
     ++dropped_random_;
+    if (tracer_) {
+      tracer_->instant(obs::Category::NotifChannel, obs::EventName::NotifDrop,
+                       track_, sim_.now(), /*a0=*/1, obs::pack_unit(n.unit));
+    }
     return;
   }
   accumulating_.push_back(n);
@@ -37,6 +41,7 @@ void DigestChannel::flush() {
   }
   if (accumulating_.empty()) return;
   ++digests_;
+  if (digest_batch_) digest_batch_->record(accumulating_.size());
   std::vector<Notification> digest;
   digest.swap(accumulating_);
   sim_.after(timing_.notification_pcie_latency,
@@ -44,6 +49,13 @@ void DigestChannel::flush() {
                // Bounded digest queue at the driver.
                if (cpu_queue_.size() >= timing_.digest_queue_capacity) {
                  dropped_overflow_ += digest.size();
+                 if (tracer_) {
+                   // One overflow instant per lost digest; a1 carries how
+                   // many notifications went down with it.
+                   tracer_->instant(obs::Category::NotifChannel,
+                                    obs::EventName::NotifDrop, track_,
+                                    sim_.now(), /*a0=*/0, digest.size());
+                 }
                  return;
                }
                cpu_queue_.push_back(std::move(digest));
@@ -64,6 +76,17 @@ void DigestChannel::drain() {
     const std::vector<Notification> digest = std::move(cpu_queue_.front());
     cpu_queue_.pop_front();
     delivered_ += digest.size();
+    if (tracer_) {
+      // One span per serviced digest, covering its driver processing cost.
+      const auto cost = timing_.digest_batch_overhead +
+                        static_cast<sim::Duration>(digest.size()) *
+                            timing_.digest_per_entry_cost;
+      tracer_->complete(obs::Category::NotifChannel,
+                        obs::EventName::NotifService, track_,
+                        sim_.now() - cost, cost,
+                        digest.empty() ? 0 : digest.front().new_sid,
+                        digest.size());
+    }
     for (const auto& n : digest) sink_(n);
   }
   if (!cpu_queue_.empty()) {
@@ -74,6 +97,14 @@ void DigestChannel::drain() {
   } else {
     draining_ = false;
   }
+}
+
+void DigestChannel::register_metrics(obs::MetricsRegistry& reg,
+                                     const std::string& prefix) {
+  NotificationTransport::register_metrics(reg, prefix);
+  reg.register_reader(prefix + ".digests_flushed", obs::MetricKind::Counter,
+                      [this] { return digests_; });
+  digest_batch_ = &reg.histogram(prefix + ".digest_batch");
 }
 
 }  // namespace speedlight::snap

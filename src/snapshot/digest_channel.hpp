@@ -42,10 +42,18 @@ class DigestChannel final : public NotificationTransport {
   /// Backlog in notifications (pending digests + the accumulating one).
   [[nodiscard]] std::size_t backlog() const override;
   [[nodiscard]] std::size_t max_backlog() const override { return max_backlog_; }
+
+  /// See NotificationTransport::reset_stats(): counters go to zero, the
+  /// high-water mark re-seeds to the live backlog (accumulating + queued).
   void reset_stats() override {
     delivered_ = dropped_overflow_ = dropped_random_ = 0;
     max_backlog_ = backlog();
   }
+
+  /// Base surface plus `<prefix>.digests_flushed` and the per-digest batch
+  /// size histogram `<prefix>.digest_batch`.
+  void register_metrics(obs::MetricsRegistry& reg,
+                        const std::string& prefix) override;
 
   [[nodiscard]] std::uint64_t digests_flushed() const { return digests_; }
 
@@ -70,6 +78,7 @@ class DigestChannel final : public NotificationTransport {
   std::uint64_t dropped_random_ = 0;
   std::uint64_t digests_ = 0;
   std::size_t max_backlog_ = 0;
+  obs::Histogram* digest_batch_ = nullptr;  // set by register_metrics()
 };
 
 }  // namespace speedlight::snap

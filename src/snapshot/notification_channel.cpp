@@ -8,6 +8,10 @@ void NotificationChannel::push(const Notification& n) {
   if (timing_.notification_drop_probability > 0.0 &&
       rng_.chance(timing_.notification_drop_probability)) {
     ++dropped_random_;
+    if (tracer_) {
+      tracer_->instant(obs::Category::NotifChannel, obs::EventName::NotifDrop,
+                       track_, sim_.now(), /*a0=*/1, obs::pack_unit(n.unit));
+    }
     return;
   }
   sim_.after(timing_.notification_pcie_latency,
@@ -17,9 +21,13 @@ void NotificationChannel::push(const Notification& n) {
 void NotificationChannel::arrive(const Notification& n) {
   if (buffer_.size() >= timing_.notification_buffer_capacity) {
     ++dropped_overflow_;
+    if (tracer_) {
+      tracer_->instant(obs::Category::NotifChannel, obs::EventName::NotifDrop,
+                       track_, sim_.now(), /*a0=*/0, obs::pack_unit(n.unit));
+    }
     return;
   }
-  buffer_.push_back(n);
+  buffer_.push_back({n, sim_.now()});
   max_backlog_ = std::max(max_backlog_, buffer_.size());
   if (!draining_) {
     draining_ = true;
@@ -30,16 +38,34 @@ void NotificationChannel::arrive(const Notification& n) {
 void NotificationChannel::drain() {
   // One notification finishes service now.
   if (!buffer_.empty()) {
-    const Notification n = buffer_.front();
+    const Queued q = buffer_.front();
     buffer_.pop_front();
     ++delivered_;
-    sink_(n);
+    const sim::SimTime now = sim_.now();
+    if (queue_delay_) {
+      queue_delay_->record(static_cast<std::uint64_t>(now - q.arrived));
+    }
+    if (tracer_) {
+      // The span covers this notification's service slot.
+      tracer_->complete(obs::Category::NotifChannel,
+                        obs::EventName::NotifService, track_,
+                        now - timing_.notification_service_time,
+                        timing_.notification_service_time, q.n.new_sid,
+                        obs::pack_unit(q.n.unit));
+    }
+    sink_(q.n);
   }
   if (!buffer_.empty()) {
     sim_.after(timing_.notification_service_time, [this]() { drain(); });
   } else {
     draining_ = false;
   }
+}
+
+void NotificationChannel::register_metrics(obs::MetricsRegistry& reg,
+                                           const std::string& prefix) {
+  NotificationTransport::register_metrics(reg, prefix);
+  queue_delay_ = &reg.histogram(prefix + ".queue_delay_ns");
 }
 
 }  // namespace speedlight::snap

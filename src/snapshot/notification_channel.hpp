@@ -43,12 +43,26 @@ class NotificationChannel final : public NotificationTransport {
   [[nodiscard]] std::size_t backlog() const override { return buffer_.size(); }
   [[nodiscard]] std::size_t max_backlog() const override { return max_backlog_; }
 
+  /// See NotificationTransport::reset_stats(): counters go to zero, the
+  /// high-water mark re-seeds to the live buffer occupancy.
   void reset_stats() override {
     delivered_ = dropped_overflow_ = dropped_random_ = 0;
     max_backlog_ = buffer_.size();
   }
 
+  /// Base surface plus the arrival->delivery latency histogram
+  /// `<prefix>.queue_delay_ns` (the Figure 10 bottleneck, measured).
+  void register_metrics(obs::MetricsRegistry& reg,
+                        const std::string& prefix) override;
+
  private:
+  /// A buffered notification plus its socket-buffer arrival time, so
+  /// delivery can record how long it waited (queue delay + service).
+  struct Queued {
+    Notification n;
+    sim::SimTime arrived = 0;
+  };
+
   void arrive(const Notification& n);
   void drain();
 
@@ -57,8 +71,9 @@ class NotificationChannel final : public NotificationTransport {
   sim::Rng rng_;
   Sink sink_;
 
-  std::deque<Notification> buffer_;
+  std::deque<Queued> buffer_;
   bool draining_ = false;
+  obs::Histogram* queue_delay_ = nullptr;  // set by register_metrics()
 
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_overflow_ = 0;

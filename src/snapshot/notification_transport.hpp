@@ -12,7 +12,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <string>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "snapshot/notification.hpp"
 
 namespace speedlight::snap {
@@ -32,7 +35,46 @@ class NotificationTransport {
   virtual std::uint64_t dropped_random() const = 0;
   virtual std::size_t backlog() const = 0;
   virtual std::size_t max_backlog() const = 0;
+
+  /// Zero the delivered/dropped counters and re-seed the `max_backlog()`
+  /// high-water mark to the *current* backlog — not to zero. Notifications
+  /// still queued keep occupying the buffer across the reset, so a
+  /// high-water mark below the live occupancy would under-report the very
+  /// pressure the Figure 10 detector exists to expose. Every transport must
+  /// implement exactly these semantics.
   virtual void reset_stats() = 0;
+
+  // --- Observability -------------------------------------------------------
+  /// Register the transport's counters under `prefix` (e.g.
+  /// "switch.s0.notif"). Overrides should call the base and then add any
+  /// transport-specific series.
+  virtual void register_metrics(obs::MetricsRegistry& reg,
+                                const std::string& prefix) {
+    using obs::MetricKind;
+    reg.register_reader(prefix + ".delivered", MetricKind::Counter,
+                        [this] { return delivered(); });
+    reg.register_reader(prefix + ".dropped_overflow", MetricKind::Counter,
+                        [this] { return dropped_overflow(); });
+    reg.register_reader(prefix + ".dropped_random", MetricKind::Counter,
+                        [this] { return dropped_random(); });
+    reg.register_reader(prefix + ".backlog", MetricKind::Gauge, [this] {
+      return static_cast<std::uint64_t>(backlog());
+    });
+    reg.register_reader(prefix + ".max_backlog", MetricKind::Gauge, [this] {
+      return static_cast<std::uint64_t>(max_backlog());
+    });
+  }
+
+  /// Attach the flight recorder; `track` is the exported timeline lane
+  /// (conventionally obs::notif_track(device)).
+  void attach_observability(obs::Tracer* tracer, std::uint64_t track) {
+    tracer_ = tracer;
+    track_ = track;
+  }
+
+ protected:
+  obs::Tracer* tracer_ = nullptr;  // null until attach_observability()
+  std::uint64_t track_ = 0;
 };
 
 enum class NotificationMode : std::uint8_t {

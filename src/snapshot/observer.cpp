@@ -58,7 +58,20 @@ Observer::Observer(sim::Simulator& sim, const sim::TimingModel& timing,
     : sim_(sim),
       timing_(timing),
       options_(options),
-      space_(options.snapshot.sid_space()) {}
+      space_(options.snapshot.sid_space()) {
+  using obs::MetricKind;
+  auto& reg = sim_.metrics();
+  reg.register_reader("observer.requested", MetricKind::Counter, [this] {
+    return std::uint64_t{requested_count()};
+  });
+  reg.register_reader("observer.completed", MetricKind::Counter,
+                      [this] { return std::uint64_t{completed_}; });
+  reg.register_reader("observer.devices", MetricKind::Gauge,
+                      [this] { return std::uint64_t{devices_.size()}; });
+  reg.register_reader("observer.units", MetricKind::Gauge,
+                      [this] { return std::uint64_t{total_units_}; });
+  completion_latency_ = &reg.histogram("observer.completion_latency_ns");
+}
 
 void Observer::register_device(ControlPlane* cp) {
   cp->set_report_sink([this](const UnitReport& r) { on_report(r); });
@@ -92,6 +105,9 @@ std::optional<VirtualSid> Observer::request_snapshot(sim::SimTime when) {
     snap.expected_devices[dev.cp->device()] = dev.units.size();
   }
 
+  sim_.tracer().instant(obs::Category::Observer, obs::EventName::ObsRequest,
+                        obs::observer_track(), sim_.now(), id);
+
   // Register the event with every device control plane (one RPC each).
   for (auto& dev : devices_) {
     ControlPlane* cp = dev.cp;
@@ -116,6 +132,9 @@ void Observer::on_report(const UnitReport& r) {
     return;
   }
   snap.reports.emplace(r.unit, r);  // Duplicates keep the first copy.
+  sim_.tracer().instant(obs::Category::Observer, obs::EventName::ObsCollect,
+                        obs::observer_track(), sim_.now(), r.sid,
+                        obs::pack_unit(r.unit));
   check_complete(r.sid);
 }
 
@@ -137,6 +156,13 @@ void Observer::check_complete(VirtualSid id) {
   snap.complete = true;
   snap.completed_at = sim_.now();
   ++completed_;
+  sim_.tracer().instant(obs::Category::Observer, obs::EventName::ObsComplete,
+                        obs::observer_track(), sim_.now(), id,
+                        snap.reports.size());
+  if (completion_latency_ && snap.completed_at >= snap.scheduled_at) {
+    completion_latency_->record(
+        static_cast<std::uint64_t>(snap.completed_at - snap.scheduled_at));
+  }
   if (on_complete_) on_complete_(snap);
 }
 

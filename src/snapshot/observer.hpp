@@ -111,6 +111,8 @@ class Observer {
   VirtualSid next_sid_ = 1;
   std::size_t completed_ = 0;
   std::function<void(const GlobalSnapshot&)> on_complete_;
+  /// Scheduled-fire-time -> assembly latency (registry-owned).
+  obs::Histogram* completion_latency_ = nullptr;
 };
 
 }  // namespace speedlight::snap

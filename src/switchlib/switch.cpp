@@ -157,16 +157,50 @@ void Switch::finalize() {
         sim_, timing_, rng_.fork("notif"), sink);
   }
 
+  // Register this switch with the flight recorder: drop counters plus the
+  // notification transport's surface, all under "switch.<name>".
+  auto& reg = sim_.metrics();
+  const std::string prefix = "switch." + name();
+  reg.register_reader(prefix + ".queue_drops", obs::MetricKind::Counter,
+                      [this] { return queue_drops(); });
+  reg.register_reader(prefix + ".forwarding_drops", obs::MetricKind::Counter,
+                      [this] { return fwd_drops_; });
+  reg.register_reader(prefix + ".ttl_drops", obs::MetricKind::Counter,
+                      [this] { return ttl_drops_; });
+  notif_->register_metrics(reg, prefix + ".notif");
+  notif_->attach_observability(&sim_.tracer(), obs::notif_track(id()));
+
   if (!options_.snapshot_enabled) return;
 
   for (auto& port : ports_) {
     port->ingress.build_dataplane();
     port->egress.build_dataplane();
+    port->ingress.dataplane()->attach_observability(&sim_.tracer());
+    port->egress.dataplane()->attach_observability(&sim_.tracer());
     // Queue-depth gauge for the egress unit.
     CosQueueSet* q = &port->queue;
     port->egress.counters().set_queue_depth_gauge(
         [q]() { return static_cast<std::uint64_t>(q->size()); });
   }
+  // Aggregate snapshot-state-machine activity across all units.
+  reg.register_reader(prefix + ".snap.captures", obs::MetricKind::Counter,
+                      [this] {
+                        std::uint64_t total = 0;
+                        for (const auto& p : ports_) {
+                          total += p->ingress.dataplane()->captures();
+                          total += p->egress.dataplane()->captures();
+                        }
+                        return total;
+                      });
+  reg.register_reader(prefix + ".snap.notifications", obs::MetricKind::Counter,
+                      [this] {
+                        std::uint64_t total = 0;
+                        for (const auto& p : ports_) {
+                          total += p->ingress.dataplane()->notifications_sent();
+                          total += p->egress.dataplane()->notifications_sent();
+                        }
+                        return total;
+                      });
 
   // Register units with the control plane: ingress units first (initiation
   // dispatch order), then egress.
