@@ -1,0 +1,286 @@
+#include "check/fuzzer.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "net/faults.hpp"
+#include "workload/basic.hpp"
+
+namespace speedlight::check {
+
+namespace {
+
+struct SingleRun {
+  RunResult result;  ///< Violations from the run's own invariants.
+  /// Completed snapshots, copied out so the oracle comparison can outlive
+  /// the network.
+  std::map<snap::VirtualSid, snap::GlobalSnapshot> completed;
+};
+
+SingleRun run_once(const Scenario& s, const RunOptions& opts,
+                   bool hardware_faithful) {
+  core::NetworkOptions nopt = s.network_options();
+  nopt.snapshot.hardware_faithful = hardware_faithful;
+  const sim::TimingModel base_timing = nopt.timing;
+  core::Network net(s.topology(), nopt);
+
+  // Workload: Poisson all-to-all from `generators` hosts (round-robin).
+  std::vector<net::NodeId> all;
+  for (std::size_t h = 0; h < net.num_hosts(); ++h) {
+    all.push_back(net.host_id(h));
+  }
+  std::vector<std::unique_ptr<wl::Generator>> gens;
+  const std::size_t n_gens =
+      std::max<std::size_t>(1, std::min(s.workload.generators, net.num_hosts()));
+  for (std::size_t g = 0; g < n_gens; ++g) {
+    const std::size_t h = g % net.num_hosts();
+    std::vector<net::NodeId> dsts;
+    for (const auto id : all) {
+      if (id != net.host_id(h)) dsts.push_back(id);
+    }
+    if (dsts.empty()) break;  // Single-host topology: nothing to send to.
+    auto gen = std::make_unique<wl::PoissonGenerator>(
+        net.simulator(), net.host(h), std::move(dsts), s.workload.rate_pps,
+        s.workload.packet_size, sim::Rng(s.seed * 977 + g));
+    gen->start(net.now());
+    gens.push_back(std::move(gen));
+  }
+
+  // Fault schedule. All windows are relative to the end of warmup. Window
+  // ends restore the scenario's base value (overlapping windows of the
+  // same kind therefore end with the earliest restore — a deliberate,
+  // deterministic simplification).
+  std::vector<std::unique_ptr<net::LinkFlapper>> flappers;
+  const sim::SimTime epoch = s.warmup;
+  const std::size_t num_trunks = net.spec().trunks.size();
+  for (std::size_t i = 0; i < s.faults.size(); ++i) {
+    const FaultSpec& f = s.faults[i];
+    const sim::SimTime start = epoch + f.start;
+    const sim::SimTime end = start + f.duration;
+    switch (f.kind) {
+      case FaultKind::LinkFlap: {
+        if (num_trunks == 0) break;
+        net::Link& link = net.trunk_link(f.trunk % num_trunks, f.a_to_b);
+        auto fl = std::make_unique<net::LinkFlapper>(
+            net.simulator(), link, f.up_mean, f.down_mean,
+            sim::Rng(s.seed ^ (0x9E3779B97F4A7C15ULL * (i + 1))));
+        fl->start(start);
+        net.simulator().at(end, [p = fl.get()]() { p->stop(); });
+        flappers.push_back(std::move(fl));
+        break;
+      }
+      case FaultKind::NotifDropBurst:
+        net.simulator().at(start, [&net, m = f.magnitude]() {
+          net.mutable_timing().notification_drop_probability = m;
+        });
+        net.simulator().at(
+            end, [&net, v = base_timing.notification_drop_probability]() {
+              net.mutable_timing().notification_drop_probability = v;
+            });
+        break;
+      case FaultKind::CpuBacklogSpike: {
+        const auto spiked = static_cast<sim::Duration>(
+            static_cast<double>(base_timing.notification_service_time) *
+            f.magnitude);
+        net.simulator().at(start, [&net, spiked]() {
+          net.mutable_timing().notification_service_time = spiked;
+        });
+        net.simulator().at(
+            end, [&net, v = base_timing.notification_service_time]() {
+              net.mutable_timing().notification_service_time = v;
+            });
+        break;
+      }
+      case FaultKind::ObserverRestart:
+        net.simulator().at(start, [&net]() { net.observer().set_down(true); });
+        net.simulator().at(end, [&net]() { net.observer().set_down(false); });
+        break;
+    }
+  }
+
+  net.run_for(s.warmup);
+  const auto campaign =
+      core::run_snapshot_campaign(net, s.snapshots, s.interval);
+
+  CheckOptions copt;
+  copt.subtract_channel_state = !opts.break_conservation;
+  // The synchronization guarantee (Figure 9's span) holds for healthy
+  // marker delivery only: any fault can force re-initiation, which
+  // legitimately spreads local snapshot instants by the timeout, not the
+  // clock error. Bound the span only in fault-free scenarios.
+  copt.sync_span_bound =
+      s.faults.empty()
+          ? sync_span_bound(s.ptp_residual_stddev, s.drift_ppm, net.now())
+          : 0;
+  copt.per_drop_slack =
+      s.metric == sw::MetricKind::ByteCount ? s.workload.packet_size : 1;
+  copt.expect_complete =
+      s.faults.empty() && s.transport == snap::NotificationMode::RawSocket;
+  ConsistencyChecker checker(net, copt);
+
+  SingleRun out;
+  out.result.violations = checker.check_all(campaign);
+  out.result.requested = campaign.ids.size();
+  out.result.skipped = campaign.skipped;
+  out.result.conservation_checked = checker.conservation_checked();
+  for (const auto* snap : campaign.results(net)) {
+    out.completed.emplace(snap->id, *snap);
+  }
+  out.result.completed = out.completed.size();
+  for (std::size_t t = 0; t < num_trunks; ++t) {
+    out.result.link_drops += net.trunk_link(t, true).packets_dropped();
+    out.result.link_drops += net.trunk_link(t, false).packets_dropped();
+  }
+  for (const auto& fl : flappers) out.result.flaps += fl->flaps();
+  return out;
+}
+
+}  // namespace
+
+RunResult run_scenario(const Scenario& s, const RunOptions& opts) {
+  SingleRun hw = run_once(s, opts, /*hardware_faithful=*/true);
+  RunResult result = std::move(hw.result);
+  if (opts.with_oracle) {
+    const SingleRun ideal = run_once(s, opts, /*hardware_faithful=*/false);
+    ConsistencyChecker::check_oracle(hw.completed, ideal.completed,
+                                     result.violations);
+  }
+  return result;
+}
+
+namespace {
+
+std::size_t num_switches(const Scenario& s) {
+  return s.topology().switches.size();
+}
+
+/// Reduction candidates, most aggressive first within each family.
+std::vector<Scenario> shrink_candidates(const Scenario& s) {
+  std::vector<Scenario> out;
+
+  // 1. Drop faults one at a time (later faults first: they are likelier
+  //    incidental to a failure triggered early in the schedule).
+  for (std::size_t i = s.faults.size(); i-- > 0;) {
+    Scenario c = s;
+    c.faults.erase(c.faults.begin() + static_cast<std::ptrdiff_t>(i));
+    out.push_back(std::move(c));
+  }
+
+  // 2. Topology ladder: candidates with strictly fewer switches.
+  const std::size_t cur = num_switches(s);
+  auto push_topo = [&](TopoKind k, std::size_t a, std::size_t b,
+                       std::size_t c) {
+    Scenario t = s;
+    t.topo = k;
+    t.size_a = a;
+    t.size_b = b;
+    t.size_c = c;
+    if (num_switches(t) < cur) out.push_back(std::move(t));
+  };
+  switch (s.topo) {
+    case TopoKind::FatTree:
+      push_topo(TopoKind::LeafSpine, 2, 2, 2);
+      break;
+    case TopoKind::LeafSpine:
+      if (s.size_a > 2) push_topo(TopoKind::LeafSpine, s.size_a - 1, s.size_b, s.size_c);
+      if (s.size_b > 1) push_topo(TopoKind::LeafSpine, s.size_a, s.size_b - 1, s.size_c);
+      if (s.size_c > 1) push_topo(TopoKind::LeafSpine, s.size_a, s.size_b, s.size_c - 1);
+      break;
+    case TopoKind::Ring:
+      if (s.size_a > 3) push_topo(TopoKind::Ring, s.size_a - 1, s.size_b, s.size_c);
+      break;
+    case TopoKind::Line:
+      if (s.size_a > 2) push_topo(TopoKind::Line, s.size_a - 1, s.size_b, s.size_c);
+      break;
+    default:
+      break;
+  }
+  push_topo(TopoKind::Line, 2, 2, 2);  // The 2-switch floor, from any family.
+
+  // 3. Shorter snapshot train.
+  if (s.snapshots > 2) {
+    Scenario c = s;
+    c.snapshots = std::max<std::size_t>(2, s.snapshots / 2);
+    out.push_back(std::move(c));
+  }
+
+  // 4. Thinner workload.
+  if (s.workload.generators > 1) {
+    Scenario c = s;
+    c.workload.generators = s.workload.generators / 2;
+    out.push_back(std::move(c));
+  }
+  if (s.workload.rate_pps > 10'000.0) {
+    Scenario c = s;
+    c.workload.rate_pps = s.workload.rate_pps / 2.0;
+    out.push_back(std::move(c));
+  }
+
+  // 5. Shorter run.
+  if (s.interval > sim::msec(1)) {
+    Scenario c = s;
+    c.interval = std::max<sim::Duration>(sim::msec(1), s.interval / 2);
+    out.push_back(std::move(c));
+  }
+  if (s.warmup > sim::msec(1)) {
+    Scenario c = s;
+    c.warmup = std::max<sim::Duration>(sim::msec(1), s.warmup / 2);
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+}  // namespace
+
+ShrinkResult shrink_scenario(const Scenario& failing, const RunOptions& opts,
+                             std::size_t max_attempts) {
+  ShrinkResult res;
+  res.scenario = failing;
+  res.result = run_scenario(failing, opts);
+  if (!res.result.failed()) return res;  // Nothing to shrink.
+
+  bool improved = true;
+  while (improved && res.attempts < max_attempts) {
+    improved = false;
+    for (const Scenario& cand : shrink_candidates(res.scenario)) {
+      if (res.attempts >= max_attempts) break;
+      ++res.attempts;
+      RunResult r = run_scenario(cand, opts);
+      if (r.failed()) {
+        res.scenario = cand;
+        res.result = std::move(r);
+        ++res.steps;
+        improved = true;
+        break;  // Restart from the reduced scenario.
+      }
+    }
+  }
+  // The shrunk scenario must round-trip through its own serialization (the
+  // reproducer is shipped as a file); rates/magnitudes halved above stay
+  // exactly representable, so parse(to_string(s)) replays identically.
+  return res;
+}
+
+void FuzzStats::register_metrics(obs::MetricsRegistry& reg) const {
+  using obs::MetricKind;
+  reg.register_reader("fuzz.runs", MetricKind::Counter,
+                      [this] { return runs; });
+  reg.register_reader("fuzz.failures", MetricKind::Counter,
+                      [this] { return failures; });
+  reg.register_reader("fuzz.violations", MetricKind::Counter,
+                      [this] { return violations; });
+  reg.register_reader("fuzz.snapshots_checked", MetricKind::Counter,
+                      [this] { return snapshots_checked; });
+  reg.register_reader("fuzz.conservation_checked", MetricKind::Counter,
+                      [this] { return conservation_checked; });
+  reg.register_reader("fuzz.shrink_attempts", MetricKind::Counter,
+                      [this] { return shrink_attempts; });
+  reg.register_reader("fuzz.shrink_steps", MetricKind::Counter,
+                      [this] { return shrink_steps; });
+  reg.register_reader("fuzz.replays", MetricKind::Counter,
+                      [this] { return replays; });
+}
+
+}  // namespace speedlight::check

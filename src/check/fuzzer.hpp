@@ -1,0 +1,85 @@
+// The scenario fuzzer's engine: run one scenario end-to-end (build the
+// network, drive the workload, apply the fault schedule, take the snapshot
+// train, run the ConsistencyChecker, optionally cross-check against an
+// idealized Figure 3 twin of the same event stream), and shrink failing
+// scenarios to minimal reproducers by delta-debugging over the scenario
+// description. The CLI front-end is bench/speedlight_fuzz.cpp; replay
+// regression tests live in tests/check_replay_test.cpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/invariants.hpp"
+#include "check/scenario.hpp"
+#include "obs/metrics.hpp"
+
+namespace speedlight::check {
+
+struct RunOptions {
+  /// Run an idealized (hardware_faithful = false) twin of the same seeded
+  /// event stream and require mutually consistent reports to match exactly.
+  /// Doubles the cost of a run.
+  bool with_oracle = true;
+
+  /// Self-test: deliberately break the conservation checker (drop the
+  /// channel-state term) to prove the find-and-shrink loop works.
+  bool break_conservation = false;
+};
+
+struct RunResult {
+  std::vector<Violation> violations;
+  std::size_t requested = 0;  ///< Snapshot requests accepted by the observer.
+  std::size_t skipped = 0;    ///< Requests refused (rollover window).
+  std::size_t completed = 0;
+  std::uint64_t conservation_checked = 0;
+  std::uint64_t link_drops = 0;  ///< Wire drops across all links.
+  std::uint64_t flaps = 0;       ///< LinkFlapper transitions observed.
+
+  [[nodiscard]] bool failed() const { return !violations.empty(); }
+};
+
+/// Run one scenario (deterministic: equal scenarios yield equal results).
+[[nodiscard]] RunResult run_scenario(const Scenario& s,
+                                     const RunOptions& opts = {});
+
+struct ShrinkResult {
+  Scenario scenario;        ///< Minimal still-failing reproducer.
+  RunResult result;         ///< Its violations.
+  std::size_t attempts = 0; ///< Candidate runs spent.
+  std::size_t steps = 0;    ///< Accepted reductions.
+};
+
+/// Delta-debug a failing scenario down to a minimal reproducer: greedily
+/// drop faults, shrink the topology, shorten the snapshot train, and thin
+/// the workload while the scenario still fails, until a fixpoint or the
+/// attempt budget is exhausted.
+[[nodiscard]] ShrinkResult shrink_scenario(const Scenario& failing,
+                                           const RunOptions& opts,
+                                           std::size_t max_attempts = 64);
+
+/// Fuzzing-progress counters, registered into a MetricsRegistry so fuzz
+/// runs emit the same bench/registry JSON schema as every other harness.
+struct FuzzStats {
+  std::uint64_t runs = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t violations = 0;
+  std::uint64_t snapshots_checked = 0;
+  std::uint64_t conservation_checked = 0;
+  std::uint64_t shrink_attempts = 0;
+  std::uint64_t shrink_steps = 0;
+  std::uint64_t replays = 0;
+
+  void account(const RunResult& r) {
+    ++runs;
+    if (r.failed()) ++failures;
+    violations += r.violations.size();
+    snapshots_checked += r.completed;
+    conservation_checked += r.conservation_checked;
+  }
+
+  void register_metrics(obs::MetricsRegistry& reg) const;
+};
+
+}  // namespace speedlight::check

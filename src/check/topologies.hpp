@@ -1,0 +1,74 @@
+// Named, sized topology families shared by the scenario fuzzer's generator
+// and the test suite (tests/test_topologies.hpp). One switch statement
+// instead of the per-test copies it replaces.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "net/topology.hpp"
+
+namespace speedlight::check {
+
+enum class TopoKind : std::uint8_t {
+  Line,       ///< Chain of `a` switches, one host at each end.
+  Ring,       ///< Ring of `a` switches, one host per switch.
+  Star,       ///< One switch, `a` hosts.
+  LeafSpine,  ///< `a` leaves x `b` spines, `c` hosts per leaf (Figure 8).
+  FatTree,    ///< Three-level fat-tree with k = `a`.
+  Figure1,    ///< The asymmetric 2x2 example of Figure 1 (sizes ignored).
+};
+
+[[nodiscard]] constexpr const char* topo_kind_name(TopoKind k) {
+  switch (k) {
+    case TopoKind::Line: return "line";
+    case TopoKind::Ring: return "ring";
+    case TopoKind::Star: return "star";
+    case TopoKind::LeafSpine: return "leaf_spine";
+    case TopoKind::FatTree: return "fat_tree";
+    case TopoKind::Figure1: return "figure1";
+  }
+  return "?";
+}
+
+[[nodiscard]] inline std::optional<TopoKind> topo_kind_from_name(
+    std::string_view name) {
+  for (const TopoKind k :
+       {TopoKind::Line, TopoKind::Ring, TopoKind::Star, TopoKind::LeafSpine,
+        TopoKind::FatTree, TopoKind::Figure1}) {
+    if (name == topo_kind_name(k)) return k;
+  }
+  return std::nullopt;
+}
+
+/// Instantiate a sized member of the family. Sizes are clamped to each
+/// family's structural minimum (a line needs 2 switches, a fat-tree an even
+/// k >= 4, ...) so any (kind, a, b, c) tuple — including fuzzer-generated
+/// ones — yields a valid spec.
+[[nodiscard]] inline net::TopologySpec make_topo(TopoKind k, std::size_t a,
+                                                 std::size_t b = 2,
+                                                 std::size_t c = 2) {
+  switch (k) {
+    case TopoKind::Line:
+      return net::make_line(a < 2 ? 2 : a);
+    case TopoKind::Ring:
+      return net::make_ring(a < 3 ? 3 : a);
+    case TopoKind::Star:
+      return net::make_star(a < 2 ? 2 : a);
+    case TopoKind::LeafSpine:
+      return net::make_leaf_spine(a < 2 ? 2 : a, b < 1 ? 1 : b,
+                                  c < 1 ? 1 : c);
+    case TopoKind::FatTree: {
+      std::size_t kk = a < 4 ? 4 : a;
+      if (kk % 2 != 0) ++kk;  // Fat-trees require even k.
+      return net::make_fat_tree(kk);
+    }
+    case TopoKind::Figure1:
+      return net::make_figure1();
+  }
+  return net::make_star(2);
+}
+
+}  // namespace speedlight::check

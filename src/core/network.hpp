@@ -120,6 +120,13 @@ class Network {
   [[nodiscard]] snap::PtpService& ptp() { return *ptp_; }
   [[nodiscard]] const NetworkOptions& options() const { return options_; }
 
+  /// Mutable view of the live timing model. Every component holds a
+  /// reference into it, so runtime mutation takes effect immediately —
+  /// the fault-injection hook behind notification drop bursts and CPU
+  /// service-time spikes (src/check). Parameters sampled once at
+  /// construction (clock drift rates, buffer capacities) are unaffected.
+  [[nodiscard]] sim::TimingModel& mutable_timing() { return options_.timing; }
+
   /// Register every unit of every snapshot-capable switch with the polling
   /// baseline, in deterministic (switch, port, direction) order.
   void register_all_units_for_polling();

@@ -43,13 +43,16 @@ class LinkFlapper {
     if (!running_) return;
     down_ = true;
     ++flaps_;
+    // Remember the link's configured loss rate so go_up() can restore it
+    // (the link may legitimately be lossy even when "up").
+    up_loss_ = link_.loss_probability();
     link_.set_loss_probability(1.0);
     sim_.after(static_cast<sim::Duration>(rng_.exponential(down_mean_)),
                [this]() { go_up(); });
   }
   void go_up() {
     down_ = false;
-    link_.set_loss_probability(0.0);
+    link_.set_loss_probability(up_loss_);
     if (!running_) return;
     sim_.after(static_cast<sim::Duration>(rng_.exponential(up_mean_)),
                [this]() { go_down(); });
@@ -62,6 +65,7 @@ class LinkFlapper {
   sim::Rng rng_;
   bool running_ = false;
   bool down_ = false;
+  double up_loss_ = 0.0;  ///< Loss rate to restore on the next go_up().
   std::uint64_t flaps_ = 0;
 };
 

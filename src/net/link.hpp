@@ -53,6 +53,7 @@ class Link {
 
   /// Random per-packet loss probability in [0, 1].
   void set_loss_probability(double p) { loss_probability_ = p; }
+  [[nodiscard]] double loss_probability() const { return loss_probability_; }
 
   /// Force the next `n` packets to be dropped (deterministic fault
   /// injection for tests).

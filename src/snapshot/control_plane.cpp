@@ -328,6 +328,16 @@ void ControlPlane::start_register_poll() {
 }
 
 void ControlPlane::register_poll_tick() {
+  // Poll only while the notification path is quiet. In-flight notifications
+  // carry older register values than a direct read; fast-forwarding the
+  // controller view past them would make their wire sids unroll as huge
+  // forward jumps when they drain (the wire space cannot express "behind").
+  // A lost notification leaves the path quiet, so recovery still triggers.
+  if (in_flight_ && in_flight_() > 0) {
+    sim_.after(options_.register_poll_interval,
+               [this]() { register_poll_tick(); });
+    return;
+  }
   for (auto& u : units_) {
     // Synthesize notifications for any progress the CPU missed.
     const WireSid sid_reg = u.handle->read_sid_register();

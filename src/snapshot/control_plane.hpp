@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <set>
 #include <string>
@@ -65,6 +66,15 @@ class ControlPlane {
   void add_unit(UnitHandle* unit, std::vector<bool> completion_mask);
 
   void set_report_sink(ReportSink sink) { report_ = std::move(sink); }
+
+  /// Wire the notification transport's in_flight() so the proactive
+  /// register poll can tell whether the notification path is quiet. The
+  /// poll must not fast-forward the controller's view while notifications
+  /// are still in flight: their (older) wire sids would later unroll as
+  /// near-modulus forward jumps, corrupting ctrl_sid/ctrl_last_seen.
+  void set_in_flight_probe(std::function<std::size_t()> probe) {
+    in_flight_ = std::move(probe);
+  }
 
   /// This device's clock; the PTP service periodically re-aligns it.
   [[nodiscard]] sim::LocalClock& clock() { return clock_; }
@@ -135,6 +145,7 @@ class ControlPlane {
   std::uint64_t reinit_rounds_ = 0;
   std::uint64_t reports_sent_ = 0;
   bool poll_running_ = false;
+  std::function<std::size_t()> in_flight_;  ///< Transport quiescence probe.
 };
 
 }  // namespace speedlight::snap

@@ -22,6 +22,7 @@ void DigestChannel::push(const Notification& n) {
     return;
   }
   accumulating_.push_back(n);
+  ++pending_;
   max_backlog_ = std::max(max_backlog_, backlog());
   if (accumulating_.size() >= timing_.digest_batch_size) {
     flush();
@@ -48,6 +49,7 @@ void DigestChannel::flush() {
              [this, digest = std::move(digest)]() mutable {
                // Bounded digest queue at the driver.
                if (cpu_queue_.size() >= timing_.digest_queue_capacity) {
+                 pending_ -= digest.size();
                  dropped_overflow_ += digest.size();
                  if (tracer_) {
                    // One overflow instant per lost digest; a1 carries how
@@ -75,6 +77,7 @@ void DigestChannel::drain() {
   if (!cpu_queue_.empty()) {
     const std::vector<Notification> digest = std::move(cpu_queue_.front());
     cpu_queue_.pop_front();
+    pending_ -= digest.size();
     delivered_ += digest.size();
     if (tracer_) {
       // One span per serviced digest, covering its driver processing cost.

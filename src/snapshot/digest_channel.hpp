@@ -42,6 +42,7 @@ class DigestChannel final : public NotificationTransport {
   /// Backlog in notifications (pending digests + the accumulating one).
   [[nodiscard]] std::size_t backlog() const override;
   [[nodiscard]] std::size_t max_backlog() const override { return max_backlog_; }
+  [[nodiscard]] std::size_t in_flight() const override { return pending_; }
 
   /// See NotificationTransport::reset_stats(): counters go to zero, the
   /// high-water mark re-seeds to the live backlog (accumulating + queued).
@@ -71,6 +72,7 @@ class DigestChannel final : public NotificationTransport {
   bool flush_armed_ = false;
 
   std::deque<std::vector<Notification>> cpu_queue_;
+  std::size_t pending_ = 0;  ///< push()ed, not yet delivered or dropped.
   bool draining_ = false;
 
   std::uint64_t delivered_ = 0;

@@ -14,12 +14,14 @@ void NotificationChannel::push(const Notification& n) {
     }
     return;
   }
+  ++pending_;
   sim_.after(timing_.notification_pcie_latency,
              [this, n]() { arrive(n); });
 }
 
 void NotificationChannel::arrive(const Notification& n) {
   if (buffer_.size() >= timing_.notification_buffer_capacity) {
+    --pending_;
     ++dropped_overflow_;
     if (tracer_) {
       tracer_->instant(obs::Category::NotifChannel, obs::EventName::NotifDrop,
@@ -40,6 +42,7 @@ void NotificationChannel::drain() {
   if (!buffer_.empty()) {
     const Queued q = buffer_.front();
     buffer_.pop_front();
+    --pending_;
     ++delivered_;
     const sim::SimTime now = sim_.now();
     if (queue_delay_) {

@@ -42,6 +42,7 @@ class NotificationChannel final : public NotificationTransport {
   }
   [[nodiscard]] std::size_t backlog() const override { return buffer_.size(); }
   [[nodiscard]] std::size_t max_backlog() const override { return max_backlog_; }
+  [[nodiscard]] std::size_t in_flight() const override { return pending_; }
 
   /// See NotificationTransport::reset_stats(): counters go to zero, the
   /// high-water mark re-seeds to the live buffer occupancy.
@@ -72,6 +73,7 @@ class NotificationChannel final : public NotificationTransport {
   Sink sink_;
 
   std::deque<Queued> buffer_;
+  std::size_t pending_ = 0;  ///< push()ed, not yet delivered or dropped.
   bool draining_ = false;
   obs::Histogram* queue_delay_ = nullptr;  // set by register_metrics()
 

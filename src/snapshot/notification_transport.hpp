@@ -34,6 +34,15 @@ class NotificationTransport {
   virtual std::uint64_t dropped_overflow() const = 0;
   virtual std::uint64_t dropped_random() const = 0;
   virtual std::size_t backlog() const = 0;
+
+  /// Notifications accepted by push() but not yet handed to the sink —
+  /// includes PCIe-in-flight entries that backlog() (buffer occupancy)
+  /// cannot see. The proactive register poll gates on this: polling while
+  /// older notifications are still in flight would fast-forward the
+  /// controller's view past wire sids it has yet to service, and those
+  /// can only unroll as huge forward jumps (the wire space has no
+  /// "behind").
+  [[nodiscard]] virtual std::size_t in_flight() const { return backlog(); }
   virtual std::size_t max_backlog() const = 0;
 
   /// Zero the delivered/dropped counters and re-seed the `max_backlog()`

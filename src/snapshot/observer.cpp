@@ -70,6 +70,8 @@ Observer::Observer(sim::Simulator& sim, const sim::TimingModel& timing,
                       [this] { return std::uint64_t{devices_.size()}; });
   reg.register_reader("observer.units", MetricKind::Gauge,
                       [this] { return std::uint64_t{total_units_}; });
+  reg.register_reader("observer.reports_dropped_down", MetricKind::Counter,
+                      [this] { return reports_dropped_while_down_; });
   completion_latency_ = &reg.histogram("observer.completion_latency_ns");
 }
 
@@ -120,6 +122,10 @@ std::optional<VirtualSid> Observer::request_snapshot(sim::SimTime when) {
 }
 
 void Observer::on_report(const UnitReport& r) {
+  if (down_) {
+    ++reports_dropped_while_down_;
+    return;
+  }
   auto it = snapshots_.find(r.sid);
   if (it == snapshots_.end()) return;  // Spurious (e.g. newly attached node).
   GlobalSnapshot& snap = it->second;

@@ -89,6 +89,18 @@ class Observer {
     on_complete_ = std::move(cb);
   }
 
+  /// Fault injection: simulate an observer process crash + restart. While
+  /// down, incoming unit reports are lost (the report RPCs land on a dead
+  /// socket); affected snapshots recover only via the completion timeout,
+  /// which excludes the devices whose reports were dropped. Completion
+  /// timeouts still fire while down (they are re-armed state the restarted
+  /// process recovers from its request log).
+  void set_down(bool down) { down_ = down; }
+  [[nodiscard]] bool is_down() const { return down_; }
+  [[nodiscard]] std::uint64_t reports_dropped_while_down() const {
+    return reports_dropped_while_down_;
+  }
+
  private:
   void on_report(const UnitReport& r);
   void check_complete(VirtualSid id);
@@ -110,6 +122,8 @@ class Observer {
   std::map<VirtualSid, GlobalSnapshot> snapshots_;
   VirtualSid next_sid_ = 1;
   std::size_t completed_ = 0;
+  bool down_ = false;
+  std::uint64_t reports_dropped_while_down_ = 0;
   std::function<void(const GlobalSnapshot&)> on_complete_;
   /// Scheduled-fire-time -> assembly latency (registry-owned).
   obs::Histogram* completion_latency_ = nullptr;

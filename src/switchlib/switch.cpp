@@ -156,6 +156,7 @@ void Switch::finalize() {
     notif_ = std::make_unique<snap::NotificationChannel>(
         sim_, timing_, rng_.fork("notif"), sink);
   }
+  cp_->set_in_flight_probe([this]() { return notif_->in_flight(); });
 
   // Register this switch with the flight recorder: drop counters plus the
   // notification transport's surface, all under "switch.<name>".

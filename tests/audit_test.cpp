@@ -9,6 +9,7 @@
 #include "core/experiment.hpp"
 #include "core/network.hpp"
 #include "net/topology.hpp"
+#include "test_topologies.hpp"
 #include "workload/basic.hpp"
 
 namespace speedlight {
@@ -60,7 +61,7 @@ TEST(AuditConservation, InternalChannelsConserveFlow) {
   NetworkOptions opt;
   opt.seed = 31;
   opt.snapshot.channel_state = true;
-  Network net(net::make_leaf_spine(2, 2, 2), opt);
+  Network net(testing::make_test_topo(testing::TopoKind::LeafSpine), opt);
   ConservationAudit audit;
   for (std::size_t s = 0; s < net.num_switches(); ++s) {
     net.switch_at(s).set_audit(&audit);
@@ -108,7 +109,7 @@ TEST(AuditConservation, StampsNeverExceedReceiverSid) {
   NetworkOptions opt;
   opt.seed = 32;
   opt.snapshot.channel_state = true;
-  Network net(net::make_line(3), opt);
+  Network net(testing::make_test_topo(testing::TopoKind::Line), opt);
 
   struct StampAudit final : sw::SwitchAudit {
     std::uint64_t max_stamp = 0;
@@ -141,7 +142,7 @@ TEST(CosChannels, TwoClassSnapshotStaysConsistent) {
   opt.classifier = [](const net::Packet& p) {
     return static_cast<std::size_t>(p.flow % 2);  // odd flows: class 1
   };
-  net::TopologySpec spec = net::make_line(2);
+  net::TopologySpec spec = check::make_topo(check::TopoKind::Line, 2);
   Network net(spec, opt);
   // Flow 1 (class 1) and flow 2 (class 0) cross the trunk in opposite
   // directions: markers traverse both sub-channels of each internal

@@ -121,6 +121,50 @@ TEST(LinkFlapper, AlternatesAndCountsFlaps) {
   flapper.stop();
 }
 
+TEST(LinkFlapper, GoUpRestoresConfiguredLossRate) {
+  // Regression: go_up() used to hardcode loss back to 0.0, silently
+  // "repairing" links that are legitimately lossy when up.
+  sim::Simulator sim;
+  net::Host sink(sim, 1, "sink");
+  net::Link link(sim, 1e9, 0, sim::Rng(1));
+  link.connect(&sink, 0);
+  link.set_loss_probability(0.25);
+  net::LinkFlapper flapper(sim, link, sim::msec(1), sim::msec(1), sim::Rng(2));
+  flapper.start(0);
+  sim.run_until(sim::msec(60));
+  ASSERT_GT(flapper.flaps(), 0u);
+  flapper.stop();
+  sim.run_until(sim::msec(120));  // Drain any pending go_up.
+  EXPECT_FALSE(flapper.is_down());
+  EXPECT_DOUBLE_EQ(link.loss_probability(), 0.25);
+}
+
+TEST(LinkFlapper, StopWhileDownStillRestoresLink) {
+  // stop() while the link is down must not strand it at 100% loss: the
+  // already-scheduled go_up still restores the configured rate, and the
+  // flapper schedules nothing further afterwards.
+  sim::Simulator sim;
+  net::Host sink(sim, 1, "sink");
+  net::Link link(sim, 1e9, 0, sim::Rng(1));
+  link.connect(&sink, 0);
+  link.set_loss_probability(0.1);
+  net::LinkFlapper flapper(sim, link, sim::msec(2), sim::msec(2), sim::Rng(7));
+  flapper.start(0);
+  sim.run_until(sim::usec(1));  // go_down fires at start time.
+  ASSERT_TRUE(flapper.is_down());
+  ASSERT_DOUBLE_EQ(link.loss_probability(), 1.0);
+  flapper.stop();
+  sim.run_until(sim::msec(200));  // The pending go_up has long since fired.
+  EXPECT_FALSE(flapper.is_down());
+  EXPECT_DOUBLE_EQ(link.loss_probability(), 0.1);
+  EXPECT_EQ(flapper.flaps(), 1u);
+  // Nothing of the flapper's remains scheduled: total event activity is
+  // frozen (this simulation contains nothing but the flapper).
+  const std::uint64_t scheduled = sim.stats().scheduled;
+  sim.run_until(sim::msec(400));
+  EXPECT_EQ(sim.stats().scheduled, scheduled);
+}
+
 TEST(LinkFlapper, SnapshotsSurviveFlappingTrunk) {
   // Flap one spine trunk while taking channel-state snapshots: liveness
   // machinery (re-initiation + probes) must keep completing them, without

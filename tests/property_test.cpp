@@ -11,6 +11,7 @@
 #include "core/experiment.hpp"
 #include "core/network.hpp"
 #include "net/topology.hpp"
+#include "test_topologies.hpp"
 #include "workload/basic.hpp"
 
 namespace speedlight {
@@ -19,38 +20,16 @@ namespace {
 using core::Network;
 using core::NetworkOptions;
 
-enum class Topo { LeafSpine, Line, Ring, FatTree, Figure1 };
+// Shared family factory (tests/test_topologies.hpp); the fuzzer's scenario
+// generator draws from the same switch with randomized sizes.
+using Topo = ::speedlight::testing::TopoKind;
 
 net::TopologySpec make_topo(Topo t) {
-  switch (t) {
-    case Topo::LeafSpine:
-      return net::make_leaf_spine(2, 2, 2);
-    case Topo::Line:
-      return net::make_line(3);
-    case Topo::Ring:
-      return net::make_ring(4);
-    case Topo::FatTree:
-      return net::make_fat_tree(4);
-    case Topo::Figure1:
-      return net::make_figure1();
-  }
-  return net::make_star(2);
+  return ::speedlight::testing::make_test_topo(t);
 }
 
 std::string topo_name(Topo t) {
-  switch (t) {
-    case Topo::LeafSpine:
-      return "LeafSpine";
-    case Topo::Line:
-      return "Line";
-    case Topo::Ring:
-      return "Ring";
-    case Topo::FatTree:
-      return "FatTree";
-    case Topo::Figure1:
-      return "Figure1";
-  }
-  return "?";
+  return ::speedlight::testing::test_topo_name(t);
 }
 
 struct Params {

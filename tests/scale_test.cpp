@@ -7,6 +7,7 @@
 #include "core/experiment.hpp"
 #include "core/network.hpp"
 #include "net/topology.hpp"
+#include "test_topologies.hpp"
 #include "polling/int_telemetry.hpp"
 #include "polling/sampling.hpp"
 #include "workload/basic.hpp"
@@ -22,7 +23,7 @@ TEST(Scale, FatTree6ChannelStateSnapshot) {
   NetworkOptions opt;
   opt.seed = 606;
   opt.snapshot.channel_state = true;
-  Network net(net::make_fat_tree(6), opt);
+  Network net(check::make_topo(check::TopoKind::FatTree, 6), opt);
   ASSERT_EQ(net.num_switches(), 45u);
   ASSERT_EQ(net.num_hosts(), 54u);
 
@@ -48,7 +49,7 @@ TEST(Scale, FatTree6Conservation) {
   NetworkOptions opt;
   opt.seed = 607;
   opt.snapshot.channel_state = true;
-  Network net(net::make_fat_tree(6), opt);
+  Network net(check::make_topo(check::TopoKind::FatTree, 6), opt);
   std::vector<std::unique_ptr<wl::Generator>> gens;
   for (std::size_t h = 0; h < net.num_hosts(); h += 2) {
     auto g = std::make_unique<wl::PoissonGenerator>(
@@ -101,7 +102,7 @@ TEST(FeatureInteraction, EverythingOnAtOnce) {
   };
   opt.ecn_threshold = 16;
   opt.int_enabled = true;
-  Network net(net::make_leaf_spine(2, 2, 3), opt);
+  Network net(check::make_topo(check::TopoKind::LeafSpine, 2, 2, 3), opt);
 
   poll::SamplingCollector sampler(net.simulator(), 10);
   auto sink = sampler.sink();

@@ -1,0 +1,53 @@
+// Canonical small topology instances for the test suite, built on the
+// shared family factory in src/check/topologies.hpp (the same switch the
+// scenario fuzzer's generator draws from). Tests pin one size per family
+// for determinism and speed; the fuzzer randomizes them.
+#pragma once
+
+#include <string>
+
+#include "check/topologies.hpp"
+
+namespace speedlight::testing {
+
+using check::TopoKind;
+
+/// The suite's standard instance of each family.
+[[nodiscard]] inline net::TopologySpec make_test_topo(TopoKind k) {
+  switch (k) {
+    case TopoKind::Line:
+      return check::make_topo(k, 3);
+    case TopoKind::Ring:
+      return check::make_topo(k, 4);
+    case TopoKind::Star:
+      return check::make_topo(k, 2);
+    case TopoKind::LeafSpine:
+      return check::make_topo(k, 2, 2, 2);
+    case TopoKind::FatTree:
+      return check::make_topo(k, 4);
+    case TopoKind::Figure1:
+      return check::make_topo(k, 0);
+  }
+  return check::make_topo(TopoKind::Star, 2);
+}
+
+/// CamelCase label for parameterized-test names.
+[[nodiscard]] inline std::string test_topo_name(TopoKind k) {
+  switch (k) {
+    case TopoKind::Line:
+      return "Line";
+    case TopoKind::Ring:
+      return "Ring";
+    case TopoKind::Star:
+      return "Star";
+    case TopoKind::LeafSpine:
+      return "LeafSpine";
+    case TopoKind::FatTree:
+      return "FatTree";
+    case TopoKind::Figure1:
+      return "Figure1";
+  }
+  return "?";
+}
+
+}  // namespace speedlight::testing
