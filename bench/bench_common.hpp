@@ -2,6 +2,9 @@
 // headers, PASS/FAIL shape checks against the paper's qualitative claims,
 // and machine-readable JSON result emission.
 //
+// speedlight-lint: allow-file(wall-clock) bench harnesses measure real
+// elapsed time by definition; simulation code never includes this header.
+//
 // Every bench writes BENCH_<name>.json (schema "speedlight-bench-v2", see
 // DESIGN.md "Performance methodology") so runs can be diffed across PRs:
 //   { "bench": ..., "schema": ..., "wall_time_s": ...,

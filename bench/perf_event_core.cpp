@@ -10,6 +10,9 @@
 //                 stale heap entries in the seed queue);
 //   3. simulator — end-to-end Simulator::after() self-rescheduling timers,
 //                 exercising InplaceCallback and the stats counters.
+//
+// speedlight-lint: allow-file(wall-clock) throughput harness: events/second
+// needs real elapsed time.
 // Emits BENCH_perf_event_core.json (events/sec, wall time, peak depth) per
 // the schema in DESIGN.md "Performance methodology".
 #include <chrono>

@@ -7,7 +7,7 @@
 //
 // Usage:
 //   speedlight_fuzz [--seed S] [--runs N] [--time-budget SECONDS]
-//                   [--replay FILE] [--no-oracle] [--inject-bug]
+//                   [--replay FILE] [--no-oracle] [--digest] [--inject-bug]
 //                   [--out DIR] [--smoke]
 //
 //   --seed S          Base seed; run i uses seed S+i (default 1).
@@ -17,6 +17,11 @@
 //   --replay FILE     Run one saved .scenario instead of fuzzing; exit 1
 //                     if it violates any invariant.
 //   --no-oracle       Skip the idealized twin run (halves the cost).
+//   --digest          Determinism backstop: run every seed twice and demand
+//                     bit-identical end-state digests and (under
+//                     SPEEDLIGHT_CHECK_DETERMINISM) tie-break fingerprints.
+//                     Any divergence or guarded data-path allocation fails
+//                     the whole run. Doubles the cost.
 //   --inject-bug      Self-test: disable the conservation checker's
 //                     channel-state term, prove the loop finds the
 //                     resulting violation and shrinks it to <= 4 switches,
@@ -44,6 +49,7 @@ struct Args {
   std::string replay;
   std::string out_dir = ".";
   bool with_oracle = true;
+  bool digest = false;
   bool inject_bug = false;
 };
 
@@ -69,6 +75,8 @@ Args parse(int argc, char** argv) {
       a.out_dir = next("--out");
     } else if (std::strcmp(argv[i], "--no-oracle") == 0) {
       a.with_oracle = false;
+    } else if (std::strcmp(argv[i], "--digest") == 0) {
+      a.digest = true;
     } else if (std::strcmp(argv[i], "--inject-bug") == 0) {
       a.inject_bug = true;
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
@@ -189,6 +197,27 @@ int main(int argc, char** argv) {
       const check::RunResult r =
           check::run_scenario(s, {.with_oracle = args.with_oracle});
       stats.account(r);
+
+      if (args.digest) {
+        // Determinism backstop: the same scenario run twice must land on
+        // the exact same observable end state. This catches nondeterminism
+        // (unordered-container iteration leaking into behavior, racy event
+        // tie-breaks) that the invariants alone would never notice.
+        const check::RunResult twin =
+            check::run_scenario(s, {.with_oracle = args.with_oracle});
+        ++stats.digest_runs;
+        if (twin.digest != r.digest ||
+            twin.tie_fingerprint != r.tie_fingerprint) {
+          ++stats.digest_divergences;
+          std::cout << "DIGEST DIVERGENCE seed " << s.seed << " ("
+                    << s.label() << "): digest " << std::hex << r.digest
+                    << " vs " << twin.digest << ", tie fingerprint "
+                    << r.tie_fingerprint << " vs " << twin.tie_fingerprint
+                    << std::dec << " (" << r.tie_pairs
+                    << " tie pair(s) audited)\n";
+        }
+      }
+
       if (!r.failed()) continue;
 
       ++failures;
@@ -212,7 +241,18 @@ int main(int argc, char** argv) {
               << stats.conservation_checked << " conservation checks, "
               << failures << " failing seed(s)\n";
     bench::check(failures == 0, "all fuzzed scenarios satisfied invariants");
-    rc = failures == 0 ? 0 : 1;
+    if (args.digest) {
+      std::cout << "Digest mode: " << stats.digest_runs
+                << " twin run(s), " << stats.digest_divergences
+                << " divergence(s), " << stats.tie_pairs
+                << " tie pair(s) audited, " << stats.datapath_allocs
+                << " data-path allocation(s) flagged\n";
+      bench::check(stats.digest_divergences == 0,
+                   "twin runs produced identical digests");
+      bench::check(stats.datapath_allocs == 0,
+                   "no allocations inside data-path scopes");
+    }
+    rc = (failures == 0 && bench::g_checks_failed == 0) ? 0 : 1;
   }
 
   report.metric("runs", static_cast<double>(stats.runs));

@@ -2,7 +2,7 @@
 // topology file), run a workload, take synchronized snapshots, and print
 // the results — optionally side by side with the polling baseline.
 //
-//   $ ./snapshot_cli --topology leaf-spine:2x2x3 --workload poisson:40000 \
+//   $ ./snapshot_cli --topology leaf-spine:2x2x3 --workload poisson:40000
 //         --channel-state --snapshots 5 --interval-ms 5 --compare-polling
 //   $ ./snapshot_cli --topology-file mynet.topo --metric queue_depth
 //   $ ./snapshot_cli --help

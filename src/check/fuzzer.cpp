@@ -6,11 +6,37 @@
 #include <utility>
 
 #include "net/faults.hpp"
+#include "obs/trace.hpp"
+#include "sim/determinism.hpp"
 #include "workload/basic.hpp"
 
 namespace speedlight::check {
 
 namespace {
+
+/// FNV-1a over one 64-bit word, used both for the ordered rolling digest
+/// and (via commutative folding at the report level) for iteration-order
+/// independence over unordered report maps.
+std::uint64_t mix64(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t report_hash(const snap::UnitReport& r) {
+  std::uint64_t h = 14695981039346656037ull;
+  h = mix64(h, obs::pack_unit(r.unit));
+  h = mix64(h, r.sid);
+  h = mix64(h, (static_cast<std::uint64_t>(r.consistent) << 1) |
+                   static_cast<std::uint64_t>(r.inferred));
+  h = mix64(h, r.local_value);
+  h = mix64(h, r.channel_value);
+  h = mix64(h, static_cast<std::uint64_t>(r.advance_time));
+  h = mix64(h, static_cast<std::uint64_t>(r.finalize_time));
+  return h;
+}
 
 struct SingleRun {
   RunResult result;  ///< Violations from the run's own invariants.
@@ -21,6 +47,14 @@ struct SingleRun {
 
 SingleRun run_once(const Scenario& s, const RunOptions& opts,
                    bool hardware_faithful) {
+  // Every run doubles as a determinism audit: the auditor fingerprints
+  // same-timestamp event pairs touching a common unit, and the allocation
+  // guard counts data-path allocations (both no-ops unless the build sets
+  // SPEEDLIGHT_CHECK_DETERMINISM).
+  sim::det::Auditor auditor;
+  auditor.install();
+  const std::uint64_t allocs_before = sim::det::datapath_allocs();
+
   core::NetworkOptions nopt = s.network_options();
   nopt.snapshot.hardware_faithful = hardware_faithful;
   const sim::TimingModel base_timing = nopt.timing;
@@ -134,6 +168,31 @@ SingleRun run_once(const Scenario& s, const RunOptions& opts,
     out.result.link_drops += net.trunk_link(t, false).packets_dropped();
   }
   for (const auto& fl : flappers) out.result.flaps += fl->flaps();
+
+  auditor.uninstall();
+  out.result.tie_fingerprint = auditor.fingerprint();
+  out.result.tie_pairs = auditor.tie_pairs();
+  out.result.datapath_allocs = sim::det::datapath_allocs() - allocs_before;
+
+  // Rolling end-state digest: ordered over snapshot ids (std::map), with
+  // the per-report hashes folded commutatively (XOR) so the unordered
+  // report map's iteration order cannot leak into the digest.
+  std::uint64_t digest = 14695981039346656037ull;
+  for (const auto& [id, snap] : out.completed) {
+    digest = mix64(digest, id);
+    digest = mix64(digest, static_cast<std::uint64_t>(snap.completed_at));
+    digest = mix64(digest, snap.complete ? 1 : 0);
+    std::uint64_t reports = 0;
+    for (const auto& [unit, report] : snap.reports) {
+      reports ^= report_hash(report);
+    }
+    digest = mix64(digest, reports);
+  }
+  digest = mix64(digest, out.result.requested);
+  digest = mix64(digest, out.result.skipped);
+  digest = mix64(digest, out.result.conservation_checked);
+  digest = mix64(digest, out.result.link_drops);
+  out.result.digest = digest;
   return out;
 }
 
@@ -146,6 +205,13 @@ RunResult run_scenario(const Scenario& s, const RunOptions& opts) {
     const SingleRun ideal = run_once(s, opts, /*hardware_faithful=*/false);
     ConsistencyChecker::check_oracle(hw.completed, ideal.completed,
                                      result.violations);
+    // Fold the twin into the run's identity so --digest also pins down the
+    // idealized path, and aggregate its audit counters.
+    result.digest = mix64(result.digest, ideal.result.digest);
+    result.tie_fingerprint =
+        mix64(result.tie_fingerprint, ideal.result.tie_fingerprint);
+    result.tie_pairs += ideal.result.tie_pairs;
+    result.datapath_allocs += ideal.result.datapath_allocs;
   }
   return result;
 }
@@ -281,6 +347,14 @@ void FuzzStats::register_metrics(obs::MetricsRegistry& reg) const {
                       [this] { return shrink_steps; });
   reg.register_reader("fuzz.replays", MetricKind::Counter,
                       [this] { return replays; });
+  reg.register_reader("fuzz.digest_runs", MetricKind::Counter,
+                      [this] { return digest_runs; });
+  reg.register_reader("fuzz.digest_divergences", MetricKind::Counter,
+                      [this] { return digest_divergences; });
+  reg.register_reader("fuzz.tie_pairs", MetricKind::Counter,
+                      [this] { return tie_pairs; });
+  reg.register_reader("fuzz.datapath_allocs", MetricKind::Counter,
+                      [this] { return datapath_allocs; });
 }
 
 }  // namespace speedlight::check

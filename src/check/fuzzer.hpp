@@ -37,6 +37,20 @@ struct RunResult {
   std::uint64_t link_drops = 0;  ///< Wire drops across all links.
   std::uint64_t flaps = 0;       ///< LinkFlapper transitions observed.
 
+  /// Order-independent digest of the run's observable end state (every
+  /// completed snapshot's reports plus run totals). Two runs of one
+  /// scenario must produce equal digests; `speedlight_fuzz --digest`
+  /// enforces that, catching nondeterminism the invariants cannot see.
+  std::uint64_t digest = 0;
+  /// Determinism-audit results (active only under
+  /// SPEEDLIGHT_CHECK_DETERMINISM; zero otherwise). The fingerprint folds
+  /// every same-timestamp event pair that touched a common processing unit;
+  /// twin runs must agree or the tie-break order is racy.
+  std::uint64_t tie_fingerprint = 0;
+  std::uint64_t tie_pairs = 0;
+  /// Allocations flagged inside data-path scopes during the run.
+  std::uint64_t datapath_allocs = 0;
+
   [[nodiscard]] bool failed() const { return !violations.empty(); }
 };
 
@@ -70,6 +84,10 @@ struct FuzzStats {
   std::uint64_t shrink_attempts = 0;
   std::uint64_t shrink_steps = 0;
   std::uint64_t replays = 0;
+  std::uint64_t digest_runs = 0;         ///< Seeds run twice under --digest.
+  std::uint64_t digest_divergences = 0;  ///< Twin runs that disagreed.
+  std::uint64_t tie_pairs = 0;           ///< Same-tick same-unit event pairs.
+  std::uint64_t datapath_allocs = 0;     ///< Guarded-scope allocations seen.
 
   void account(const RunResult& r) {
     ++runs;
@@ -77,6 +95,8 @@ struct FuzzStats {
     violations += r.violations.size();
     snapshots_checked += r.completed;
     conservation_checked += r.conservation_checked;
+    tie_pairs += r.tie_pairs;
+    datapath_allocs += r.datapath_allocs;
   }
 
   void register_metrics(obs::MetricsRegistry& reg) const;

@@ -5,17 +5,19 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
 #include "net/link.hpp"
 #include "net/node.hpp"
+#include "sim/inplace_callback.hpp"
 #include "sim/simulator.hpp"
 
 namespace speedlight::net {
 
 class Host final : public Node {
  public:
-  using ReceiveCallback = std::function<void(const Packet&, sim::SimTime)>;
+  /// Runs once per delivered packet — inline storage, no std::function.
+  using ReceiveCallback =
+      sim::InplaceFunction<void(const Packet&, sim::SimTime)>;
 
   Host(sim::Simulator& sim, NodeId id, std::string name)
       : Node(id, std::move(name)), sim_(sim) {}

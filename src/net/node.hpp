@@ -1,4 +1,9 @@
 // Abstract network device: anything that can terminate a link.
+//
+// speedlight-lint: allow-file(virtual-in-datapath) the one sanctioned
+// data-path interface: links dispatch to host-or-switch exactly once per
+// delivery, and both overriders are final classes the optimizer can
+// devirtualize at the call sites that matter.
 #pragma once
 
 #include <string>

@@ -7,6 +7,27 @@
 
 namespace speedlight::net {
 
+namespace {
+
+/// "leaf" + 3 -> "leaf3" by append. Avoids operator+(const char*,
+/// std::string&&), whose front-insertion path trips a GCC 12 -Wrestrict
+/// false positive at -O2 (and would break -Werror release builds).
+std::string name(const char* prefix, std::size_t i) {
+  std::string s(prefix);
+  s += std::to_string(i);
+  return s;
+}
+
+std::string name(const char* prefix, std::size_t a, std::size_t b) {
+  std::string s(prefix);
+  s += std::to_string(a);
+  s += '_';
+  s += std::to_string(b);
+  return s;
+}
+
+}  // namespace
+
 void TopologySpec::validate() const {
   std::set<std::pair<std::size_t, PortId>> used;
   auto claim = [&](std::size_t sw, PortId port, const char* what) {
@@ -82,16 +103,16 @@ TopologySpec make_leaf_spine(std::size_t leaves, std::size_t spines,
   // Leaf port layout: [0, hosts_per_leaf) hosts, then one uplink per spine.
   for (std::size_t l = 0; l < leaves; ++l) {
     spec.switches.push_back(
-        {"leaf" + std::to_string(l),
+        {name("leaf", l),
          static_cast<std::uint16_t>(hosts_per_leaf + spines), true});
   }
   for (std::size_t sp = 0; sp < spines; ++sp) {
-    spec.switches.push_back({"spine" + std::to_string(sp),
+    spec.switches.push_back({name("spine", sp),
                              static_cast<std::uint16_t>(leaves), true});
   }
   for (std::size_t l = 0; l < leaves; ++l) {
     for (std::size_t hst = 0; hst < hosts_per_leaf; ++hst) {
-      spec.hosts.push_back({"h" + std::to_string(l * hosts_per_leaf + hst), l,
+      spec.hosts.push_back({name("h", l * hosts_per_leaf + hst), l,
                             static_cast<PortId>(hst)});
     }
     for (std::size_t sp = 0; sp < spines; ++sp) {
@@ -107,7 +128,7 @@ TopologySpec make_line(std::size_t n) {
   TopologySpec spec;
   if (n == 0) return spec;
   for (std::size_t i = 0; i < n; ++i) {
-    spec.switches.push_back({"s" + std::to_string(i), 3, true});
+    spec.switches.push_back({name("s", i), 3, true});
   }
   spec.hosts.push_back({"h0", 0, 0});
   spec.hosts.push_back({"h1", n - 1, 0});
@@ -121,8 +142,8 @@ TopologySpec make_line(std::size_t n) {
 TopologySpec make_ring(std::size_t n) {
   TopologySpec spec;
   for (std::size_t i = 0; i < n; ++i) {
-    spec.switches.push_back({"s" + std::to_string(i), 3, true});
-    spec.hosts.push_back({"h" + std::to_string(i), i, 0});
+    spec.switches.push_back({name("s", i), 3, true});
+    spec.hosts.push_back({name("h", i), i, 0});
   }
   for (std::size_t i = 0; i < n; ++i) {
     // Port 1: clockwise out; port 2: counter-clockwise in.
@@ -135,7 +156,7 @@ TopologySpec make_star(std::size_t n) {
   TopologySpec spec;
   spec.switches.push_back({"s0", static_cast<std::uint16_t>(n), true});
   for (std::size_t i = 0; i < n; ++i) {
-    spec.hosts.push_back({"h" + std::to_string(i), 0, static_cast<PortId>(i)});
+    spec.hosts.push_back({name("h", i), 0, static_cast<PortId>(i)});
   }
   return spec;
 }
@@ -159,18 +180,18 @@ TopologySpec make_fat_tree(std::size_t k) {
 
   for (std::size_t p = 0; p < pods; ++p) {
     for (std::size_t e = 0; e < edge_per_pod; ++e) {
-      spec.switches.push_back({"edge" + std::to_string(p) + "_" + std::to_string(e),
+      spec.switches.push_back({name("edge", p, e),
                                static_cast<std::uint16_t>(k), true});
     }
   }
   for (std::size_t p = 0; p < pods; ++p) {
     for (std::size_t a = 0; a < agg_per_pod; ++a) {
-      spec.switches.push_back({"agg" + std::to_string(p) + "_" + std::to_string(a),
+      spec.switches.push_back({name("agg", p, a),
                                static_cast<std::uint16_t>(k), true});
     }
   }
   for (std::size_t c = 0; c < cores; ++c) {
-    spec.switches.push_back({"core" + std::to_string(c),
+    spec.switches.push_back({name("core", c),
                              static_cast<std::uint16_t>(k), true});
   }
 
@@ -179,7 +200,7 @@ TopologySpec make_fat_tree(std::size_t k) {
     for (std::size_t e = 0; e < edge_per_pod; ++e) {
       const std::size_t sw = edge_base + p * edge_per_pod + e;
       for (std::size_t hh = 0; hh < half; ++hh) {
-        spec.hosts.push_back({"h" + std::to_string(sw) + "_" + std::to_string(hh),
+        spec.hosts.push_back({name("h", sw, hh),
                               sw, static_cast<PortId>(hh)});
       }
     }

@@ -1,0 +1,54 @@
+// Compile-time cross-check between the snapshot state machine's declared
+// per-pass register accesses (snapshot/typestate.hpp) and the Tofino
+// resource model (tofino_model.hpp). On hardware the P4 compiler rejects a
+// program whose stateful accesses exceed the per-stage ALU budget; here the
+// two sides are maintained independently — the state machine in
+// src/snapshot, the Table 1 regeneration in src/resources — and these
+// static_asserts fail the build if they drift apart.
+#pragma once
+
+#include "resources/tofino_model.hpp"
+#include "snapshot/typestate.hpp"
+
+namespace speedlight::res {
+
+namespace detail {
+
+/// The snapshot-protocol variant corresponding to each Table 1 build. The
+/// wraparound build changes sid arithmetic, not the register set, so it
+/// shares the PacketCount access pattern.
+constexpr bool has_channel_state(Variant v) {
+  return v == Variant::ChannelState;
+}
+
+constexpr bool pass_matches_model(Variant v) {
+  // Declared accesses of one DataplaneUnit pass, plus the metric counter
+  // register (owned by switchlib, outside the StageToken mask) must equal
+  // the model's per-pass RMW count...
+  const snap::PassAccessPattern p =
+      snap::pass_access_pattern(has_channel_state(v));
+  if (p.stateful_register_accesses() + 1 != stateful_rmws_per_unit_pass(v)) {
+    return false;
+  }
+  // ...and both pipeline passes (ingress unit + egress unit) must fit in
+  // the variant's stateful-ALU budget from Table 1. (The budget is not
+  // 2x the per-pass count: mirroring/recirculation plumbing owns the rest.)
+  return 2 * stateful_rmws_per_unit_pass(v) <= stateful_alus(v);
+}
+
+}  // namespace detail
+
+static_assert(detail::pass_matches_model(Variant::PacketCount),
+              "PacketCount pass access pattern drifted from Table 1 model");
+static_assert(detail::pass_matches_model(Variant::WrapAround),
+              "WrapAround pass access pattern drifted from Table 1 model");
+static_assert(detail::pass_matches_model(Variant::ChannelState),
+              "ChannelState pass access pattern drifted from Table 1 model");
+
+/// Runtime-usable view of the same accounting, for tests and Table 1
+/// printing: stateful RMWs issued per packet across both units.
+[[nodiscard]] constexpr int stateful_rmws_per_packet(Variant v) {
+  return 2 * stateful_rmws_per_unit_pass(v);
+}
+
+}  // namespace speedlight::res

@@ -37,6 +37,29 @@ enum class Variant : std::uint8_t {
   return "?";
 }
 
+/// Stateful-ALU count of one variant (its Table 1 row), exposed as a
+/// constant expression so register_discipline.hpp can static_assert the
+/// declared per-pass register accesses against the hardware budget.
+[[nodiscard]] constexpr int stateful_alus(Variant v) {
+  switch (v) {
+    case Variant::PacketCount:
+      return 9;
+    case Variant::WrapAround:
+      return 9;
+    case Variant::ChannelState:
+      return 11;
+  }
+  return 0;
+}
+
+/// Stateful RMWs one processing-unit pipeline pass issues: the snapshot
+/// registers (snapshot id, value slot, plus the per-channel last-seen entry
+/// in the channel-state build) and the metric counter register whose value
+/// the snapshot captures.
+[[nodiscard]] constexpr int stateful_rmws_per_unit_pass(Variant v) {
+  return v == Variant::ChannelState ? 4 : 3;
+}
+
 struct ResourceUsage {
   // Computational resources.
   int stateless_alus = 0;

@@ -1,0 +1,91 @@
+// Global operator new/delete overrides for the determinism build: every
+// allocation reports to det::note_allocation, which flags it as a violation
+// when it happens inside a DataPathScope without a DetAllow exemption.
+// Compiled to an empty TU unless SPEEDLIGHT_CHECK_DETERMINISM is set, so
+// release builds keep the system allocator untouched.
+//
+// speedlight-lint: allow-file(raw-new-delete) this TU *is* the operator
+// new/delete replacement; it contains every signature by necessity.
+#ifdef SPEEDLIGHT_CHECK_DETERMINISM
+
+#include <cstdlib>
+#include <new>
+
+#include "sim/determinism.hpp"
+
+namespace {
+
+void* checked_alloc(std::size_t size) noexcept {
+  speedlight::sim::det::note_allocation(size);
+  return std::malloc(size != 0 ? size : 1);
+}
+
+void* checked_aligned_alloc(std::size_t size, std::size_t align) noexcept {
+  speedlight::sim::det::note_allocation(size);
+  // aligned_alloc requires size to be a multiple of the alignment.
+  const std::size_t rounded = (size + align - 1) / align * align;
+  return std::aligned_alloc(align, rounded != 0 ? rounded : align);
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (void* p = checked_alloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  if (void* p = checked_alloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return checked_alloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return checked_alloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  if (void* p = checked_aligned_alloc(size, static_cast<std::size_t>(align))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  if (void* p = checked_aligned_alloc(size, static_cast<std::size_t>(align))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return checked_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return checked_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+#endif  // SPEEDLIGHT_CHECK_DETERMINISM

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <utility>
 
+#include "sim/determinism.hpp"
+
 namespace speedlight::sim {
 
 std::uint32_t EventQueue::acquire_slot() {
@@ -27,6 +29,10 @@ void EventQueue::release_slot(std::uint32_t idx) {
 
 EventId EventQueue::schedule(SimTime when, Callback fn) {
   assert(fn && "cannot schedule an empty callback");
+  // Slab/heap/freelist growth is amortized infrastructure: steady state
+  // recycles slots and the vectors stop growing. Exempt from the data-path
+  // allocation guard.
+  det::DetAllow allow_growth;
   const std::uint32_t idx = acquire_slot();
   Slot& s = slots_[idx];
   s.fn = std::move(fn);
@@ -40,6 +46,7 @@ bool EventQueue::cancel(EventId id) {
   const auto idx = static_cast<std::uint32_t>(id & 0xffffffffu);
   const auto gen = static_cast<std::uint32_t>(id >> 32);
   if (idx >= slots_.size() || slots_[idx].generation != gen) return false;
+  det::DetAllow allow_growth;  // Freelist growth: amortized infrastructure.
   release_slot(idx);  // O(1); the heap entry goes stale.
   --live_count_;
   // Keep stale entries at no more than half the heap: compaction is O(n)
@@ -109,7 +116,9 @@ EventQueue::Popped EventQueue::pop() {
   purge_stale_top();
   assert(!heap_.empty());
   const HeapEntry top = heap_.front();
-  Popped popped{top.time, std::move(slots_[top.slot].fn)};
+  Popped popped{top.time, top.seq, std::move(slots_[top.slot].fn)};
+  // Freelist growth (release_slot push_back) is amortized infrastructure.
+  det::DetAllow allow_growth;
   release_slot(top.slot);
   remove_top();
   --live_count_;

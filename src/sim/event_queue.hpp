@@ -56,8 +56,12 @@ class EventQueue {
   [[nodiscard]] SimTime next_time() const;
 
   /// Pop and return the next runnable event. Precondition: !empty().
+  /// `seq` is the event's schedule-order sequence number — the tie-break
+  /// key for same-timestamp events, exposed so the determinism auditor can
+  /// fingerprint tie pairs.
   struct Popped {
     SimTime time;
+    std::uint64_t seq;
     Callback fn;
   };
   Popped pop();

@@ -8,6 +8,10 @@
 // call sites static_assert fits_inline so the fallback can never silently
 // reappear there. InplaceCallback is the nullary void specialization the
 // event queue stores.
+//
+// speedlight-lint: allow-file(raw-new-delete) this IS the sanctioned
+// allocator shim: placement-new into the inline buffer, plus the owned
+// heap-fallback pair for oversized callables.
 #pragma once
 
 #include <cstddef>

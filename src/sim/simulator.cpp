@@ -1,12 +1,15 @@
 #include "sim/simulator.hpp"
 
+#include "sim/determinism.hpp"
+
 namespace speedlight::sim {
 
 std::size_t Simulator::run_until(SimTime until) {
   std::size_t executed = 0;
   while (!queue_.empty() && queue_.next_time() <= until) {
-    auto [time, fn] = queue_.pop();
+    auto [time, seq, fn] = queue_.pop();
     now_ = time;
+    det::EventScope audit(time, seq);
     fn();
     ++executed;
   }
@@ -21,8 +24,9 @@ std::size_t Simulator::run_until(SimTime until) {
 
 bool Simulator::step() {
   if (queue_.empty()) return false;
-  auto [time, fn] = queue_.pop();
+  auto [time, seq, fn] = queue_.pop();
   now_ = time;
+  det::EventScope audit(time, seq);
   fn();
   ++stats_.executed;
   return true;

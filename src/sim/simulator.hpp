@@ -9,6 +9,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "sim/determinism.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/random.hpp"
 #include "sim/time.hpp"
@@ -40,6 +41,18 @@ class Simulator {
                              [this] { return stats_.clamped_schedules; });
     metrics_.register_reader("sim.events.pending", obs::MetricKind::Gauge,
                              [this] { return std::uint64_t{queue_.size()}; });
+    if constexpr (det::kEnabled) {
+      // Determinism-audit surface (zero unless an auditor is installed /
+      // a data-path scope ever allocated).
+      metrics_.register_reader(
+          "sim.determinism.datapath_allocs", obs::MetricKind::Counter,
+          [] { return det::datapath_allocs(); });
+      metrics_.register_reader(
+          "sim.determinism.tie_pairs", obs::MetricKind::Counter, [] {
+            const det::Auditor* a = det::current_auditor();
+            return a != nullptr ? a->tie_pairs() : 0;
+          });
+    }
   }
 
   Simulator(const Simulator&) = delete;

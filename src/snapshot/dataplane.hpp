@@ -15,18 +15,26 @@
 //    (no-channel-state variant).
 //  * idealized (Figure 3 verbatim): loops over intermediate ids, used as
 //    the oracle in property tests.
+//
+// Register discipline: the stateful registers live in a RegisterFile whose
+// only mutating access is through StageToken-gated accessors (one RMW per
+// register per pass — see typestate.hpp). on_packet() is written as a
+// token-threaded pass, so a second RMW of the same register is a compile
+// error, mirroring the Tofino single-stateful-ALU-table constraint the
+// paper's proof sketch depends on.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "net/types.hpp"
 #include "obs/trace.hpp"
+#include "sim/inplace_callback.hpp"
 #include "sim/time.hpp"
 #include "snapshot/config.hpp"
 #include "snapshot/ids.hpp"
 #include "snapshot/notification.hpp"
+#include "snapshot/typestate.hpp"
 
 namespace speedlight::snap {
 
@@ -52,15 +60,94 @@ struct SlotValue {
   sim::SimTime saved_at = 0;
 };
 
+/// The unit's stateful registers. Mutation is possible only through the
+/// token-gated accessors below: each consumes a StageToken in which the
+/// register's bit is clear and mints the advanced token, so one pipeline
+/// pass statically admits at most one read-modify-write per register.
+/// Const reads model the control plane's PCIe register reads, which happen
+/// outside any pipeline pass.
+class RegisterFile {
+ public:
+  RegisterFile(std::uint16_t num_channels, std::size_t slots)
+      : last_seen_(num_channels, 0), slots_(slots) {}
+
+  // --- Token-gated pass access -------------------------------------------
+  /// Snapshot ID register: `f(VirtualSid&)` is the stateful-ALU program.
+  template <unsigned M, typename F>
+    requires CanAccess<StageToken<M>, Reg::Sid>
+  [[nodiscard]] AfterAccess<M, Reg::Sid> with_sid(StageToken<M>, F&& f) {
+    f(sid_);
+    return {};
+  }
+
+  /// Last Seen reference for one channel (channel-state variant).
+  template <unsigned M, typename F>
+    requires CanAccess<StageToken<M>, Reg::LastSeen>
+  [[nodiscard]] AfterAccess<M, Reg::LastSeen> with_last_seen(StageToken<M>,
+                                                             std::uint16_t ch,
+                                                             F&& f) {
+    f(last_seen_[ch]);
+    return {};
+  }
+
+  /// Snapshot Value array, hardware-faithful: exactly one slot RMW.
+  template <unsigned M, typename F>
+    requires CanAccess<StageToken<M>, Reg::Value>
+  [[nodiscard]] AfterAccess<M, Reg::Value> with_value_slot(StageToken<M>,
+                                                           VirtualSid vsid,
+                                                           F&& f) {
+    f(slots_[vsid % slots_.size()]);
+    return {};
+  }
+
+  /// Snapshot Value array, idealized Figure-3 oracle ONLY: hands out the
+  /// whole array so intermediate ids can be back-filled. No hardware can do
+  /// this at line rate; the loud name keeps it out of faithful paths.
+  template <unsigned M, typename F>
+    requires CanAccess<StageToken<M>, Reg::Value>
+  [[nodiscard]] AfterAccess<M, Reg::Value> with_value_array_oracle(
+      StageToken<M>, F&& f) {
+    f(slots_);
+    return {};
+  }
+
+  /// Account for a register the pass does not touch (the matching table is
+  /// not executed for this packet). Advances the token without access.
+  template <Reg R, unsigned M>
+    requires CanAccess<StageToken<M>, R>
+  [[nodiscard]] AfterAccess<M, R> skip(StageToken<M>) {
+    return {};
+  }
+
+  // --- Control-plane / audit reads (outside any pass) --------------------
+  [[nodiscard]] VirtualSid sid() const { return sid_; }
+  [[nodiscard]] VirtualSid last_seen(std::uint16_t ch) const {
+    return last_seen_[ch];
+  }
+  [[nodiscard]] const SlotValue& slot(std::size_t index) const {
+    return slots_[index % slots_.size()];
+  }
+  [[nodiscard]] std::size_t num_slots() const { return slots_.size(); }
+  [[nodiscard]] std::uint16_t num_channels() const {
+    return static_cast<std::uint16_t>(last_seen_.size());
+  }
+
+ private:
+  VirtualSid sid_ = 0;
+  std::vector<VirtualSid> last_seen_;
+  std::vector<SlotValue> slots_;
+};
+
 class DataplaneUnit {
  public:
-  /// Reads the target local state (the metric being snapshotted).
-  using StateReader = std::function<std::uint64_t()>;
+  /// Reads the target local state (the metric being snapshotted). Inline
+  /// storage: these run on the per-packet path, so no std::function.
+  using StateReader = sim::InplaceFunction<std::uint64_t()>;
   /// Contribution of one in-flight packet to channel state (e.g. 1 for
   /// packet counts, size for byte counts, 0 for gauges).
-  using ChannelAdd = std::function<std::uint64_t(const PacketView&)>;
+  using ChannelAdd = sim::InplaceFunction<std::uint64_t(const PacketView&)>;
   /// Emits a notification towards the CPU.
-  using NotifySink = std::function<void(const Notification&)>;
+  using NotifySink = sim::InplaceFunction<void(const Notification&)>;
 
   /// `num_channels` includes the CPU pseudo-channel at `cpu_channel`.
   DataplaneUnit(net::UnitId id, const SnapshotConfig& config,
@@ -82,22 +169,24 @@ class DataplaneUnit {
 
   // --- Register access (used by the control plane / tests) -----------------
   [[nodiscard]] const SlotValue& read_slot(std::size_t index) const {
-    return slots_[index % slots_.size()];
+    return regs_.slot(index);
   }
-  [[nodiscard]] std::size_t num_slots() const { return slots_.size(); }
-  [[nodiscard]] WireSid sid_register() const { return space_.to_wire(sid_); }
+  [[nodiscard]] std::size_t num_slots() const { return regs_.num_slots(); }
+  [[nodiscard]] WireSid sid_register() const {
+    return space_.to_wire(regs_.sid());
+  }
   [[nodiscard]] WireSid last_seen_register(std::uint16_t channel) const {
-    return space_.to_wire(last_seen_[channel]);
+    return space_.to_wire(regs_.last_seen(channel));
   }
   [[nodiscard]] std::uint16_t num_channels() const {
-    return static_cast<std::uint16_t>(last_seen_.size());
+    return regs_.num_channels();
   }
   [[nodiscard]] std::uint16_t cpu_channel() const { return cpu_channel_; }
 
   // --- Audit access (tests only; a real ASIC exposes wire values only) ----
-  [[nodiscard]] VirtualSid virtual_sid() const { return sid_; }
+  [[nodiscard]] VirtualSid virtual_sid() const { return regs_.sid(); }
   [[nodiscard]] VirtualSid virtual_last_seen(std::uint16_t channel) const {
-    return last_seen_[channel];
+    return regs_.last_seen(channel);
   }
   [[nodiscard]] net::UnitId id() const { return id_; }
   [[nodiscard]] const SnapshotConfig& config() const { return config_; }
@@ -119,8 +208,9 @@ class DataplaneUnit {
   }
 
  private:
-  void save_local_state(VirtualSid sid, sim::SimTime now);
-  SlotValue& slot(VirtualSid sid) { return slots_[sid % slots_.size()]; }
+  /// The capture program of the value-array stateful ALU: save the local
+  /// state for snapshot `sid` into slot `s`.
+  void capture_into(SlotValue& s, VirtualSid sid, sim::SimTime now);
 
   net::UnitId id_;
   SnapshotConfig config_;
@@ -131,9 +221,7 @@ class DataplaneUnit {
   ChannelAdd channel_add_;
   NotifySink notify_;
 
-  VirtualSid sid_ = 0;
-  std::vector<VirtualSid> last_seen_;
-  std::vector<SlotValue> slots_;
+  RegisterFile regs_;
 
   obs::Tracer* tracer_ = nullptr;  // null until attach_observability()
   std::uint64_t track_ = 0;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "sim/determinism.hpp"
+
 namespace speedlight::snap {
 
 std::size_t DigestChannel::backlog() const {
@@ -20,6 +22,13 @@ void DigestChannel::push(const Notification& n) {
                        track_, sim_.now(), /*a0=*/1, obs::pack_unit(n.unit));
     }
     return;
+  }
+  if (accumulating_.size() == accumulating_.capacity()) {
+    // Amortized warm-up: the digest buffer grows to one batch once and is
+    // then recycled through drain(), so steady-state pushes never allocate.
+    sim::det::DetAllow allow;
+    accumulating_.reserve(std::max<std::size_t>(
+        accumulating_.capacity() * 2, timing_.digest_batch_size));
   }
   accumulating_.push_back(n);
   ++pending_;
@@ -43,8 +52,9 @@ void DigestChannel::flush() {
   if (accumulating_.empty()) return;
   ++digests_;
   if (digest_batch_) digest_batch_->record(accumulating_.size());
-  std::vector<Notification> digest;
-  digest.swap(accumulating_);
+  std::vector<Notification> digest = std::move(accumulating_);
+  accumulating_ = std::move(spare_);  // recycled storage keeps its capacity
+  accumulating_.clear();
   sim_.after(timing_.notification_pcie_latency,
              [this, digest = std::move(digest)]() mutable {
                // Bounded digest queue at the driver.
@@ -75,7 +85,7 @@ void DigestChannel::flush() {
 
 void DigestChannel::drain() {
   if (!cpu_queue_.empty()) {
-    const std::vector<Notification> digest = std::move(cpu_queue_.front());
+    std::vector<Notification> digest = std::move(cpu_queue_.front());
     cpu_queue_.pop_front();
     pending_ -= digest.size();
     delivered_ += digest.size();
@@ -91,6 +101,10 @@ void DigestChannel::drain() {
                         digest.size());
     }
     for (const auto& n : digest) sink_(n);
+    if (digest.capacity() > spare_.capacity()) {
+      digest.clear();
+      spare_ = std::move(digest);
+    }
   }
   if (!cpu_queue_.empty()) {
     const auto cost = timing_.digest_batch_overhead +

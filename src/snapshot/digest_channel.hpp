@@ -68,6 +68,11 @@ class DigestChannel final : public NotificationTransport {
   Sink sink_;
 
   std::vector<Notification> accumulating_;
+  /// Storage recycled from drained digests: flush() hands accumulating_'s
+  /// buffer to the in-flight digest and takes this one, so the ASIC-side
+  /// accumulation never reallocates in steady state (push() runs on the
+  /// data path; see sim/determinism.hpp).
+  std::vector<Notification> spare_;
   sim::EventId flush_timer_ = 0;
   bool flush_armed_ = false;
 

@@ -1,0 +1,120 @@
+// Compile-time register-access discipline for one data-plane pipeline pass.
+//
+// The Tofino constraint the paper's correctness argument leans on (Section 4,
+// and the Table 1 register layout): a stateful register can be read-modified-
+// written at most ONCE per packet per pipeline traversal — there is exactly
+// one stateful-ALU table per register, and a packet visits each table at most
+// once. The P4 compiler enforces that on hardware; this header enforces it on
+// the C++ rebuild.
+//
+// Mechanics: a pass begins with a fresh `StageToken<0>`. Every guarded
+// register accessor (see RegisterFile in dataplane.hpp) consumes a token in
+// which the register's bit is still clear and returns a token with the bit
+// set; a second RMW of the same register therefore has no viable overload —
+// a compile error, not a code-review finding. `retire()` only accepts a
+// fully-accounted token, so a pass must either access or explicitly skip()
+// every register class.
+//
+// Limits (documented, not hidden): C++ has no linear types, so a determined
+// author can mint a second fresh token or copy a StageToken<0> and sidestep
+// the discipline. Tokens with any bit set are move-only and constructible
+// only by RegisterFile, which makes the natural threading style safe; the
+// project linter (tools/lint) and the SPEEDLIGHT_CHECK_DETERMINISM runtime
+// auditor are the backstops for adversarial code.
+#pragma once
+
+namespace speedlight::snap {
+
+class RegisterFile;
+
+/// The stateful register classes of one processing unit (Figure 4/5): the
+/// Snapshot ID register, the per-channel Last Seen array, and the Snapshot
+/// Value slot array. (The metric counter register is a separate table owned
+/// by switchlib; resources/register_discipline.hpp accounts for it.)
+enum class Reg : unsigned { Sid = 0, LastSeen = 1, Value = 2 };
+
+inline constexpr unsigned reg_bit(Reg r) {
+  return 1u << static_cast<unsigned>(r);
+}
+
+/// Every register class accessed (or explicitly skipped): a finished pass.
+inline constexpr unsigned kAllRegs =
+    reg_bit(Reg::Sid) | reg_bit(Reg::LastSeen) | reg_bit(Reg::Value);
+
+/// Typestate carried through one pipeline pass; `Mask` records which
+/// registers the pass has already read-modified-written.
+template <unsigned Mask>
+class StageToken {
+ public:
+  static_assert((Mask & ~kAllRegs) == 0, "unknown register bit");
+  static constexpr unsigned mask = Mask;
+
+  template <Reg R>
+  static constexpr bool accessed = (Mask & reg_bit(R)) != 0;
+
+  // Partially-spent tokens are move-only: the token for a register state
+  // can be handed onward but not duplicated into two live pass branches.
+  StageToken(StageToken&&) noexcept = default;
+  StageToken& operator=(StageToken&&) noexcept = default;
+  StageToken(const StageToken&) = delete;
+  StageToken& operator=(const StageToken&) = delete;
+
+ private:
+  StageToken() = default;  // Minted only by RegisterFile accessors.
+  friend class RegisterFile;
+};
+
+/// The fresh token a pass starts from. Publicly constructible — entering the
+/// pipeline is not a privilege — and copyable, since an unspent token grants
+/// nothing that a new one would not.
+template <>
+class StageToken<0u> {
+ public:
+  static constexpr unsigned mask = 0u;
+
+  template <Reg R>
+  static constexpr bool accessed = false;
+
+  StageToken() = default;
+};
+
+/// Token type after RMW-ing (or skipping) register `R`.
+template <unsigned Mask, Reg R>
+using AfterAccess = StageToken<Mask | reg_bit(R)>;
+
+/// Satisfied while the pass has not yet touched register `R`. The guarded
+/// accessors require this; `!CanAccess` is exactly the "two RMWs on one
+/// register in one pass" compile error.
+template <typename Token, Reg R>
+concept CanAccess = !Token::template accessed<R>;
+
+/// End of pass: accepts only a fully-accounted token (every register either
+/// accessed or skip()ed), so forgetting a register class is also an error.
+template <unsigned Mask>
+  requires(Mask == kAllRegs)
+inline void retire(StageToken<Mask>&&) {}
+
+// ---------------------------------------------------------------------------
+// Declared per-pass access pattern, cross-checked by the Tofino resource
+// model (resources/register_discipline.hpp) against its per-table cost
+// accounting.
+// ---------------------------------------------------------------------------
+
+struct PassAccessPattern {
+  bool sid = false;
+  bool last_seen = false;
+  bool value_array = false;
+
+  [[nodiscard]] constexpr int stateful_register_accesses() const {
+    return static_cast<int>(sid) + static_cast<int>(last_seen) +
+           static_cast<int>(value_array);
+  }
+};
+
+/// What one DataplaneUnit pipeline pass may touch. The Last Seen array only
+/// exists in the channel-state variant (Table 1's "+ Chnl. State" build).
+constexpr PassAccessPattern pass_access_pattern(bool channel_state) {
+  return {.sid = true, .last_seen = channel_state, .value_array = true};
+}
+
+}  // namespace speedlight::snap

@@ -2,9 +2,9 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
 #include "net/packet.hpp"
+#include "sim/inplace_callback.hpp"
 #include "sim/time.hpp"
 #include "stats/ewma.hpp"
 #include "switchlib/metric.hpp"
@@ -48,7 +48,8 @@ class CounterSet {
   }
 
   /// Egress units expose their output queue's occupancy through this gauge.
-  void set_queue_depth_gauge(std::function<std::uint64_t()> gauge) {
+  /// Inline storage: the gauge is read on the per-packet snapshot path.
+  void set_queue_depth_gauge(sim::InplaceFunction<std::uint64_t()> gauge) {
     queue_depth_ = std::move(gauge);
   }
 
@@ -69,7 +70,7 @@ class CounterSet {
   std::uint64_t fib_version_ = 0;
   std::uint64_t ecn_marks_ = 0;
   stats::TwoPhaseInterarrivalEwma ewma_;
-  std::function<std::uint64_t()> queue_depth_;
+  mutable sim::InplaceFunction<std::uint64_t()> queue_depth_;
 };
 
 }  // namespace speedlight::sw

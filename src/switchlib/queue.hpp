@@ -7,8 +7,8 @@
 #pragma once
 
 #include <cstddef>
-#include <deque>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "net/packet.hpp"
@@ -16,16 +16,21 @@
 
 namespace speedlight::sw {
 
+// A bounded FIFO over a ring of packet handles, fully preallocated at
+// construction: the bounded capacity is known up front, so push/pop on the
+// per-packet path never touch the allocator (std::deque grew a chunk every
+// ~64 pushes, which the SPEEDLIGHT_CHECK_DETERMINISM allocation guard
+// rightly flagged).
 class FifoQueue {
  public:
-  explicit FifoQueue(std::size_t capacity) : capacity_(capacity) {}
+  explicit FifoQueue(std::size_t capacity)
+      : capacity_(capacity), ring_(capacity) {}
 
-  // Explicitly noexcept so vector reallocation moves instead of trying to
-  // copy (deque's move constructor lacks the noexcept guarantee, and the
-  // pooled-packet elements are move-only).
   FifoQueue(FifoQueue&& other) noexcept
       : capacity_(other.capacity_),
-        q_(std::move(other.q_)),
+        ring_(std::move(other.ring_)),
+        head_(other.head_),
+        size_(std::exchange(other.size_, 0)),
         max_depth_(other.max_depth_),
         drops_(other.drops_) {}
   FifoQueue(const FifoQueue&) = delete;
@@ -33,31 +38,35 @@ class FifoQueue {
 
   /// False (and the packet is dropped by the caller) when full.
   bool push(net::PooledPacket pkt) {
-    if (q_.size() >= capacity_) {
+    if (size_ >= capacity_) {
       ++drops_;
       return false;  // Dropping the handle recycles the packet.
     }
-    q_.push_back(std::move(pkt));
-    if (q_.size() > max_depth_) max_depth_ = q_.size();
+    ring_[(head_ + size_) % capacity_] = std::move(pkt);
+    ++size_;
+    if (size_ > max_depth_) max_depth_ = size_;
     return true;
   }
 
   std::optional<net::PooledPacket> pop() {
-    if (q_.empty()) return std::nullopt;
-    net::PooledPacket pkt = std::move(q_.front());
-    q_.pop_front();
+    if (size_ == 0) return std::nullopt;
+    net::PooledPacket pkt = std::move(ring_[head_]);
+    head_ = (head_ + 1) % capacity_;
+    --size_;
     return pkt;
   }
 
-  [[nodiscard]] std::size_t size() const { return q_.size(); }
-  [[nodiscard]] bool empty() const { return q_.empty(); }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
   [[nodiscard]] std::size_t max_depth() const { return max_depth_; }
   [[nodiscard]] std::uint64_t drops() const { return drops_; }
 
  private:
   std::size_t capacity_;
-  std::deque<net::PooledPacket> q_;
+  std::vector<net::PooledPacket> ring_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
   std::size_t max_depth_ = 0;
   std::uint64_t drops_ = 0;
 };

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "sim/determinism.hpp"
+
 namespace speedlight::sw {
 
 // ---------------------------------------------------------------------------
@@ -25,6 +27,7 @@ class Switch::PortUnit final : public snap::UnitHandle {
     const std::uint16_t cpu =
         ingress ? kIngressCpuChannel : sw_.egress_cpu_channel();
     const MetricKind metric = sw_.options_.metric;
+    // speedlight-lint: allow(datapath-alloc) construction-time wiring.
     dp_ = std::make_unique<snap::DataplaneUnit>(
         unit_id(), sw_.options_.snapshot, channels, cpu,
         [this, metric]() { return counters_.read(metric); },
@@ -116,6 +119,7 @@ Switch::Switch(sim::Simulator& sim, net::NodeId id, std::string name,
                            options_.flowlet_gap, rng_.fork("lb"));
   ports_.reserve(options_.num_ports);
   for (net::PortId p = 0; p < options_.num_ports; ++p) {
+    // speedlight-lint: allow(datapath-alloc) construction-time wiring.
     ports_.push_back(std::make_unique<Port>(*this, p, options_.cos_classes,
                                             options_.queue_capacity));
   }
@@ -146,13 +150,16 @@ void Switch::finalize() {
 
   snap::ControlPlane::Options cp_options = options_.control;
   cp_options.snapshot = options_.snapshot;
+  // speedlight-lint: allow(datapath-alloc) finalize()-time wiring.
   cp_ = std::make_unique<snap::ControlPlane>(sim_, id(), name(), timing_,
                                              cp_options, rng_.fork("cp"));
   auto sink = [this](const snap::Notification& n) { cp_->on_notification(n); };
   if (options_.notification_mode == snap::NotificationMode::Digest) {
+    // speedlight-lint: allow(datapath-alloc) finalize()-time wiring.
     notif_ = std::make_unique<snap::DigestChannel>(sim_, timing_,
                                                    rng_.fork("notif"), sink);
   } else {
+    // speedlight-lint: allow(datapath-alloc) finalize()-time wiring.
     notif_ = std::make_unique<snap::NotificationChannel>(
         sim_, timing_, rng_.fork("notif"), sink);
   }
@@ -230,6 +237,7 @@ std::size_t Switch::classify(const net::Packet& pkt) const {
 
 void Switch::receive(net::PooledPacket pkt, net::PortId in_port) {
   assert(finalized_ && "switch used before finalize()");
+  sim::det::DataPathScope datapath;  // Per-packet extent: no allocations.
   Port& port = *ports_.at(in_port);
   const sim::SimTime now = sim_.now();
 
@@ -257,6 +265,8 @@ void Switch::receive(net::PooledPacket pkt, net::PortId in_port) {
   // sFlow-style sampling mirror (independent of the snapshot machinery).
   if (sample_rate_ > 0 && sample_sink_ && pkt->counts_for_metrics() &&
       rng_.chance(1.0 / sample_rate_)) {
+    // Observability mirror, not protocol data path: collectors may buffer.
+    sim::det::DetAllow allow_collector;
     sample_sink_(id(), in_port, *pkt);
   }
 
@@ -283,6 +293,8 @@ void Switch::receive(net::PooledPacket pkt, net::PortId in_port) {
                               : lb_->choose(*pkt, candidates, now);
 
   if (audit_) {
+    // Test-only ground-truth hook; audit implementations may buffer.
+    sim::det::DetAllow allow_audit;
     audit_->on_internal_send(id(), in_port, out, pkt->audit_virtual_sid,
                              pkt->counts_for_metrics());
   }
@@ -296,17 +308,22 @@ void Switch::receive(net::PooledPacket pkt, net::PortId in_port) {
 
 void Switch::enqueue(net::PortId out, net::PooledPacket pkt,
                      std::size_t forced_class) {
+  sim::det::DataPathScope datapath;  // Queue admission: no allocations.
   Port& port = *ports_.at(out);
   const std::size_t cls =
       forced_class == kClassifyByPacket ? classify(*pkt) : forced_class;
   if (!port.queue.push(std::move(pkt), cls)) {
-    if (audit_) audit_->on_queue_drop(id(), out);
+    if (audit_) {
+      sim::det::DetAllow allow_audit;  // Test-only hook; may buffer.
+      audit_->on_queue_drop(id(), out);
+    }
     return;
   }
   if (!port.transmitting) start_transmission(out);
 }
 
 void Switch::start_transmission(net::PortId out) {
+  sim::det::DataPathScope datapath;  // Dequeue + egress unit: no allocations.
   Port& port = *ports_.at(out);
   auto popped = port.queue.pop();
   if (!popped) {
@@ -356,6 +373,9 @@ void Switch::process_egress(net::PortId out, net::Packet& pkt,
   }
 
   if (options_.int_enabled && pkt.int_marked && pkt.is_data()) {
+    // int_stack capacity is retained across pool lives, so growth is a
+    // per-slot one-off, not per-packet work.
+    sim::det::DetAllow allow_int_growth;
     pkt.int_stack.push_back({id(), out,
                              static_cast<std::uint32_t>(port.queue.size()),
                              now});
@@ -363,6 +383,7 @@ void Switch::process_egress(net::PortId out, net::Packet& pkt,
 }
 
 void Switch::transmit(net::PortId out, net::PooledPacket pkt) {
+  sim::det::DataPathScope datapath;  // Wire handoff: no allocations.
   Port& port = *ports_.at(out);
   if (!port.link) return;  // Unconnected port: blackhole (packet recycled).
   if (port.to_host) {
@@ -370,6 +391,7 @@ void Switch::transmit(net::PortId out, net::PooledPacket pkt) {
     pkt->snap = net::SnapshotHeader{};  // Strip before delivery (Section 5.1).
   }
   if (audit_) {
+    sim::det::DetAllow allow_audit;  // Test-only hook; may buffer.
     audit_->on_external_send(id(), out, pkt->audit_virtual_sid,
                              pkt->counts_for_metrics());
   }

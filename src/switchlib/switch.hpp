@@ -37,20 +37,27 @@
 namespace speedlight::sw {
 
 /// Ground-truth hooks used by the property tests; not part of the protocol.
+/// Test-only instrumentation: the pointer is null in every production and
+/// benchmark configuration, so the virtuals below never dispatch on a
+/// measured path (hence the per-line lint exemptions).
 class SwitchAudit {
  public:
+  // speedlight-lint: allow(virtual-in-datapath) test-only hook, see above.
   virtual ~SwitchAudit() = default;
   /// A packet was committed to the internal channel ingress `in` -> egress
   /// `out` carrying virtual snapshot id `vsid`.
+  // speedlight-lint: allow(virtual-in-datapath) test-only hook, see above.
   virtual void on_internal_send(net::NodeId sw, net::PortId in, net::PortId out,
                                 std::uint64_t vsid, bool counts) {
     (void)sw; (void)in; (void)out; (void)vsid; (void)counts;
   }
   /// A packet left egress port `out` carrying virtual snapshot id `vsid`.
+  // speedlight-lint: allow(virtual-in-datapath) test-only hook, see above.
   virtual void on_external_send(net::NodeId sw, net::PortId out,
                                 std::uint64_t vsid, bool counts) {
     (void)sw; (void)out; (void)vsid; (void)counts;
   }
+  // speedlight-lint: allow(virtual-in-datapath) test-only hook, see above.
   virtual void on_queue_drop(net::NodeId sw, net::PortId out) {
     (void)sw; (void)out;
   }
@@ -70,6 +77,9 @@ struct SwitchOptions {
   /// Class-of-service sub-channels per internal channel (Section 4.1).
   std::size_t cos_classes = 1;
   /// Maps a packet to its class in [0, cos_classes). Null = class 0.
+  /// SwitchOptions must stay copyable, which rules out InplaceFunction
+  /// (move-only); the classifier is invoked only when cos_classes > 1.
+  // speedlight-lint: allow(std-function-in-datapath) copyable options struct.
   std::function<std::size_t(const net::Packet&)> classifier;
 
   std::size_t queue_capacity = 1024;       ///< Packets per class per port.
@@ -134,7 +144,11 @@ class Switch final : public net::Node {
   /// sFlow-style 1-in-`rate` ingress packet sampling; mirrored records go
   /// to `sink` (see polling/sampling.hpp for a collector). Call before or
   /// after finalize(); rate 0 disables.
+  // Sampling fires for 1-in-rate packets (rate >= 100 in every config), so
+  // the type-erasure cost is off the common path, and collectors want to
+  // bind arbitrary copyable state.
   void enable_sampling(std::uint32_t rate,
+                       // speedlight-lint: allow(std-function-in-datapath) rare path, above.
                        std::function<void(net::NodeId, net::PortId,
                                           const net::Packet&)> sink) {
     sample_rate_ = rate;
@@ -186,6 +200,7 @@ class Switch final : public net::Node {
   std::uint64_t ttl_drops_ = 0;
   std::uint64_t probe_serial_ = 0;
   std::uint32_t sample_rate_ = 0;
+  // speedlight-lint: allow(std-function-in-datapath) see enable_sampling.
   std::function<void(net::NodeId, net::PortId, const net::Packet&)> sample_sink_;
 };
 

@@ -48,12 +48,13 @@ TEST(Scenario, GeneratedTopologiesAreValid) {
 }
 
 TEST(Scenario, ParserRejectsMissingHeader) {
-  EXPECT_THROW(check::scenario_from_string("seed 1\n"), std::invalid_argument);
+  EXPECT_THROW((void)check::scenario_from_string("seed 1\n"),
+               std::invalid_argument);
 }
 
 TEST(Scenario, ParserRejectsUnknownDirective) {
   try {
-    check::scenario_from_string("scenario v1\nfoo bar\n");
+    (void)check::scenario_from_string("scenario v1\nfoo bar\n");
     FAIL() << "expected std::invalid_argument";
   } catch (const std::invalid_argument& e) {
     // Diagnostics carry the line number.
@@ -63,7 +64,7 @@ TEST(Scenario, ParserRejectsUnknownDirective) {
 
 TEST(Scenario, ParserRejectsMalformedFault) {
   EXPECT_THROW(
-      check::scenario_from_string("scenario v1\nfault link_flap oops\n"),
+      (void)check::scenario_from_string("scenario v1\nfault link_flap oops\n"),
       std::invalid_argument);
 }
 

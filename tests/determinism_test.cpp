@@ -17,6 +17,7 @@
 #include "core/experiment.hpp"
 #include "core/network.hpp"
 #include "net/topology.hpp"
+#include "sim/determinism.hpp"
 #include "sim/simulator.hpp"
 
 namespace speedlight {
@@ -138,6 +139,65 @@ TEST(Determinism, SameSeedNetworkRunsAreIdentical) {
   EXPECT_EQ(a.executed, b.executed);
   EXPECT_EQ(a.scheduled, b.scheduled);
   EXPECT_GT(a.delivered, 0u);
+}
+
+// The tie-break auditor's pairing logic is testable without the
+// SPEEDLIGHT_CHECK_DETERMINISM hooks: drive begin_event/touch/end_event by
+// hand (exactly what Simulator + touch_scope do when compiled in).
+TEST(DetAuditor, PairsOnlySameTimestampEventsSharingAScope) {
+  sim::det::Auditor a;
+  a.install();
+  a.begin_event(100, 1);
+  a.touch(7);
+  a.end_event();
+  a.begin_event(100, 2);  // Same tick, same unit: a tie pair.
+  a.touch(7);
+  a.end_event();
+  a.begin_event(100, 3);  // Same tick, disjoint unit: no pair.
+  a.touch(8);
+  a.end_event();
+  a.begin_event(200, 4);  // Later tick: new cohort, no pair.
+  a.touch(7);
+  a.end_event();
+  a.uninstall();
+  EXPECT_EQ(a.tie_pairs(), 1u);
+  EXPECT_EQ(a.events_seen(), 4u);
+  EXPECT_EQ(a.scope_touches(), 4u);
+}
+
+TEST(DetAuditor, FingerprintReproducesAndIsOrderSensitive) {
+  auto run = [](bool swapped) {
+    sim::det::Auditor a;
+    a.install();
+    const std::uint64_t first = swapped ? 2 : 1;
+    const std::uint64_t second = swapped ? 1 : 2;
+    a.begin_event(50, first);
+    a.touch(9);
+    a.end_event();
+    a.begin_event(50, second);
+    a.touch(9);
+    a.end_event();
+    a.uninstall();
+    return a.fingerprint();
+  };
+  EXPECT_EQ(run(false), run(false));  // Twin runs agree...
+  EXPECT_NE(run(false), run(true));   // ...but a reordered tie is visible.
+}
+
+TEST(DetAuditor, DedupsRepeatedTouchesWithinOneEvent) {
+  sim::det::Auditor a;
+  a.install();
+  a.begin_event(10, 1);
+  a.touch(5);
+  a.touch(5);
+  a.touch(5);
+  a.end_event();
+  a.begin_event(10, 2);
+  a.touch(5);
+  a.end_event();
+  a.uninstall();
+  EXPECT_EQ(a.scope_touches(), 2u);
+  EXPECT_EQ(a.tie_pairs(), 1u);  // One shared scope => one pair, not three.
 }
 
 }  // namespace

@@ -1,0 +1,19 @@
+// Idiomatic data-path code: inline callbacks, pool handles, no heap
+// keywords, no type erasure, no virtuals. Must produce zero diagnostics
+// even under the data-path rules. Mentions of banned names in comments and
+// strings (std::function, new, virtual, rand()) must not fire either.
+struct Packet;
+
+template <typename F>
+struct InlineTap {
+  F fn;  // not a std::function: capture state lives inline
+  void operator()(const Packet& p) { fn(p); }
+};
+
+const char* describe() {
+  return "uses new virtual rand() steady_clock std::function in a string";
+}
+
+void forward(const Packet& p, InlineTap<void (*)(const Packet&)>& tap) {
+  tap(p);
+}

@@ -1,0 +1,34 @@
+// Seeded violations for the data-path-only rules. The test scans this file
+// under a synthetic src/switchlib/ path; lint_tool_test also re-scans the
+// same bytes as control-plane code and expects only the raw-new-delete
+// hits to remain.
+#include <functional>
+#include <memory>
+
+struct Packet;
+
+struct HotPath {
+  std::function<void(const Packet&)> tap;  // LINT-EXPECT: std-function-in-datapath
+
+  virtual void process(const Packet& p) = 0;  // LINT-EXPECT: virtual-in-datapath
+};
+
+void per_packet(HotPath& h, const Packet& p) {
+  h.process(p);
+  auto copy = std::make_unique<Packet>(p);  // LINT-EXPECT: datapath-alloc
+  auto shared = std::make_shared<Packet>(p);  // LINT-EXPECT: datapath-alloc
+  void* raw = malloc(64);  // LINT-EXPECT: datapath-alloc
+  (void)copy;
+  (void)shared;
+  (void)raw;
+}
+
+// Raw new/delete also fires its repo-wide rule, so these lines carry two
+// expectations each.
+Packet* leak() {
+  return new Packet();  // LINT-EXPECT: datapath-alloc, raw-new-delete
+}
+
+void unleak(Packet* p) {
+  delete p;  // LINT-EXPECT: raw-new-delete
+}

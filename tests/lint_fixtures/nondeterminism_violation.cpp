@@ -1,0 +1,36 @@
+// Seeded violations for the determinism rules (scanned as control-plane
+// code: these rules apply everywhere).
+#include <chrono>
+#include <cstdlib>
+#include <unordered_map>
+
+struct Packet;
+
+void timestamps() {
+  auto a = std::chrono::steady_clock::now();          // LINT-EXPECT: wall-clock
+  auto b = std::chrono::system_clock::now();          // LINT-EXPECT: wall-clock
+  auto c = std::chrono::high_resolution_clock::now(); // LINT-EXPECT: wall-clock
+  long d = time(nullptr);                             // LINT-EXPECT: wall-clock
+  (void)a; (void)b; (void)c; (void)d;
+}
+
+int entropy() {
+  srand(42);                       // LINT-EXPECT: raw-rand
+  int x = rand();                  // LINT-EXPECT: raw-rand
+  int y = std::rand();             // LINT-EXPECT: raw-rand
+  std::random_device rd;           // LINT-EXPECT: raw-rand
+  return x + y + static_cast<int>(rd());
+}
+
+void iteration_order() {
+  std::unordered_map<Packet*, int> by_ptr;  // LINT-EXPECT: pointer-keyed-container
+  std::unordered_set<const Packet*> seen;   // LINT-EXPECT: pointer-keyed-container
+  (void)by_ptr;
+  (void)seen;
+}
+
+void fine() {
+  // Value-keyed containers and the seeded sim Rng are all fine.
+  std::unordered_map<int, int> by_id;
+  (void)by_id;
+}

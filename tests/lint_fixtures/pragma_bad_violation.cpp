@@ -1,0 +1,18 @@
+// Malformed suppression pragmas are diagnostics themselves: exemptions must
+// name real rules and carry a justification.
+
+// speedlight-lint: allow(wall-clock)
+// LINT-EXPECT-PREV: bad-pragma
+int missing_justification();
+
+// speedlight-lint: allow(no-such-rule) justification present
+// LINT-EXPECT-PREV: bad-pragma
+int unknown_rule();
+
+// speedlight-lint: allow() empty list
+// LINT-EXPECT-PREV: bad-pragma
+int empty_list();
+
+// speedlight-lint: frobnicate(wall-clock) nonsense verb
+// LINT-EXPECT-PREV: bad-pragma
+int bad_verb();

@@ -1,0 +1,26 @@
+// Every violation below carries a justified allow pragma, in each of the
+// supported placements; the file must lint clean.
+//
+// speedlight-lint: allow-file(raw-rand) fixture exercising file scope.
+#include <cstdlib>
+
+int file_scope() {
+  return rand();  // covered by the allow-file pragma above
+}
+
+int same_line() {
+  long t = time(nullptr);  // speedlight-lint: allow(wall-clock) fixture: same-line placement
+  return static_cast<int>(t);
+}
+
+int next_line() {
+  // speedlight-lint: allow(wall-clock, raw-new-delete) fixture: the pragma
+  long t = time(nullptr);
+  // The second rule in the list applies to this pair too:
+  // speedlight-lint: allow(raw-new-delete) fixture: next-line placement
+  int* p = new int(static_cast<int>(t));
+  int v = *p;
+  // speedlight-lint: allow(raw-new-delete) fixture: next-line placement
+  delete p;
+  return v;
+}

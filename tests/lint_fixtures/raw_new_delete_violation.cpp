@@ -1,0 +1,14 @@
+// Raw new/delete outside the pool/slab allocators fires everywhere, even in
+// control-plane code. Deleted special members must NOT fire.
+struct Widget {
+  Widget(const Widget&) = delete;             // fine: deleted function
+  Widget& operator=(const Widget&) = delete;  // fine: deleted function
+};
+
+int* grab() {
+  return new int[4];  // LINT-EXPECT: raw-new-delete
+}
+
+void drop(int* p) {
+  delete[] p;  // LINT-EXPECT: raw-new-delete
+}

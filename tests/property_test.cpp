@@ -151,8 +151,10 @@ INSTANTIATE_TEST_SUITE_P(
                snap::NotificationMode::RawSocket, sw::MetricKind::ByteCount},
         Params{Topo::Ring, sw::LoadBalancerKind::Ecmp, 16, 16,
                snap::NotificationMode::RawSocket, sw::MetricKind::ByteCount}),
-    [](const ::testing::TestParamInfo<Params>& info) {
-      const Params& p = info.param;
+    // Named to dodge -Wshadow: INSTANTIATE_TEST_SUITE_P's expansion already
+    // binds `info`.
+    [](const ::testing::TestParamInfo<Params>& param_info) {
+      const Params& p = param_info.param;
       return topo_name(p.topo) +
              (p.lb == sw::LoadBalancerKind::Ecmp ? "_Ecmp" : "_Flowlet") +
              "_M" + std::to_string(p.modulus) + "_S" +

@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "resources/pipeline_layout.hpp"
+#include "resources/register_discipline.hpp"
 #include "resources/tofino_model.hpp"
 
 namespace speedlight::res {
@@ -93,9 +94,31 @@ TEST(Table1, UnderQuarterUtilization) {
   }
 }
 
+TEST(RegisterDiscipline, PerPassRmwsFitStatefulAluBudget) {
+  // Both pipeline passes (ingress + egress unit) must fit the variant's
+  // Table 1 stateful-ALU budget; register_discipline.hpp static_asserts the
+  // same, so this doubles as a readable restatement of the bound.
+  for (const auto v :
+       {Variant::PacketCount, Variant::WrapAround, Variant::ChannelState}) {
+    EXPECT_LE(stateful_rmws_per_packet(v), stateful_alus(v)) << variant_name(v);
+    EXPECT_EQ(stateful_alus(v), estimate(v, 64).stateful_alus)
+        << variant_name(v);
+  }
+}
+
+TEST(RegisterDiscipline, ChannelStateAddsExactlyLastSeen) {
+  // The channel-state build adds one register class (Last Seen) per unit:
+  // its per-pass RMW count is exactly one higher.
+  EXPECT_EQ(stateful_rmws_per_unit_pass(Variant::ChannelState),
+            stateful_rmws_per_unit_pass(Variant::PacketCount) + 1);
+  EXPECT_EQ(stateful_rmws_per_unit_pass(Variant::WrapAround),
+            stateful_rmws_per_unit_pass(Variant::PacketCount));
+}
+
 TEST(Table1, RejectsInvalidPortCounts) {
-  EXPECT_THROW(estimate(Variant::PacketCount, 0), std::invalid_argument);
-  EXPECT_THROW(estimate(Variant::PacketCount, 65), std::invalid_argument);
+  EXPECT_THROW((void)estimate(Variant::PacketCount, 0), std::invalid_argument);
+  EXPECT_THROW((void)estimate(Variant::PacketCount, 65),
+               std::invalid_argument);
 }
 
 TEST(Table1, PrintsAllRows) {

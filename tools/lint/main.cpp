@@ -1,0 +1,38 @@
+// CLI front-end for the project linter. Usage:
+//
+//   speedlight_lint [--list-rules] <file-or-dir>...
+//
+// Scans every .hpp/.cpp under the given roots, prints file:line diagnostics
+// to stderr, and exits nonzero if any check fired (or a suppression pragma
+// was malformed). The `lint` ctest runs it over src/ and bench/; CI runs the
+// same invocation. See tools/lint/lint.hpp for the rule set and the
+// `// speedlight-lint: allow(...)` suppression syntax.
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--list-rules") == 0) {
+      for (const auto& r : speedlight::lint::rules()) {
+        std::cout << r.name << (r.datapath_only ? " [data-path only]" : "")
+                  << "\n    " << r.summary << "\n";
+      }
+      return 0;
+    }
+    if (std::strcmp(argv[i], "--help") == 0) {
+      std::cout << "usage: speedlight_lint [--list-rules] <file-or-dir>...\n";
+      return 0;
+    }
+    roots.emplace_back(argv[i]);
+  }
+  if (roots.empty()) {
+    std::cerr << "usage: speedlight_lint [--list-rules] <file-or-dir>...\n";
+    return 2;
+  }
+  return speedlight::lint::run(roots) == 0 ? 0 : 1;
+}
