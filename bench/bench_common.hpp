@@ -82,7 +82,15 @@ class JsonReport {
   }
 
   void metric(const std::string& key, const std::string& value) {
-    fields_.emplace_back(key, "\"" + escaped(value) + "\"");
+    // Built by append, not operator+: the `"lit" + std::string&&` chain
+    // trips a GCC 12 -Wrestrict false positive at -O2 (same workaround as
+    // net::topology name()).
+    std::string quoted;
+    quoted.reserve(value.size() + 2);
+    quoted += '"';
+    quoted += escaped(value);
+    quoted += '"';
+    fields_.emplace_back(key, std::move(quoted));
   }
 
   /// Snapshot the flight recorder's registry into the report. The dump is
@@ -145,6 +153,21 @@ class JsonReport {
   std::vector<std::pair<std::string, std::string>> fields_;
   std::string registry_;  ///< Pre-rendered registry JSON, "" when not embedded.
 };
+
+/// Merge point-in-time samples from several registries — one per engine
+/// shard — into a single dump, so a sharded run's artifact carries every
+/// switch and transport, not just the control shard's. Clashing names (the
+/// per-shard sim.* counters) pick up the registry's own "#N" suffix.
+inline void embed_registries(
+    JsonReport& report, const std::vector<const obs::MetricsRegistry*>& regs) {
+  obs::MetricsRegistry merged;
+  for (const obs::MetricsRegistry* reg : regs) {
+    for (const auto& s : reg->collect()) {
+      merged.register_reader(s.name, s.kind, [v = s.value]() { return v; });
+    }
+  }
+  report.embed_registry(merged);
+}
 
 /// Print the verdict, emit the JSON result file, and return the exit code.
 inline int finish(JsonReport& report) {

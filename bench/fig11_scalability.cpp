@@ -9,8 +9,15 @@
 // on the small testbed. Synchronization of one snapshot is the spread
 // (max - min) of the instants over every unit in the network; we report
 // the average over many trials.
+//
+// The full-simulator cross-validation accepts --shards N to run on the
+// parallel conservative engine; the emitted JSON then carries per-shard
+// executed-event counts and barrier-wait time alongside the registry dump.
+// Synchronization results are bit-identical for every shard count.
 #include <algorithm>
+#include <cstring>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -66,9 +73,11 @@ double average_sync_us(std::size_t routers, int trials, sim::Rng& rng,
 // (every packet, clock, and control-plane event) on a ring of
 // 3-port routers, vs the sampled model at matched parameters.
 double full_sim_sync_us(std::size_t routers, std::size_t snapshots,
+                        std::size_t shards,
                         bench::JsonReport* report = nullptr) {
   core::NetworkOptions opt;
   opt.seed = 818;
+  opt.shards = shards;
   core::Network net(net::make_ring(routers), opt);
   const auto campaign = core::run_snapshot_campaign(
       net, snapshots, sim::msec(5));
@@ -76,12 +85,45 @@ double full_sim_sync_us(std::size_t routers, std::size_t snapshots,
   for (const auto* snap : campaign.results(net)) {
     sync.add(sim::to_usec(snap->advance_span()));
   }
-  if (report != nullptr) report->embed_registry(net.metrics());
+  if (report != nullptr) {
+    report->metric("full_sim.shards", static_cast<double>(net.num_shards()));
+    for (std::size_t i = 0; i < net.num_shards(); ++i) {
+      report->metric(
+          "full_sim.shard" + std::to_string(i) + "_events",
+          static_cast<double>(net.shard_simulator(i).stats().executed));
+    }
+    if (const sim::ParallelEngine* eng = net.engine()) {
+      const sim::EngineRunStats& er = eng->last_run();
+      report->metric("full_sim.rounds", static_cast<double>(er.rounds));
+      std::uint64_t barrier_ns = 0;
+      std::uint64_t posted = 0;
+      for (const auto& sh : er.shards) {
+        barrier_ns += sh.barrier_wait_ns;
+        posted += sh.posted;
+      }
+      report->metric("full_sim.barrier_wait_ms",
+                     static_cast<double>(barrier_ns) / 1e6);
+      report->metric("full_sim.cross_shard_msgs",
+                     static_cast<double>(posted));
+    }
+    std::vector<const obs::MetricsRegistry*> regs;
+    for (std::size_t i = 0; i < net.num_shards(); ++i) {
+      regs.push_back(&net.shard_simulator(i).metrics());
+    }
+    bench::embed_registries(*report, regs);
+  }
   return sync.mean();
 }
 
 int main(int argc, char** argv) {
   bench::parse_args(argc, argv);
+  std::size_t shards = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = std::strtoull(argv[++i], nullptr, 10);
+      if (shards == 0) shards = 1;
+    }
+  }
   bench::JsonReport report("fig11_scalability");
   bench::banner(
       "Figure 11 — average synchronization vs number of routers",
@@ -115,8 +157,8 @@ int main(int argc, char** argv) {
   // the simulator can run exhaustively (12 x 3-port routers).
   const double model = average_sync_us(12, bench::scaled(200, 40), rng,
                                        /*ports=*/3);
-  const double simulated =
-      full_sim_sync_us(12, bench::scaled<std::size_t>(60, 15), &report);
+  const double simulated = full_sim_sync_us(
+      12, bench::scaled<std::size_t>(60, 15), shards, &report);
   std::cout << "\nCross-validation @ 12 routers x 3 ports:\n"
             << "  sampled model:  " << model << " us\n"
             << "  full simulator: " << simulated << " us\n";

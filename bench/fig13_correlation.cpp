@@ -133,8 +133,13 @@ int main(int argc, char** argv) {
     std::size_t first_uplink = 0;
     for (net::PortId p = 0; p < ports; ++p) {
       series.ports.push_back({swid, p, net::Direction::Egress});
-      series.labels.push_back("s" + std::to_string(swid) + "p" +
-                              std::to_string(p));
+      // Append, not operator+: GCC 12's -Wrestrict false-positives on the
+      // `"lit" + std::string&&` chain at -O2.
+      std::string label = "s";
+      label += std::to_string(swid);
+      label += 'p';
+      label += std::to_string(p);
+      series.labels.push_back(std::move(label));
       if (swid < 2 && p == 3) first_uplink = series.ports.size() - 1;
       if (swid < 2 && p == 4) {
         uplink_pairs.push_back({first_uplink, series.ports.size() - 1});

@@ -19,6 +19,7 @@ snap::DataplaneUnit make_unit(bool channel_state) {
   snap::SnapshotConfig config;
   config.channel_state = channel_state;
   config.value_slots = 64;
+  // speedlight-lint: allow(mutable-static) bench-local counter, single-thread
   static std::uint64_t state = 0;
   return snap::DataplaneUnit(
       {1, 1, net::Direction::Ingress}, config, 2, 1, []() { return ++state; },

@@ -1,0 +1,185 @@
+// Parallel engine scaling: the same fat-tree snapshot campaign run at
+// shard counts {1, 2, 4, 8}, measuring wall time, speedup over the serial
+// engine, and the conservative-synchronization overheads (rounds, per-shard
+// event balance, barrier wait, cross-shard message volume).
+//
+// Two properties are *checked*; throughput is only *recorded*:
+//   * every shard count executes the identical campaign — same number of
+//     completed snapshots and same total snapshot value (the engine's
+//     determinism contract, cheap form; speedlight_fuzz --digest --shards N
+//     is the exhaustive oracle), and
+//   * the 1-shard configuration matches the serial baseline's event count
+//     exactly (it *is* the serial engine — the builder only instantiates
+//     the parallel machinery for >= 2 shards).
+// Speedup is reported against the recorded core count: on a single-core
+// host the conservative engine cannot beat serial (there is nothing to
+// overlap and every barrier round is pure overhead), so no wall-clock
+// assertion is made — the JSON carries `cores` so readers can judge the
+// numbers in context.
+//
+// Usage: perf_parallel [--smoke] [--threads]
+//   --threads forces Threads mode even where Auto would pick Inline
+//   (single-core hosts), exercising the std::barrier path.
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/experiment.hpp"
+#include "core/network.hpp"
+#include "net/topology.hpp"
+#include "sim/parallel.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+#include "workload/basic.hpp"
+
+namespace {
+
+using namespace speedlight;
+
+struct RunOutcome {
+  double wall_s = 0;
+  std::uint64_t executed = 0;       ///< Events in the campaign run.
+  std::uint64_t rounds = 0;         ///< Engine barrier rounds (0 serial).
+  std::uint64_t posted = 0;         ///< Cross-shard messages.
+  std::uint64_t spilled = 0;        ///< ... that overflowed a ring.
+  std::uint64_t barrier_ns = 0;     ///< Total wall ns blocked on barriers.
+  std::size_t shards = 1;           ///< Actual shard count used.
+  std::size_t completed = 0;        ///< Snapshots completed.
+  std::uint64_t total_value = 0;    ///< Sum over consistent reports.
+  std::vector<std::uint64_t> per_shard_executed;
+};
+
+RunOutcome run_campaign(std::size_t shards, bool force_threads) {
+  core::NetworkOptions opt;
+  opt.seed = 411;
+  opt.shards = shards;
+  if (force_threads && shards > 1) {
+    opt.exec_mode = core::NetworkOptions::ExecMode::Threads;
+  }
+  core::Network net(net::make_fat_tree(4), opt);
+
+  // All-to-all Poisson traffic, one generator per host, each wired onto
+  // its host's shard.
+  std::vector<net::NodeId> all;
+  for (std::size_t h = 0; h < net.num_hosts(); ++h) all.push_back(net.host_id(h));
+  std::vector<std::unique_ptr<wl::Generator>> gens;
+  for (std::size_t h = 0; h < net.num_hosts(); ++h) {
+    std::vector<net::NodeId> dsts;
+    for (const auto id : all) {
+      if (id != net.host_id(h)) dsts.push_back(id);
+    }
+    auto gen = std::make_unique<wl::PoissonGenerator>(
+        net.shard_simulator(net.host_shard(h)), net.host(h), std::move(dsts),
+        bench::scaled(50'000.0, 10'000.0), 750, sim::Rng(9000 + h));
+    gen->start(net.now());
+    gens.push_back(std::move(gen));
+  }
+
+  const std::uint64_t events_before = [&net] {
+    std::uint64_t n = 0;
+    for (std::size_t i = 0; i < net.num_shards(); ++i) {
+      n += net.shard_simulator(i).stats().executed;
+    }
+    return n;
+  }();
+
+  // speedlight-lint: allow(wall-clock) measuring real engine throughput
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto campaign = core::run_snapshot_campaign(
+      net, bench::scaled<std::size_t>(10, 3), sim::msec(2));
+  RunOutcome out;
+  // speedlight-lint: allow(wall-clock) measuring real engine throughput
+  const auto t1 = std::chrono::steady_clock::now();
+  out.wall_s = std::chrono::duration<double>(t1 - t0).count();
+
+  out.shards = net.num_shards();
+  for (std::size_t i = 0; i < net.num_shards(); ++i) {
+    const auto& st = net.shard_simulator(i).stats();
+    out.executed += st.executed;
+    out.per_shard_executed.push_back(st.executed);
+  }
+  out.executed -= events_before;
+  if (const sim::ParallelEngine* eng = net.engine()) {
+    const sim::EngineRunStats& er = eng->last_run();
+    out.rounds = er.rounds;
+    for (const auto& sh : er.shards) {
+      out.posted += sh.posted;
+      out.spilled += sh.spilled;
+      out.barrier_ns += sh.barrier_wait_ns;
+    }
+  }
+  for (const auto* snap : campaign.results(net)) {
+    ++out.completed;
+    out.total_value += snap->total_value(false);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
+  bool force_threads = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0) force_threads = true;
+  }
+  bench::JsonReport report("perf_parallel");
+  bench::banner("Parallel engine — shard scaling on a k=4 fat-tree",
+                "conservative sync with link-latency lookahead; identical "
+                "results at every shard count");
+
+  const unsigned cores = std::thread::hardware_concurrency();
+  report.metric("cores", static_cast<double>(cores));
+  report.metric("mode", force_threads          ? std::string("threads")
+                        : cores > 1            ? std::string("auto-threads")
+                                               : std::string("auto-inline"));
+
+  const std::size_t shard_counts[] = {1, 2, 4, 8};
+  std::vector<RunOutcome> runs;
+  std::cout << "\n  shards  wall(s)  speedup  events     rounds  xshard-msgs"
+               "  barrier(ms)\n";
+  for (const std::size_t n : shard_counts) {
+    runs.push_back(run_campaign(n, force_threads));
+    const RunOutcome& r = runs.back();
+    const double speedup = runs.front().wall_s / r.wall_s;
+    std::cout << "  " << n << " (" << r.shards << ")\t" << r.wall_s << "\t"
+              << speedup << "\t" << r.executed << "\t" << r.rounds << "\t"
+              << r.posted << "\t" << static_cast<double>(r.barrier_ns) / 1e6
+              << "\n";
+    const std::string p = "shards" + std::to_string(n) + ".";
+    report.metric(p + "actual_shards", static_cast<double>(r.shards));
+    report.metric(p + "wall_s", r.wall_s);
+    report.metric(p + "speedup", speedup);
+    report.metric(p + "events", static_cast<double>(r.executed));
+    report.metric(p + "rounds", static_cast<double>(r.rounds));
+    report.metric(p + "cross_shard_msgs", static_cast<double>(r.posted));
+    report.metric(p + "spilled", static_cast<double>(r.spilled));
+    report.metric(p + "barrier_wait_ms",
+                  static_cast<double>(r.barrier_ns) / 1e6);
+    for (std::size_t i = 0; i < r.per_shard_executed.size(); ++i) {
+      report.metric(p + "shard" + std::to_string(i) + "_events",
+                    static_cast<double>(r.per_shard_executed[i]));
+    }
+  }
+  std::cout << "\n";
+
+  // Correctness: every shard count ran the same campaign.
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    bench::check(runs[i].completed == runs[0].completed,
+                 "shards=" + std::to_string(shard_counts[i]) +
+                     " completes the same snapshots as serial");
+    bench::check(runs[i].total_value == runs[0].total_value,
+                 "shards=" + std::to_string(shard_counts[i]) +
+                     " snapshot values are bit-identical to serial");
+  }
+  bench::check(runs[0].rounds == 0, "1 shard uses the serial engine");
+  bench::check(runs[2].shards == 4, "k=4 fat-tree partitions into 4 shards");
+  bench::check(runs[0].completed > 0, "campaign completed snapshots");
+
+  return bench::finish(report);
+}

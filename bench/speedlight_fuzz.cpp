@@ -7,8 +7,8 @@
 //
 // Usage:
 //   speedlight_fuzz [--seed S] [--runs N] [--time-budget SECONDS]
-//                   [--replay FILE] [--no-oracle] [--digest] [--inject-bug]
-//                   [--out DIR] [--smoke]
+//                   [--replay FILE] [--no-oracle] [--digest] [--shards N]
+//                   [--inject-bug] [--out DIR] [--smoke]
 //
 //   --seed S          Base seed; run i uses seed S+i (default 1).
 //   --runs N          Maximum scenarios to run (default 50).
@@ -22,6 +22,13 @@
 //                     SPEEDLIGHT_CHECK_DETERMINISM) tie-break fingerprints.
 //                     Any divergence or guarded data-path allocation fails
 //                     the whole run. Doubles the cost.
+//   --shards N        Run scenarios on an N-shard parallel network. With
+//                     --digest the twin run keeps N while the primary runs
+//                     serial, so every seed becomes a serial-vs-parallel
+//                     equivalence check (the parallel engine's acceptance
+//                     oracle). Tie fingerprints are only compared when both
+//                     runs use the same mode (parallel workers are not
+//                     auditor-instrumented).
 //   --inject-bug      Self-test: disable the conservation checker's
 //                     channel-state term, prove the loop finds the
 //                     resulting violation and shrinks it to <= 4 switches,
@@ -51,6 +58,7 @@ struct Args {
   bool with_oracle = true;
   bool digest = false;
   bool inject_bug = false;
+  std::size_t shards = 1;
 };
 
 Args parse(int argc, char** argv) {
@@ -77,6 +85,9 @@ Args parse(int argc, char** argv) {
       a.with_oracle = false;
     } else if (std::strcmp(argv[i], "--digest") == 0) {
       a.digest = true;
+    } else if (std::strcmp(argv[i], "--shards") == 0) {
+      a.shards = std::strtoull(next("--shards"), nullptr, 10);
+      if (a.shards == 0) a.shards = 1;
     } else if (std::strcmp(argv[i], "--inject-bug") == 0) {
       a.inject_bug = true;
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
@@ -194,8 +205,13 @@ int main(int argc, char** argv) {
         break;
       }
       const check::Scenario s = check::generate_scenario(args.seed + i);
-      const check::RunResult r =
-          check::run_scenario(s, {.with_oracle = args.with_oracle});
+      // With --digest --shards N the primary run is serial and the twin is
+      // N-shard: every seed checks the parallel engine against the serial
+      // reference. Without --digest, --shards applies to every run.
+      const std::size_t primary_shards =
+          (args.digest && args.shards > 1) ? 1 : args.shards;
+      const check::RunResult r = check::run_scenario(
+          s, {.with_oracle = args.with_oracle, .shards = primary_shards});
       stats.account(r);
 
       if (args.digest) {
@@ -203,11 +219,12 @@ int main(int argc, char** argv) {
         // the exact same observable end state. This catches nondeterminism
         // (unordered-container iteration leaking into behavior, racy event
         // tie-breaks) that the invariants alone would never notice.
-        const check::RunResult twin =
-            check::run_scenario(s, {.with_oracle = args.with_oracle});
+        const check::RunResult twin = check::run_scenario(
+            s, {.with_oracle = args.with_oracle, .shards = args.shards});
         ++stats.digest_runs;
+        const bool same_mode = primary_shards == args.shards;
         if (twin.digest != r.digest ||
-            twin.tie_fingerprint != r.tie_fingerprint) {
+            (same_mode && twin.tie_fingerprint != r.tie_fingerprint)) {
           ++stats.digest_divergences;
           std::cout << "DIGEST DIVERGENCE seed " << s.seed << " ("
                     << s.label() << "): digest " << std::hex << r.digest
@@ -225,7 +242,7 @@ int main(int argc, char** argv) {
                 << r.violations.size() << " violation(s):\n";
       print_violations(r);
       const check::ShrinkResult shrunk = check::shrink_scenario(
-          s, {.with_oracle = args.with_oracle});
+          s, {.with_oracle = args.with_oracle, .shards = primary_shards});
       stats.shrink_attempts += shrunk.attempts;
       stats.shrink_steps += shrunk.steps;
       const std::string path = fail_path(args, s.seed);

@@ -57,6 +57,7 @@ SingleRun run_once(const Scenario& s, const RunOptions& opts,
 
   core::NetworkOptions nopt = s.network_options();
   nopt.snapshot.hardware_faithful = hardware_faithful;
+  nopt.shards = opts.shards;
   const sim::TimingModel base_timing = nopt.timing;
   core::Network net(s.topology(), nopt);
 
@@ -75,9 +76,12 @@ SingleRun run_once(const Scenario& s, const RunOptions& opts,
       if (id != net.host_id(h)) dsts.push_back(id);
     }
     if (dsts.empty()) break;  // Single-host topology: nothing to send to.
+    // The generator's events must run on the shard that owns its host
+    // (with 1 shard this is net.simulator(), the pre-sharding wiring).
     auto gen = std::make_unique<wl::PoissonGenerator>(
-        net.simulator(), net.host(h), std::move(dsts), s.workload.rate_pps,
-        s.workload.packet_size, sim::Rng(s.seed * 977 + g));
+        net.shard_simulator(net.host_shard(h)), net.host(h), std::move(dsts),
+        s.workload.rate_pps, s.workload.packet_size,
+        sim::Rng(s.seed * 977 + g));
     gen->start(net.now());
     gens.push_back(std::move(gen));
   }
@@ -96,34 +100,42 @@ SingleRun run_once(const Scenario& s, const RunOptions& opts,
     switch (f.kind) {
       case FaultKind::LinkFlap: {
         if (num_trunks == 0) break;
-        net::Link& link = net.trunk_link(f.trunk % num_trunks, f.a_to_b);
+        const std::size_t trunk = f.trunk % num_trunks;
+        net::Link& link = net.trunk_link(trunk, f.a_to_b);
+        // A link (and therefore its flapper's up/down events) lives on the
+        // shard of its source switch.
+        const auto& tspec = net.spec().trunks[trunk];
+        sim::Simulator& link_sim = net.shard_simulator(
+            net.switch_shard(f.a_to_b ? tspec.switch_a : tspec.switch_b));
         auto fl = std::make_unique<net::LinkFlapper>(
-            net.simulator(), link, f.up_mean, f.down_mean,
+            link_sim, link, f.up_mean, f.down_mean,
             sim::Rng(s.seed ^ (0x9E3779B97F4A7C15ULL * (i + 1))));
         fl->start(start);
-        net.simulator().at(end, [p = fl.get()]() { p->stop(); });
+        link_sim.at(end, [p = fl.get()]() { p->stop(); });
         flappers.push_back(std::move(fl));
         break;
       }
       case FaultKind::NotifDropBurst:
-        net.simulator().at(start, [&net, m = f.magnitude]() {
-          net.mutable_timing().notification_drop_probability = m;
+        // Timing faults mutate every shard's copy at the same instant.
+        net.mutate_timing_at(start, [m = f.magnitude](sim::TimingModel& tm) {
+          tm.notification_drop_probability = m;
         });
-        net.simulator().at(
-            end, [&net, v = base_timing.notification_drop_probability]() {
-              net.mutable_timing().notification_drop_probability = v;
-            });
+        net.mutate_timing_at(
+            end,
+            [v = base_timing.notification_drop_probability](
+                sim::TimingModel& tm) { tm.notification_drop_probability = v; });
         break;
       case FaultKind::CpuBacklogSpike: {
         const auto spiked = static_cast<sim::Duration>(
             static_cast<double>(base_timing.notification_service_time) *
             f.magnitude);
-        net.simulator().at(start, [&net, spiked]() {
-          net.mutable_timing().notification_service_time = spiked;
+        net.mutate_timing_at(start, [spiked](sim::TimingModel& tm) {
+          tm.notification_service_time = spiked;
         });
-        net.simulator().at(
-            end, [&net, v = base_timing.notification_service_time]() {
-              net.mutable_timing().notification_service_time = v;
+        net.mutate_timing_at(
+            end,
+            [v = base_timing.notification_service_time](sim::TimingModel& tm) {
+              tm.notification_service_time = v;
             });
         break;
       }

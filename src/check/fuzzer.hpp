@@ -26,6 +26,13 @@ struct RunOptions {
   /// Self-test: deliberately break the conservation checker (drop the
   /// channel-state term) to prove the find-and-shrink loop works.
   bool break_conservation = false;
+
+  /// Shard count for the network under test (1 = serial engine). The
+  /// workload generators and fault injectors are wired onto each
+  /// component's owning shard, so the same scenario must produce the same
+  /// digest for every value — `speedlight_fuzz --digest --shards N`
+  /// twin-runs serial vs N-shard and enforces exactly that.
+  std::size_t shards = 1;
 };
 
 struct RunResult {

@@ -1,16 +1,75 @@
 #include "core/network.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "obs/chrome_trace.hpp"
 
 namespace speedlight::core {
 
+namespace {
+
+sim::ParallelEngine::Mode to_engine_mode(NetworkOptions::ExecMode m) {
+  switch (m) {
+    case NetworkOptions::ExecMode::Inline:
+      return sim::ParallelEngine::Mode::Inline;
+    case NetworkOptions::ExecMode::Threads:
+      return sim::ParallelEngine::Mode::Threads;
+    case NetworkOptions::ExecMode::Auto:
+      break;
+  }
+  return sim::ParallelEngine::default_mode();
+}
+
+}  // namespace
+
+sim::Endpoint Network::make_endpoint(std::size_t from, std::size_t to,
+                                     sim::MergeKey key) {
+  if (engine_ != nullptr && from != to) {
+    return sim::Endpoint::remote(engine_->channel(from, to), key);
+  }
+  return sim::Endpoint::local(*sims_[to], key);
+}
+
 Network::Network(const net::TopologySpec& spec, NetworkOptions options)
-    : options_(std::move(options)), spec_(spec), sim_(options_.seed) {
+    : options_(std::move(options)), spec_(spec) {
   spec_.validate();
-  sim::Rng master = sim_.rng().fork("network");
+
+  // Partition first: everything below is constructed onto its shard's
+  // simulator. With 1 shard this degenerates to the classic serial build —
+  // same simulator, same timing object, same RNG fork chain — but the
+  // endpoint wiring (and with it the canonical merge-key event order) is
+  // identical in every mode, which is what makes an N-shard run
+  // digest-identical to the serial one.
+  part_ = net::partition_topology(spec_, options_.shards);
+  const std::size_t nsh = part_.num_shards;
+  for (std::size_t i = 0; i < nsh; ++i) {
+    sims_.push_back(std::make_unique<sim::Simulator>(options_.seed));
+    shard_timing_.push_back(std::make_unique<sim::TimingModel>(options_.timing));
+  }
+  if (nsh > 1) {
+    std::vector<sim::Simulator*> raw;
+    raw.reserve(nsh);
+    for (auto& s : sims_) raw.push_back(s.get());
+    engine_ = std::make_unique<sim::ParallelEngine>(
+        std::move(raw), to_engine_mode(options_.exec_mode));
+    // Lookahead: data-plane messages cross shards with at least the
+    // minimum cross-trunk propagation; control-plane RPCs (observer
+    // requests, reports, poll legs) with at least the smaller of the RPC
+    // latency and the poller's per-leg floor. The engine requires every
+    // registered latency to be strictly positive — the partitioner
+    // guarantees it for trunks; a zero observer_rpc_latency is not
+    // supported with shards > 1.
+    if (part_.cross_trunks > 0) {
+      engine_->note_cross_latency(part_.min_cross_latency);
+    }
+    engine_->note_cross_latency(std::min(options_.timing.observer_rpc_latency,
+                                         poll::PollingObserver::kMinPollHop));
+  }
+
+  sim::Rng master = sims_[0]->rng().fork("network");
 
   // Liveness default: channel-state snapshots stall on traffic-less
   // channels, so re-initiation rounds flood probes (Section 6).
@@ -37,43 +96,59 @@ Network::Network(const net::TopologySpec& spec, NetworkOptions options)
     so.int_enabled = options_.int_enabled;
     so.ecn_threshold = options_.ecn_threshold;
     so.control = options_.control;
+    const std::size_t sh = switch_shard(i);
     switches_.push_back(std::make_unique<sw::Switch>(
-        sim_, static_cast<net::NodeId>(i), spec_.switches[i].name,
-        options_.timing, so, master.fork("switch" + std::to_string(i))));
+        *sims_[sh], static_cast<net::NodeId>(i), spec_.switches[i].name,
+        *shard_timing_[sh], so, master.fork("switch" + std::to_string(i))));
   }
   for (std::size_t i = 0; i < spec_.hosts.size(); ++i) {
     hosts_.push_back(std::make_unique<net::Host>(
-        sim_, static_cast<net::NodeId>(s + i), spec_.hosts[i].name));
+        *sims_[host_shard(i)], static_cast<net::NodeId>(s + i),
+        spec_.hosts[i].name));
   }
 
-  auto make_link = [this, &master](double bw, sim::Duration prop) {
+  // A link lives on its source's shard (transmission events); arrival
+  // lands on its destination's shard through a keyed endpoint. Merge keys
+  // are allocated in construction order, so a link's key is a pure
+  // function of the topology — independent of the shard count.
+  auto make_link = [this, &master](std::size_t src_shard, std::size_t dst_shard,
+                                   double bw, sim::Duration prop) {
     links_.push_back(std::make_unique<net::Link>(
-        sim_, bw, prop, master.fork("link" + std::to_string(links_.size()))));
+        *sims_[src_shard], bw, prop,
+        master.fork("link" + std::to_string(links_.size()))));
+    links_.back()->set_arrival_endpoint(
+        make_endpoint(src_shard, dst_shard, next_key_++));
     return links_.back().get();
   };
 
-  // Host access links (duplex).
+  // Host access links (duplex). Hosts are co-sharded with their switch, so
+  // these never cross shards.
   for (std::size_t i = 0; i < spec_.hosts.size(); ++i) {
     const auto& h = spec_.hosts[i];
     sw::Switch& swch = *switches_[h.attached_switch];
-    net::Link* up = make_link(spec_.host_link_bandwidth_bps,
+    const std::size_t hs = host_shard(i);
+    const std::size_t ss = switch_shard(h.attached_switch);
+    net::Link* up = make_link(hs, ss, spec_.host_link_bandwidth_bps,
                               spec_.host_link_propagation);
     up->connect(&swch, h.switch_port);
     hosts_[i]->attach_uplink(up);
-    net::Link* down = make_link(spec_.host_link_bandwidth_bps,
+    net::Link* down = make_link(ss, hs, spec_.host_link_bandwidth_bps,
                                 spec_.host_link_propagation);
     down->connect(hosts_[i].get(), 0);
     swch.attach_link(h.switch_port, down, /*to_host=*/true);
   }
 
-  // Switch-to-switch trunks (duplex).
+  // Switch-to-switch trunks (duplex). These are the only links that can
+  // cross shards.
   for (const auto& t : spec_.trunks) {
     sw::Switch& a = *switches_[t.switch_a];
     sw::Switch& b = *switches_[t.switch_b];
-    net::Link* ab = make_link(t.bandwidth_bps, t.propagation);
+    const std::size_t sa = switch_shard(t.switch_a);
+    const std::size_t sb = switch_shard(t.switch_b);
+    net::Link* ab = make_link(sa, sb, t.bandwidth_bps, t.propagation);
     ab->connect(&b, t.port_b);
     a.attach_link(t.port_a, ab, /*to_host=*/false);
-    net::Link* ba = make_link(t.bandwidth_bps, t.propagation);
+    net::Link* ba = make_link(sb, sa, t.bandwidth_bps, t.propagation);
     ba->connect(&a, t.port_a);
     b.attach_link(t.port_b, ba, /*to_host=*/false);
     // Partial deployment: if a trunk neighbor is snapshot-disabled, no
@@ -101,24 +176,29 @@ Network::Network(const net::TopologySpec& spec, NetworkOptions options)
 
   for (auto& swch : switches_) swch->finalize();
 
-  // Measurement services.
-  ptp_ = std::make_unique<snap::PtpService>(sim_, options_.timing,
+  // Measurement services, all on the control shard (0). Each managed PTP
+  // clock's correction loop runs on its device's shard.
+  ptp_ = std::make_unique<snap::PtpService>(*sims_[0], *shard_timing_[0],
                                             master.fork("ptp"));
   // The observer's snapshot config always mirrors the data plane's; only
   // the completion timeout is taken from the caller's observer options.
   observer_ = std::make_unique<snap::Observer>(
-      sim_, options_.timing,
+      *sims_[0], *shard_timing_[0],
       snap::Observer::Options{options_.snapshot,
                               options_.observer.completion_timeout});
-  poller_ = std::make_unique<poll::PollingObserver>(sim_, options_.timing,
-                                                    master.fork("poller"));
+  poller_ = std::make_unique<poll::PollingObserver>(
+      *sims_[0], *shard_timing_[0], master.fork("poller"));
 
-  for (auto& swch : switches_) {
-    if (!swch->options().snapshot_enabled) continue;
-    observer_->register_device(&swch->control_plane());
-    ptp_->manage(&swch->control_plane().clock());
+  for (std::size_t i = 0; i < switches_.size(); ++i) {
+    sw::Switch& swch = *switches_[i];
+    if (!swch.options().snapshot_enabled) continue;
+    const std::size_t sh = switch_shard(i);
+    snap::ControlPlane& cp = swch.control_plane();
+    cp.set_report_endpoint(make_endpoint(sh, 0, next_key_++));
+    observer_->register_device(&cp, make_endpoint(0, sh, next_key_++));
+    ptp_->manage(&cp.clock(), *sims_[sh], *shard_timing_[sh]);
     if (options_.start_register_poll) {
-      swch->control_plane().start_register_poll();
+      cp.start_register_poll();
     }
   }
   if (options_.start_ptp) ptp_->start();
@@ -126,22 +206,46 @@ Network::Network(const net::TopologySpec& spec, NetworkOptions options)
 
 Network::~Network() = default;
 
+void Network::mutate_timing_at(sim::SimTime when,
+                               std::function<void(sim::TimingModel&)> fn) {
+  // One event per shard, all at `when` under one fresh merge key, so every
+  // shard's copy mutates at the same simulated instant and same-time ties
+  // resolve identically for any shard count. Call while the network is not
+  // running (scheduling onto other shards' queues is not thread-safe
+  // mid-run); the usual pattern is to lay out the whole fault schedule
+  // before the first run_until().
+  auto shared =
+      std::make_shared<std::function<void(sim::TimingModel&)>>(std::move(fn));
+  const sim::MergeKey key = next_key_++;
+  for (std::size_t i = 0; i < sims_.size(); ++i) {
+    sim::TimingModel* tm = shard_timing_[i].get();
+    sims_[i]->at_keyed(when, key, [shared, tm]() { (*shared)(*tm); });
+  }
+}
+
 void Network::register_all_units_for_polling() {
-  for (auto& swch : switches_) {
-    for (net::PortId p = 0; p < swch->options().num_ports; ++p) {
-      poller_->add_unit(swch->unit(p, net::Direction::Ingress));
-      poller_->add_unit(swch->unit(p, net::Direction::Egress));
+  for (std::size_t i = 0; i < switches_.size(); ++i) {
+    sw::Switch& swch = *switches_[i];
+    const std::size_t sh = switch_shard(i);
+    for (net::PortId p = 0; p < swch.options().num_ports; ++p) {
+      for (const auto dir : {net::Direction::Ingress, net::Direction::Egress}) {
+        const sim::Endpoint read = make_endpoint(0, sh, next_key_++);
+        const sim::Endpoint record = make_endpoint(sh, 0, next_key_++);
+        poller_->add_unit(swch.unit(p, dir), read, record);
+      }
     }
   }
 }
 
 void Network::enable_tracing(std::size_t capacity) {
-  obs::Tracer& tr = sim_.tracer();
-  tr.enable(capacity);
+  for (auto& sm : sims_) sm->tracer().enable(capacity);
 
-  // Name every lane so the exported trace reads like the topology.
+  // Name every lane so the exported trace reads like the topology. Each
+  // switch's tracks are named on the tracer of the shard that records
+  // them; the shared observer/poller/tap processes are named everywhere.
   for (std::size_t i = 0; i < switches_.size(); ++i) {
     const sw::Switch& swch = *switches_[i];
+    obs::Tracer& tr = sims_[switch_shard(i)]->tracer();
     const net::NodeId id = swch.id();
     tr.name_process(id, swch.name());
     tr.name_track(obs::cpu_track(id), "control-plane");
@@ -154,32 +258,58 @@ void Network::enable_tracing(std::size_t capacity) {
                     port + "/egress");
     }
   }
-  tr.name_process(obs::kObserverPid, "snapshot-observer");
-  tr.name_track(obs::observer_track(), "assembly");
-  tr.name_process(obs::kPollerPid, "polling-observer");
-  tr.name_track(obs::poller_track(), "sweeps");
-  tr.name_process(obs::kPacketTapPid, "packet-taps");
-  tr.name_track(obs::packet_tap_track(), "links");
+  for (auto& sm : sims_) {
+    obs::Tracer& tr = sm->tracer();
+    tr.name_process(obs::kObserverPid, "snapshot-observer");
+    tr.name_track(obs::observer_track(), "assembly");
+    tr.name_process(obs::kPollerPid, "polling-observer");
+    tr.name_track(obs::poller_track(), "sweeps");
+    tr.name_process(obs::kPacketTapPid, "packet-taps");
+    tr.name_track(obs::packet_tap_track(), "links");
+  }
 }
 
 bool Network::export_chrome_trace(const std::string& path) const {
-  return obs::export_chrome_trace(path, sim_.tracer());
+  std::vector<const obs::Tracer*> tracers;
+  tracers.reserve(sims_.size());
+  for (const auto& sm : sims_) tracers.push_back(&sm->tracer());
+  return obs::export_chrome_trace(path, tracers);
 }
 
 obs::SnapshotTimeline Network::snapshot_timeline(std::uint64_t id) const {
-  return obs::SnapshotTimeline::build(sim_.tracer(), id);
+  // Device-side records live on their shard's tracer; the reconstruction
+  // reads the control shard's ring, which holds the complete causal chain
+  // only in single-shard runs. Sharded runs still get the observer-side
+  // request/collect/complete spine.
+  return obs::SnapshotTimeline::build(sims_[0]->tracer(), id);
 }
 
 const snap::GlobalSnapshot* Network::take_snapshot(sim::Duration lead,
                                                    sim::Duration max_wait) {
-  const auto id = observer_->request_snapshot(sim_.now() + lead);
+  const auto id = observer_->request_snapshot(now() + lead);
   if (!id) return nullptr;
-  const sim::SimTime deadline = sim_.now() + lead + max_wait;
-  while (sim_.now() < deadline) {
+  const sim::SimTime deadline = now() + lead + max_wait;
+  if (engine_ == nullptr) {
+    sim::Simulator& sm = *sims_[0];
+    while (sm.now() < deadline) {
+      const snap::GlobalSnapshot* snap = observer_->result(*id);
+      if (snap != nullptr && snap->complete) return snap;
+      if (sm.pending() == 0) break;
+      sm.step();
+    }
+    return observer_->result(*id);
+  }
+  // Engine path: no single-step primitive across shards, so advance in
+  // windows and poll for completion. The window is a latency-scale
+  // constant — small enough that the returned `now()` overshoots
+  // completion by microseconds, large enough to amortize barrier rounds.
+  const sim::Duration window =
+      std::max<sim::Duration>(engine_->lookahead(), sim::usec(100));
+  while (now() < deadline) {
     const snap::GlobalSnapshot* snap = observer_->result(*id);
     if (snap != nullptr && snap->complete) return snap;
-    if (sim_.pending() == 0) break;
-    sim_.step();
+    if (pending() == 0) break;
+    run_until(std::min<sim::SimTime>(deadline, now() + window));
   }
   return observer_->result(*id);
 }

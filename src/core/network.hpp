@@ -23,9 +23,11 @@
 
 #include "net/host.hpp"
 #include "net/link.hpp"
+#include "net/partition.hpp"
 #include "net/topology.hpp"
 #include "obs/timeline.hpp"
 #include "polling/polling_observer.hpp"
+#include "sim/parallel.hpp"
 #include "sim/simulator.hpp"
 #include "sim/timing_model.hpp"
 #include "snapshot/observer.hpp"
@@ -74,6 +76,21 @@ struct NetworkOptions {
   bool start_ptp = true;
   /// Start each control plane's proactive register poll loop.
   bool start_register_poll = false;
+
+  /// Parallel execution: partition the topology into this many shards,
+  /// each driven by its own event queue (and worker thread in Threads
+  /// mode), synchronized conservatively on link-latency lookahead. The
+  /// partitioner may use fewer shards than requested (it never splits a
+  /// zero-latency trunk). 1 (the default) is plain serial execution.
+  /// Any shard count produces bit-identical results: execution order is
+  /// canonical (time, merge key, schedule order) in every mode.
+  std::size_t shards = 1;
+  enum class ExecMode {
+    Auto,     ///< Threads on multi-core hosts, Inline otherwise.
+    Inline,   ///< All shards multiplexed on the calling thread.
+    Threads,  ///< One worker thread per shard.
+  };
+  ExecMode exec_mode = ExecMode::Auto;
 };
 
 class Network {
@@ -85,10 +102,44 @@ class Network {
   Network& operator=(const Network&) = delete;
 
   // --- Simulation control ----------------------------------------------------
-  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
-  [[nodiscard]] sim::SimTime now() const { return sim_.now(); }
-  void run_for(sim::Duration d) { sim_.run_until(sim_.now() + d); }
-  void run_until(sim::SimTime t) { sim_.run_until(t); }
+  /// The control shard's simulator (shard 0: observer, poller, campaign
+  /// scheduling). With shards == 1 this is the only simulator.
+  [[nodiscard]] sim::Simulator& simulator() { return *sims_[0]; }
+  [[nodiscard]] sim::SimTime now() const { return sims_[0]->now(); }
+  void run_for(sim::Duration d) { run_until(now() + d); }
+  void run_until(sim::SimTime t) {
+    if (engine_ != nullptr) {
+      engine_->run_until(t);
+    } else {
+      sims_[0]->run_until(t);
+    }
+  }
+
+  /// Actual shard count after partitioning (<= options().shards).
+  [[nodiscard]] std::size_t num_shards() const { return sims_.size(); }
+  [[nodiscard]] sim::Simulator& shard_simulator(std::size_t i) {
+    return *sims_.at(i);
+  }
+  /// The parallel engine, or nullptr when running serially (1 shard).
+  [[nodiscard]] const sim::ParallelEngine* engine() const {
+    return engine_.get();
+  }
+  [[nodiscard]] const net::Partition& partition() const { return part_; }
+  /// Shard owning switch `s` / host `h` (all zero with 1 shard). Workload
+  /// generators and fault injectors must schedule their events on the
+  /// owning shard's simulator.
+  [[nodiscard]] std::size_t switch_shard(std::size_t s) const {
+    return part_.switch_shard.empty() ? 0 : part_.switch_shard[s];
+  }
+  [[nodiscard]] std::size_t host_shard(std::size_t h) const {
+    return part_.host_shard.empty() ? 0 : part_.host_shard[h];
+  }
+  /// Total pending events across every shard.
+  [[nodiscard]] std::size_t pending() const {
+    std::size_t n = 0;
+    for (const auto& s : sims_) n += s->pending();
+    return n;
+  }
 
   // --- Topology access --------------------------------------------------------
   [[nodiscard]] std::size_t num_switches() const { return switches_.size(); }
@@ -120,12 +171,22 @@ class Network {
   [[nodiscard]] snap::PtpService& ptp() { return *ptp_; }
   [[nodiscard]] const NetworkOptions& options() const { return options_; }
 
-  /// Mutable view of the live timing model. Every component holds a
-  /// reference into it, so runtime mutation takes effect immediately —
-  /// the fault-injection hook behind notification drop bursts and CPU
-  /// service-time spikes (src/check). Parameters sampled once at
+  /// Mutable view of the live timing model (the control shard's copy;
+  /// with 1 shard it is the only copy, and every component holds a
+  /// reference into it, so mutation takes effect immediately — the
+  /// fault-injection hook behind notification drop bursts and CPU
+  /// service-time spikes in src/check). Parameters sampled once at
   /// construction (clock drift rates, buffer capacities) are unaffected.
-  [[nodiscard]] sim::TimingModel& mutable_timing() { return options_.timing; }
+  /// Under the engine, prefer mutate_timing_at(), which mutates every
+  /// shard's copy at one simulated instant.
+  [[nodiscard]] sim::TimingModel& mutable_timing() { return *shard_timing_[0]; }
+
+  /// Apply `fn` to every shard's timing copy at simulated time `when`
+  /// (>= now). The mutation lands as an ordinary event on each shard's
+  /// queue, so every shard sees it at the same simulated instant and the
+  /// run stays deterministic for any shard count.
+  void mutate_timing_at(sim::SimTime when,
+                        std::function<void(sim::TimingModel&)> fn);
 
   /// Register every unit of every snapshot-capable switch with the polling
   /// baseline, in deterministic (switch, port, direction) order.
@@ -142,8 +203,11 @@ class Network {
   /// device/unit so exports are human-readable. Idempotent.
   void enable_tracing(std::size_t capacity = obs::Tracer::kDefaultCapacity);
 
-  [[nodiscard]] obs::Tracer& tracer() { return sim_.tracer(); }
-  [[nodiscard]] obs::MetricsRegistry& metrics() { return sim_.metrics(); }
+  /// The control shard's tracer / metrics registry. Under the engine each
+  /// shard records into its own ring; enable_tracing() turns them all on,
+  /// and export_chrome_trace() merges every shard's records.
+  [[nodiscard]] obs::Tracer& tracer() { return sims_[0]->tracer(); }
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return sims_[0]->metrics(); }
 
   /// Write the recorded trace as Chrome trace-event JSON (loadable in
   /// Perfetto / chrome://tracing). Returns false on I/O failure.
@@ -154,9 +218,23 @@ class Network {
   [[nodiscard]] obs::SnapshotTimeline snapshot_timeline(std::uint64_t id) const;
 
  private:
+  /// Keyed endpoint delivering onto shard `to`, posted from shard `from`.
+  /// Same-shard posts are local keyed schedules; cross-shard posts go
+  /// through the engine's channel. Serial builds get the local form too,
+  /// so the canonical (time, key, seq) order is identical in every mode.
+  [[nodiscard]] sim::Endpoint make_endpoint(std::size_t from, std::size_t to,
+                                            sim::MergeKey key);
+
   NetworkOptions options_;
   net::TopologySpec spec_;
-  sim::Simulator sim_;
+  net::Partition part_;
+  /// Shard 0 is the control shard (observer, poller, campaign clock).
+  std::vector<std::unique_ptr<sim::Simulator>> sims_;
+  /// Per-shard timing copies at stable addresses; [0] doubles as the
+  /// serial-mode "the" timing model.
+  std::vector<std::unique_ptr<sim::TimingModel>> shard_timing_;
+  std::unique_ptr<sim::ParallelEngine> engine_;
+  sim::MergeKey next_key_ = 1;  ///< 0 is reserved for unkeyed local events.
 
   std::vector<std::unique_ptr<sw::Switch>> switches_;
   std::vector<std::unique_ptr<net::Host>> hosts_;

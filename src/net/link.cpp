@@ -38,7 +38,11 @@ void Link::deliver(PooledPacket pkt, sim::SimTime departed) {
   };
   static_assert(sim::InplaceCallback::fits_inline<decltype(arrival)>,
                 "propagation event must not heap-allocate");
-  sim_.at(arrives, std::move(arrival));
+  if (arrival_.wired()) {
+    arrival_.post(arrives, std::move(arrival));
+  } else {
+    sim_.at(arrives, std::move(arrival));
+  }
 }
 
 }  // namespace speedlight::net

@@ -1,0 +1,118 @@
+#include "net/partition.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <numeric>
+
+namespace speedlight::net {
+
+namespace {
+
+/// Plain union-find over switch indices (path halving, union by size).
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+};
+
+}  // namespace
+
+Partition partition_topology(const TopologySpec& spec,
+                             std::size_t requested_shards) {
+  const std::size_t s = spec.switches.size();
+  Partition out;
+  out.switch_shard.assign(s, 0);
+  out.host_shard.assign(spec.hosts.size(), 0);
+  out.min_cross_latency = std::numeric_limits<sim::Duration>::max();
+
+  if (requested_shards <= 1 || s <= 1) {
+    for (std::size_t h = 0; h < spec.hosts.size(); ++h) {
+      out.host_shard[h] = 0;
+    }
+    return out;
+  }
+
+  // Contract zero-latency trunks: their endpoints must share a shard, or
+  // the engine's lookahead would collapse to zero.
+  UnionFind uf(s);
+  for (const TrunkSpec& t : spec.trunks) {
+    if (t.propagation <= 0) uf.unite(t.switch_a, t.switch_b);
+  }
+
+  // Components in first-switch-index order (deterministic), with sizes.
+  std::vector<std::uint32_t> comp_of(s);
+  std::vector<std::size_t> comp_size;
+  std::vector<std::size_t> comp_order;  // Component ids, discovery order.
+  {
+    std::vector<std::int64_t> root_comp(s, -1);
+    for (std::size_t i = 0; i < s; ++i) {
+      const std::size_t r = uf.find(i);
+      if (root_comp[r] < 0) {
+        root_comp[r] = static_cast<std::int64_t>(comp_size.size());
+        comp_order.push_back(comp_size.size());
+        comp_size.push_back(0);
+      }
+      comp_of[i] = static_cast<std::uint32_t>(root_comp[r]);
+      ++comp_size[comp_of[i]];
+    }
+  }
+
+  const std::size_t shards = std::min(requested_shards, comp_size.size());
+  out.num_shards = static_cast<std::uint32_t>(shards);
+
+  // Greedy balanced packing: components by descending size (stable, so
+  // equal sizes keep discovery order), each into the least-loaded shard
+  // (lowest index on ties).
+  std::stable_sort(comp_order.begin(), comp_order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return comp_size[a] > comp_size[b];
+                   });
+  std::vector<std::size_t> load(shards, 0);
+  std::vector<std::uint32_t> comp_shard(comp_size.size(), 0);
+  for (const std::size_t c : comp_order) {
+    const auto lightest = static_cast<std::uint32_t>(std::distance(
+        load.begin(), std::min_element(load.begin(), load.end())));
+    comp_shard[c] = lightest;
+    load[lightest] += comp_size[c];
+  }
+
+  for (std::size_t i = 0; i < s; ++i) {
+    out.switch_shard[i] = comp_shard[comp_of[i]];
+  }
+  for (std::size_t h = 0; h < spec.hosts.size(); ++h) {
+    out.host_shard[h] = out.switch_shard[spec.hosts[h].attached_switch];
+  }
+
+  for (const TrunkSpec& t : spec.trunks) {
+    if (out.switch_shard[t.switch_a] == out.switch_shard[t.switch_b]) continue;
+    assert(t.propagation > 0 && "zero-latency trunk crossed shards");
+    ++out.cross_trunks;
+    out.min_cross_latency = std::min(out.min_cross_latency, t.propagation);
+  }
+  return out;
+}
+
+}  // namespace speedlight::net

@@ -1,0 +1,45 @@
+// Topology partitioner for the parallel engine.
+//
+// Shards are the unit of parallel execution: a switch and all of its ports
+// (ingress/egress units, queues, control plane, clock) always land on one
+// shard, and every host is co-sharded with its attached switch — only
+// trunk links ever cross shards. Conservative synchronization needs
+// strictly positive lookahead on every cross-shard edge, so trunks with
+// zero propagation delay are contracted first (union-find): switches they
+// connect are forced into the same shard, and the resulting components are
+// distributed over the requested shard count by greedy balanced packing
+// (largest component first, least-loaded shard). Fully deterministic: ties
+// break on component discovery order, which follows switch index order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "sim/time.hpp"
+
+namespace speedlight::net {
+
+struct Partition {
+  /// Shard index per switch (indexed like TopologySpec::switches).
+  std::vector<std::uint32_t> switch_shard;
+  /// Shard index per host (always the attached switch's shard).
+  std::vector<std::uint32_t> host_shard;
+  /// Actual shard count: min(requested, number of contracted components),
+  /// and at least 1. Shards are contiguous 0..num_shards-1, all non-empty.
+  std::uint32_t num_shards = 1;
+
+  /// Minimum propagation delay over trunks whose endpoints landed on
+  /// different shards (SimTime max when nothing crosses) — the engine's
+  /// lookahead bound. Strictly positive by construction.
+  sim::Duration min_cross_latency = 0;
+  /// Trunks whose two endpoint switches are on different shards.
+  std::size_t cross_trunks = 0;
+};
+
+/// Partition `spec` into at most `requested_shards` shards. `requested_shards`
+/// of 0 or 1 yields the trivial single-shard partition.
+[[nodiscard]] Partition partition_topology(const TopologySpec& spec,
+                                           std::size_t requested_shards);
+
+}  // namespace speedlight::net

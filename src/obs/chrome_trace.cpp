@@ -1,7 +1,9 @@
 #include "obs/chrome_trace.hpp"
 
+#include <cstdint>
 #include <fstream>
 #include <ostream>
+#include <vector>
 
 namespace speedlight::obs {
 
@@ -27,11 +29,18 @@ void write_escaped(std::ostream& os, const std::string& s) {
 }  // namespace
 
 void write_chrome_trace(std::ostream& os, const Tracer& tracer) {
+  write_chrome_trace(os, std::vector<const Tracer*>{&tracer});
+}
+
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<const Tracer*>& tracers) {
+  std::uint64_t overwritten = 0;
+  for (const Tracer* t : tracers) overwritten += t->overwritten();
   os << "{\n"
      << "  \"displayTimeUnit\": \"ns\",\n"
      << "  \"otherData\": {\"tool\": \"speedlight\", "
         "\"schema\": \"chrome-trace-v1\", \"overwritten\": "
-     << tracer.overwritten() << "},\n"
+     << overwritten << "},\n"
      << "  \"traceEvents\": [";
 
   bool first = true;
@@ -41,44 +50,53 @@ void write_chrome_trace(std::ostream& os, const Tracer& tracer) {
     return os;
   };
 
-  // Metadata first: process and thread names.
-  for (const auto& [pid, name] : tracer.process_names()) {
-    sep() << "{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": " << pid
-          << ", \"tid\": 0, \"args\": {\"name\": \"";
-    write_escaped(os, name);
-    os << "\"}}";
-  }
-  for (const auto& [track, name] : tracer.track_names()) {
-    sep() << "{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": "
-          << track_pid(track) << ", \"tid\": " << track_tid(track)
-          << ", \"args\": {\"name\": \"";
-    write_escaped(os, name);
-    os << "\"}}";
+  // Metadata first: process and thread names, from every tracer.
+  for (const Tracer* tracer : tracers) {
+    for (const auto& [pid, name] : tracer->process_names()) {
+      sep() << "{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": " << pid
+            << ", \"tid\": 0, \"args\": {\"name\": \"";
+      write_escaped(os, name);
+      os << "\"}}";
+    }
+    for (const auto& [track, name] : tracer->track_names()) {
+      sep() << "{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": "
+            << track_pid(track) << ", \"tid\": " << track_tid(track)
+            << ", \"args\": {\"name\": \"";
+      write_escaped(os, name);
+      os << "\"}}";
+    }
   }
 
-  tracer.for_each([&](const TraceEvent& e) {
-    sep() << "{\"name\": \"" << event_name(e.name) << "\", \"cat\": \""
-          << category_name(e.cat) << "\", \"ph\": \""
-          << (e.dur > 0 ? 'X' : 'i') << "\", \"ts\": ";
-    write_us(os, e.ts);
-    if (e.dur > 0) {
-      os << ", \"dur\": ";
-      write_us(os, e.dur);
-    } else {
-      os << ", \"s\": \"t\"";  // Instant scope: thread.
-    }
-    os << ", \"pid\": " << track_pid(e.track)
-       << ", \"tid\": " << track_tid(e.track) << ", \"args\": {\"a0\": "
-       << e.a0 << ", \"a1\": " << e.a1 << "}}";
-  });
+  for (const Tracer* tracer : tracers) {
+    tracer->for_each([&](const TraceEvent& e) {
+      sep() << "{\"name\": \"" << event_name(e.name) << "\", \"cat\": \""
+            << category_name(e.cat) << "\", \"ph\": \""
+            << (e.dur > 0 ? 'X' : 'i') << "\", \"ts\": ";
+      write_us(os, e.ts);
+      if (e.dur > 0) {
+        os << ", \"dur\": ";
+        write_us(os, e.dur);
+      } else {
+        os << ", \"s\": \"t\"";  // Instant scope: thread.
+      }
+      os << ", \"pid\": " << track_pid(e.track)
+         << ", \"tid\": " << track_tid(e.track) << ", \"args\": {\"a0\": "
+         << e.a0 << ", \"a1\": " << e.a1 << "}}";
+    });
+  }
 
   os << (first ? "]\n" : "\n  ]\n") << "}\n";
 }
 
 bool export_chrome_trace(const std::string& path, const Tracer& tracer) {
+  return export_chrome_trace(path, std::vector<const Tracer*>{&tracer});
+}
+
+bool export_chrome_trace(const std::string& path,
+                         const std::vector<const Tracer*>& tracers) {
   std::ofstream out(path);
   if (!out) return false;
-  write_chrome_trace(out, tracer);
+  write_chrome_trace(out, tracers);
   return out.good();
 }
 

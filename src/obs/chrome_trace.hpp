@@ -21,6 +21,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "obs/trace.hpp"
 
@@ -30,8 +31,17 @@ namespace speedlight::obs {
 /// Chrome trace-event JSON.
 void write_chrome_trace(std::ostream& os, const Tracer& tracer);
 
+/// Merge several tracers' rings into one trace — how a sharded network's
+/// per-shard flight recorders are exported on a single time axis. Records
+/// are emitted ring-by-ring (viewers sort by timestamp); duplicate name
+/// metadata across tracers is harmless.
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<const Tracer*>& tracers);
+
 /// Convenience: write to `path`; returns false if the file cannot be
 /// opened.
 bool export_chrome_trace(const std::string& path, const Tracer& tracer);
+bool export_chrome_trace(const std::string& path,
+                         const std::vector<const Tracer*>& tracers);
 
 }  // namespace speedlight::obs

@@ -1,5 +1,6 @@
 #include "polling/polling_observer.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <utility>
 
@@ -29,19 +30,50 @@ void PollingObserver::poll_next(
     if (*done) (*done)(std::move(*sweep));
     return;
   }
-  // One request/response round-trip; the register is read at the agent just
-  // before the response is sent, i.e. at the end of the round-trip (minus
-  // the return leg, folded into the sampled latency).
-  const sim::Duration rtt = timing_.sample_poll_latency(rng_);
-  snap::UnitHandle* unit = units_[index];
-  sim_.after(rtt, [this, sweep, index, done, unit]() {
-    const std::uint64_t value = unit->read_live_counter();
-    sweep->samples.push_back({unit->unit_id(), value, sim_.now()});
-    ++samples_;
-    sim_.tracer().instant(obs::Category::Observer, obs::EventName::PollRead,
-                          obs::poller_track(), sim_.now(),
-                          obs::pack_unit(unit->unit_id()), value);
-    poll_next(sweep, index + 1, done);
+  PolledUnit& pu = units_[index];
+  if (!pu.read.wired()) {
+    // Local path: one request/response round-trip; the register is read at
+    // the agent just before the response is sent, i.e. at the end of the
+    // round-trip (minus the return leg, folded into the sampled latency).
+    const sim::Duration rtt = timing_.sample_poll_latency(rng_);
+    snap::UnitHandle* unit = pu.unit;
+    sim_.after(rtt, [this, sweep, index, done, unit]() {
+      const std::uint64_t value = unit->read_live_counter();
+      sweep->samples.push_back({unit->unit_id(), value, sim_.now()});
+      ++samples_;
+      sim_.tracer().instant(obs::Category::Observer, obs::EventName::PollRead,
+                            obs::poller_track(), sim_.now(),
+                            obs::pack_unit(unit->unit_id()), value);
+      poll_next(sweep, index + 1, done);
+    });
+    return;
+  }
+  // Sharded path: the round-trip is split at the agent. The read executes
+  // on the unit's shard mid-flight, the sample is recorded back on the
+  // poller's shard a half-RTT later. Clamping the RTT keeps both legs
+  // above the engine's cross-shard lookahead; the clamp is far below the
+  // sampled latency's support, so the distribution is effectively
+  // unchanged. Identical arithmetic runs in single-shard networks, so
+  // shard count never changes what a sweep observes.
+  const sim::Duration rtt =
+      std::max(timing_.sample_poll_latency(rng_), 2 * kMinPollHop);
+  const sim::SimTime t_read = sim_.now() + rtt / 2;
+  const sim::SimTime t_record = sim_.now() + rtt;
+  pu.read.post(t_read, [this, sweep, index, done, t_read, t_record]() {
+    // Runs on the unit's shard; units_ is construction-time constant.
+    PolledUnit& u = units_[index];
+    const std::uint64_t value = u.unit->read_live_counter();
+    const sim::SimTime read_at = t_read;
+    u.record.post(t_record, [this, sweep, index, done, value, read_at]() {
+      // Back on the poller's shard.
+      PolledUnit& pu2 = units_[index];
+      sweep->samples.push_back({pu2.unit->unit_id(), value, read_at});
+      ++samples_;
+      sim_.tracer().instant(obs::Category::Observer, obs::EventName::PollRead,
+                            obs::poller_track(), read_at,
+                            obs::pack_unit(pu2.unit->unit_id()), value);
+      poll_next(sweep, index + 1, done);
+    });
   });
 }
 

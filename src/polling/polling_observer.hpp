@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "net/types.hpp"
+#include "sim/parallel.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 #include "sim/timing_model.hpp"
@@ -58,8 +59,24 @@ class PollingObserver {
   PollingObserver(const PollingObserver&) = delete;
   PollingObserver& operator=(const PollingObserver&) = delete;
 
+  /// Lower bound on each leg of a poll round-trip. Sampled RTTs are
+  /// clamped to at least twice this, so both the request leg (poller ->
+  /// unit shard) and the response leg (unit shard -> poller) stay above
+  /// the engine's cross-shard lookahead.
+  static constexpr sim::Duration kMinPollHop = sim::usec(1);
+
   /// Add a unit to the poll schedule (sweeps read units in add order).
-  void add_unit(snap::UnitHandle* unit) { units_.push_back(unit); }
+  /// `read` posts the register read onto the unit's shard; `record` posts
+  /// the response back to the poller's shard. Unwired endpoints (the
+  /// default) poll entirely on the poller's simulator — the pre-sharding
+  /// behaviour, where the read happens at the end of the round-trip.
+  /// Wired endpoints split the RTT: read at the unit at t + rtt/2, record
+  /// at the poller at t + rtt — the mid-flight read is what a real agent
+  /// responding at the far end does, and both legs respect lookahead.
+  void add_unit(snap::UnitHandle* unit, sim::Endpoint read = {},
+                sim::Endpoint record = {}) {
+    units_.push_back(PolledUnit{unit, read, record});
+  }
 
   [[nodiscard]] std::size_t num_units() const { return units_.size(); }
 
@@ -72,10 +89,16 @@ class PollingObserver {
   void poll_next(std::shared_ptr<PollSweep> sweep, std::size_t index,
                  std::shared_ptr<std::function<void(PollSweep)>> done);
 
+  struct PolledUnit {
+    snap::UnitHandle* unit;
+    sim::Endpoint read;    ///< Poller shard -> unit shard.
+    sim::Endpoint record;  ///< Unit shard -> poller shard.
+  };
+
   sim::Simulator& sim_;
   const sim::TimingModel& timing_;
   sim::Rng rng_;
-  std::vector<snap::UnitHandle*> units_;
+  std::vector<PolledUnit> units_;
   std::uint64_t sweeps_ = 0;
   std::uint64_t samples_ = 0;
   obs::Histogram* sweep_span_ = nullptr;  // registry-owned

@@ -1,12 +1,19 @@
 #include "sim/determinism.hpp"
 
+#include <atomic>
+
 namespace speedlight::sim::det {
 
 namespace {
 
-// Single-threaded simulator: plain thread-locals, no atomics.
-thread_local std::uint64_t g_datapath_allocs = 0;
-thread_local std::uint64_t g_datapath_alloc_bytes = 0;
+// Violation counters are process-global atomics: the parallel engine's
+// workers each mark their own data-path scopes (the depth counters below
+// stay thread-local), but a violation on any worker must be visible to the
+// main thread that reads datapath_allocs() after the run. Relaxed ordering
+// suffices — the engine's barrier join orders the reads — and the atomics
+// are only touched on an actual violation, never on the hot path.
+std::atomic<std::uint64_t> g_datapath_allocs{0};
+std::atomic<std::uint64_t> g_datapath_alloc_bytes{0};
 
 std::uint64_t fnv1a_mix(std::uint64_t h, std::uint64_t v) {
   for (int i = 0; i < 8; ++i) {
@@ -26,19 +33,23 @@ thread_local Auditor* current_auditor = nullptr;
 }  // namespace internal
 #endif
 
-std::uint64_t datapath_allocs() { return g_datapath_allocs; }
-std::uint64_t datapath_alloc_bytes() { return g_datapath_alloc_bytes; }
+std::uint64_t datapath_allocs() {
+  return g_datapath_allocs.load(std::memory_order_relaxed);
+}
+std::uint64_t datapath_alloc_bytes() {
+  return g_datapath_alloc_bytes.load(std::memory_order_relaxed);
+}
 
 void reset_datapath_allocs() {
-  g_datapath_allocs = 0;
-  g_datapath_alloc_bytes = 0;
+  g_datapath_allocs.store(0, std::memory_order_relaxed);
+  g_datapath_alloc_bytes.store(0, std::memory_order_relaxed);
 }
 
 void note_allocation(std::size_t size) noexcept {
 #ifdef SPEEDLIGHT_CHECK_DETERMINISM
   if (internal::datapath_depth > 0 && internal::allow_depth == 0) {
-    ++g_datapath_allocs;
-    g_datapath_alloc_bytes += size;
+    g_datapath_allocs.fetch_add(1, std::memory_order_relaxed);
+    g_datapath_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
   }
 #else
   (void)size;

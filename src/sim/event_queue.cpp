@@ -27,7 +27,7 @@ void EventQueue::release_slot(std::uint32_t idx) {
   free_.push_back(idx);
 }
 
-EventId EventQueue::schedule(SimTime when, Callback fn) {
+EventId EventQueue::schedule_keyed(SimTime when, MergeKey key, Callback fn) {
   assert(fn && "cannot schedule an empty callback");
   // Slab/heap/freelist growth is amortized infrastructure: steady state
   // recycles slots and the vectors stop growing. Exempt from the data-path
@@ -36,7 +36,7 @@ EventId EventQueue::schedule(SimTime when, Callback fn) {
   const std::uint32_t idx = acquire_slot();
   Slot& s = slots_[idx];
   s.fn = std::move(fn);
-  heap_.push_back(HeapEntry{when, next_seq_++, idx, s.generation});
+  heap_.push_back(HeapEntry{when, next_seq_++, idx, s.generation, key});
   sift_up(heap_.size() - 1);
   ++live_count_;
   return (static_cast<EventId>(s.generation) << 32) | idx;

@@ -1,9 +1,14 @@
 // The discrete-event core: a slab of generation-counted event slots indexed
 // by an explicit 4-ary min-heap.
 //
-// Events at the same timestamp run in schedule order (a monotonically
-// increasing sequence number breaks ties), which keeps simulations
-// deterministic.
+// Events at the same timestamp run in (merge key, schedule order): an
+// explicit 32-bit merge key ranks first and a monotonically increasing
+// sequence number breaks the remaining ties. Plain schedule() uses key 0,
+// which reproduces pure schedule order. Keys exist for the parallel engine:
+// cross-shard deliveries carry an intrinsic channel key so that the
+// same-timestamp merge order at a destination is a property of the event
+// itself, not of which shard scheduled it first — the serial and sharded
+// engines then interleave identically (see DESIGN.md section 12).
 //
 // Design (allocation-free in steady state):
 //  - Callbacks live in a slab of recycled slots; freed slot indices are kept
@@ -33,6 +38,10 @@ using EventId = std::uint64_t;
 
 inline constexpr EventId kInvalidEvent = 0;
 
+/// Same-timestamp merge rank. 0 (the default) sorts before every channel
+/// key, so purely local events keep schedule order among themselves.
+using MergeKey = std::uint32_t;
+
 class EventQueue {
  public:
   using Callback = InplaceCallback;
@@ -40,7 +49,14 @@ class EventQueue {
   /// Schedule `fn` to run at absolute time `when`. Returns a handle that can
   /// be passed to cancel(). `when` may not be in the past relative to the
   /// last popped event.
-  EventId schedule(SimTime when, Callback fn);
+  EventId schedule(SimTime when, Callback fn) {
+    return schedule_keyed(when, 0, std::move(fn));
+  }
+
+  /// Schedule with an explicit same-timestamp merge key: events at equal
+  /// times run in (key, schedule order). Cross-shard channels use their
+  /// channel id so delivery interleaving is independent of sharding.
+  EventId schedule_keyed(SimTime when, MergeKey key, Callback fn);
 
   /// Cancel a previously scheduled event. Cancelling an already-executed or
   /// unknown event is a no-op; returns whether anything was cancelled.
@@ -89,9 +105,11 @@ class EventQueue {
     std::uint64_t seq;
     std::uint32_t slot;
     std::uint32_t generation;
+    MergeKey key;
 
     [[nodiscard]] bool before(const HeapEntry& o) const {
       if (time != o.time) return time < o.time;
+      if (key != o.key) return key < o.key;
       return seq < o.seq;
     }
   };

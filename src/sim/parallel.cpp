@@ -1,0 +1,207 @@
+#include "sim/parallel.hpp"
+
+#include <algorithm>
+#include <barrier>
+#include <chrono>
+#include <limits>
+#include <thread>
+
+namespace speedlight::sim {
+
+namespace {
+
+constexpr SimTime kNever = std::numeric_limits<SimTime>::max();
+
+/// a + b without signed overflow (both non-negative in engine use).
+constexpr SimTime sat_add(SimTime a, Duration b) {
+  return a > kNever - b ? kNever : a + b;
+}
+
+/// Wall-clock nanoseconds, for barrier-wait accounting only — this never
+/// feeds simulation time or any simulated decision.
+std::uint64_t mono_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          // speedlight-lint: allow(wall-clock) barrier-wait profiling only
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+void ShardChannel::post(SimTime time, MergeKey key, InplaceCallback fn) {
+  ++posted_;
+  ShardMessage msg{time, key, std::move(fn)};
+  // Once the ring has overflowed in this round, keep appending to the spill
+  // so FIFO post order survives; the ring won't drain until the barrier.
+  if (spill_.empty() && ring_.try_push(std::move(msg))) return;
+  ++spilled_;
+  // Spill growth is backpressure handling, amortized like any freelist.
+  det::DetAllow allow_growth;
+  spill_.push_back(std::move(msg));
+}
+
+std::size_t ShardChannel::drain_into(Simulator& sim) {
+  std::size_t drained = 0;
+  ShardMessage msg;
+  while (ring_.try_pop(msg)) {
+    assert(msg.time >= sim.now() && "lookahead violation: message in past");
+    sim.at_keyed(msg.time, msg.key, std::move(msg.fn));
+    ++drained;
+  }
+  for (ShardMessage& m : spill_) {
+    assert(m.time >= sim.now() && "lookahead violation: message in past");
+    sim.at_keyed(m.time, m.key, std::move(m.fn));
+    ++drained;
+  }
+  spill_.clear();
+  return drained;
+}
+
+ParallelEngine::Mode ParallelEngine::default_mode() {
+  return std::thread::hardware_concurrency() > 1 ? Mode::Threads
+                                                 : Mode::Inline;
+}
+
+ParallelEngine::ParallelEngine(std::vector<Simulator*> shards, Mode mode,
+                               std::size_t channel_capacity)
+    : shards_(std::move(shards)),
+      mode_(mode),
+      channel_capacity_(channel_capacity),
+      lookahead_(kNever),
+      channels_(shards_.size() * shards_.size()),
+      incoming_(shards_.size(),
+                std::vector<ShardChannel*>(shards_.size(), nullptr)) {
+  assert(!shards_.empty());
+  contexts_.reserve(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    contexts_.push_back(std::make_unique<SimContext>());
+  }
+}
+
+ShardChannel& ParallelEngine::channel(std::size_t from, std::size_t to) {
+  assert(from < shards_.size() && to < shards_.size() && from != to);
+  std::unique_ptr<ShardChannel>& slot = channels_[from * shards_.size() + to];
+  if (slot == nullptr) {
+    slot = std::make_unique<ShardChannel>(channel_capacity_);
+    incoming_[to][from] = slot.get();
+  }
+  return *slot;
+}
+
+void ParallelEngine::drain_incoming(std::size_t i) {
+  // Producer-index order: deterministic regardless of channel creation
+  // order (merge keys make cross-channel drain order immaterial anyway).
+  for (ShardChannel* ch : incoming_[i]) {
+    if (ch != nullptr) ch->drain_into(*shards_[i]);
+  }
+}
+
+std::size_t ParallelEngine::run_until(SimTime until) {
+  const std::size_t n = shards_.size();
+  std::vector<std::uint64_t> executed_before(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    executed_before[i] = shards_[i]->stats().executed;
+  }
+  last_run_ = EngineRunStats{};
+  last_run_.shards.assign(n, ShardRunStats{});
+
+  if (mode_ == Mode::Threads && n > 1) {
+    run_threads(until);
+  } else {
+    run_inline(until);
+  }
+
+  // Match Simulator::run_until: a finite horizon leaves every clock there,
+  // so back-to-back runs behave like one continuous run on every shard.
+  if (until != kNever) {
+    for (Simulator* s : shards_) s->advance_now(until);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    ShardRunStats& st = last_run_.shards[i];
+    st.executed = shards_[i]->stats().executed - executed_before[i];
+    last_run_.executed += st.executed;
+    // Channel counters are lifetime totals; reporting them per run would
+    // need snapshots, but runs are almost always one-shot — document as
+    // cumulative instead.
+    for (std::size_t to = 0; to < n; ++to) {
+      if (const ShardChannel* ch = channels_[i * n + to].get()) {
+        st.posted += ch->posted();
+        st.spilled += ch->spilled();
+      }
+    }
+  }
+  return static_cast<std::size_t>(last_run_.executed);
+}
+
+void ParallelEngine::run_inline(SimTime until) {
+  const std::size_t n = shards_.size();
+  std::vector<SimTime> local_min(n, kNever);
+  for (;;) {
+    for (std::size_t i = 0; i < n; ++i) {
+      SimContext::Scoped ctx(*contexts_[i]);
+      drain_incoming(i);
+      local_min[i] = shards_[i]->next_event_time();
+    }
+    const SimTime m = *std::min_element(local_min.begin(), local_min.end());
+    if (m > until) break;
+    const SimTime horizon = std::min(sat_add(m, lookahead_), sat_add(until, 1));
+    for (std::size_t i = 0; i < n; ++i) {
+      SimContext::Scoped ctx(*contexts_[i]);
+      shards_[i]->run_before(horizon);
+    }
+    ++last_run_.rounds;
+  }
+}
+
+void ParallelEngine::run_threads(SimTime until) {
+  const std::size_t n = shards_.size();
+  std::vector<SimTime> local_min(n, kNever);
+  std::vector<std::uint64_t> barrier_ns(n, 0);
+  struct Plan {
+    SimTime horizon = 0;
+    bool done = false;
+  };
+  Plan plan;
+
+  // Runs on exactly one worker when the last thread arrives; its writes
+  // synchronize-with every worker's return from arrive_and_wait.
+  auto compute_plan = [&]() noexcept {
+    const SimTime m = *std::min_element(local_min.begin(), local_min.end());
+    if (m > until) {
+      plan.done = true;
+      return;
+    }
+    plan.horizon = std::min(sat_add(m, lookahead_), sat_add(until, 1));
+    ++last_run_.rounds;
+  };
+  std::barrier plan_bar(static_cast<std::ptrdiff_t>(n), compute_plan);
+  std::barrier<> post_bar(static_cast<std::ptrdiff_t>(n));
+
+  auto worker = [&](std::size_t i) {
+    SimContext::Scoped ctx(*contexts_[i]);
+    for (;;) {
+      drain_incoming(i);
+      local_min[i] = shards_[i]->next_event_time();
+      const std::uint64_t t0 = mono_ns();
+      plan_bar.arrive_and_wait();
+      barrier_ns[i] += mono_ns() - t0;
+      if (plan.done) break;
+      shards_[i]->run_before(plan.horizon);
+      const std::uint64_t t1 = mono_ns();
+      post_bar.arrive_and_wait();
+      barrier_ns[i] += mono_ns() - t1;
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(n - 1);
+  for (std::size_t i = 1; i < n; ++i) threads.emplace_back(worker, i);
+  worker(0);  // The calling thread drives shard 0.
+  for (std::thread& t : threads) t.join();
+  for (std::size_t i = 0; i < n; ++i) {
+    last_run_.shards[i].barrier_wait_ns = barrier_ns[i];
+  }
+}
+
+}  // namespace speedlight::sim

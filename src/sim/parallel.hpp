@@ -1,0 +1,221 @@
+// Conservative parallel discrete-event engine.
+//
+// The topology is partitioned into shards (net/partition.hpp keeps a switch
+// and its ports together); each shard owns a full Simulator (event queue,
+// clock, RNG streams, flight recorder) plus a SimContext (packet pool). The
+// engine advances all shards in lockstep *windows* derived from link-latency
+// lookahead — the classic conservative-synchronization argument, in barrier
+// form rather than null-message form:
+//
+//   Let M  = min over shards of their next pending event time, and
+//       L  = min latency over all cross-shard channels (L > 0; the
+//            partitioner co-shards zero-latency edges).
+//   Every cross-shard message posted by an event executing in this window
+//   runs at its source at some t >= M and arrives at t + latency >= M + L.
+//   Therefore every event with timestamp < H := min(M + L, until + 1) is
+//   already in its shard's queue and can run without further coordination.
+//
+// Each round: (1) every shard drains its incoming channels into its queue
+// and publishes its next event time, (2) a barrier completion step computes
+// M and H, (3) every shard runs its events strictly before H, posting
+// cross-shard deliveries into SPSC rings. Rings are only produced into
+// during (3) and only drained during (1), so the barrier between them is
+// the ring's only synchronization beyond its own indices. When a ring
+// fills, the producer spills to a local vector instead of blocking —
+// a producer that waited inside a round would deadlock the barrier.
+//
+// Determinism: execution order within a shard is (time, merge key, seq) —
+// the same canonical order the serial engine uses — and cross-shard
+// messages carry their channel's intrinsic key, so the same-timestamp merge
+// order at any destination is independent of how many shards exist or which
+// thread ran what. A sharded run is digest-identical to the serial run of
+// the same scenario (verified by speedlight_fuzz --digest --shards N; see
+// DESIGN.md section 12 for the full argument).
+//
+// Modes: Threads runs one worker per shard synchronized with std::barrier
+// (futex-backed waits, no spinning — this must behave on oversubscribed
+// hosts); Inline multiplexes every shard on the calling thread with the
+// identical round structure, for digest testing on single-core machines
+// and for debugging without thread interleaving.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/sim_context.hpp"
+#include "sim/simulator.hpp"
+#include "sim/spsc_ring.hpp"
+#include "sim/time.hpp"
+
+namespace speedlight::sim {
+
+/// A cross-shard delivery: run `fn` on the destination shard at `time`,
+/// merged into that shard's queue under the channel's `key`.
+struct ShardMessage {
+  SimTime time = 0;
+  MergeKey key = 0;
+  InplaceCallback fn;
+};
+
+/// One direction of cross-shard traffic between a fixed (producer shard,
+/// consumer shard) pair. All links and RPC paths from shard A to shard B
+/// share the channel; each message still carries its own merge key.
+class ShardChannel {
+ public:
+  explicit ShardChannel(std::size_t capacity) : ring_(capacity) {}
+
+  /// Producer side; never blocks. Ring overflow goes to a producer-local
+  /// spill vector that the consumer collects at the next round barrier.
+  void post(SimTime time, MergeKey key, InplaceCallback fn);
+
+  /// Consumer side: move every pending message (ring, then spill, i.e. in
+  /// FIFO post order) into `sim`'s queue. Only called between rounds, when
+  /// the producer is quiescent. Returns the number of messages drained.
+  std::size_t drain_into(Simulator& sim);
+
+  [[nodiscard]] std::uint64_t posted() const { return posted_; }
+  [[nodiscard]] std::uint64_t spilled() const { return spilled_; }
+
+ private:
+  SpscRing<ShardMessage> ring_;
+  // Producer-written during run phases, consumer-drained between rounds;
+  // the round barrier separates the two extents, so no lock is needed.
+  std::vector<ShardMessage> spill_;
+  std::uint64_t posted_ = 0;   ///< Producer-owned counter.
+  std::uint64_t spilled_ = 0;  ///< Producer-owned counter.
+};
+
+/// A keyed posting handle to a fixed destination shard: local (straight
+/// into the destination's queue) or remote (through a ShardChannel).
+/// Cheap value type wired during topology construction; components post
+/// through it without knowing whether the peer shares their shard. A
+/// default-constructed Endpoint is unwired — callers treat that as "use
+/// the legacy local path" so standalone component tests are unaffected.
+class Endpoint {
+ public:
+  Endpoint() = default;
+
+  [[nodiscard]] static Endpoint local(Simulator& sim, MergeKey key) {
+    Endpoint e;
+    e.sim_ = &sim;
+    e.key_ = key;
+    return e;
+  }
+
+  [[nodiscard]] static Endpoint remote(ShardChannel& ch, MergeKey key) {
+    Endpoint e;
+    e.ch_ = &ch;
+    e.key_ = key;
+    return e;
+  }
+
+  [[nodiscard]] bool wired() const { return sim_ != nullptr || ch_ != nullptr; }
+  [[nodiscard]] MergeKey key() const { return key_; }
+
+  /// Schedule `fn` at absolute time `when` on the destination shard. Must
+  /// only be called from the producing shard's thread (or during
+  /// single-threaded setup).
+  void post(SimTime when, InplaceCallback fn) {
+    if (sim_ != nullptr) {
+      sim_->at_keyed(when, key_, std::move(fn));
+    } else {
+      assert(ch_ != nullptr && "posting through an unwired Endpoint");
+      ch_->post(when, key_, std::move(fn));
+    }
+  }
+
+ private:
+  Simulator* sim_ = nullptr;
+  ShardChannel* ch_ = nullptr;
+  MergeKey key_ = 0;
+};
+
+/// Per-shard engine accounting. `executed` and `barrier_wait_ns` cover the
+/// most recent run_until() call; `posted`/`spilled` are engine-lifetime
+/// channel totals (runs are almost always one-shot).
+struct ShardRunStats {
+  std::uint64_t executed = 0;        ///< Events run on this shard.
+  std::uint64_t posted = 0;          ///< Cross-shard messages sent.
+  std::uint64_t spilled = 0;         ///< ... of which overflowed the ring.
+  std::uint64_t barrier_wait_ns = 0; ///< Wall time blocked on round barriers
+                                     ///< (Threads mode only; 0 inline).
+};
+
+struct EngineRunStats {
+  std::uint64_t rounds = 0;
+  std::uint64_t executed = 0;  ///< Total events across shards.
+  std::vector<ShardRunStats> shards;
+};
+
+class ParallelEngine {
+ public:
+  enum class Mode {
+    Inline,   ///< All shards multiplexed on the calling thread.
+    Threads,  ///< One worker thread per shard.
+  };
+
+  /// Threads when the host has more than one core, otherwise Inline.
+  [[nodiscard]] static Mode default_mode();
+
+  /// `shards[i]` must outlive the engine. Shard count is fixed for life.
+  ParallelEngine(std::vector<Simulator*> shards, Mode mode,
+                 std::size_t channel_capacity = 1024);
+
+  ParallelEngine(const ParallelEngine&) = delete;
+  ParallelEngine& operator=(const ParallelEngine&) = delete;
+
+  [[nodiscard]] std::size_t num_shards() const { return shards_.size(); }
+  [[nodiscard]] Mode mode() const { return mode_; }
+
+  /// The channel carrying messages from shard `from` to shard `to`,
+  /// created on first use. Topology construction only (single-threaded).
+  ShardChannel& channel(std::size_t from, std::size_t to);
+
+  /// Register a cross-shard edge latency; the engine's lookahead is the
+  /// minimum over all registered latencies. Latency must be positive —
+  /// zero-latency edges must be co-sharded by the partitioner.
+  void note_cross_latency(Duration latency) {
+    assert(latency > 0 && "zero-latency edges must not cross shards");
+    if (latency < lookahead_) lookahead_ = latency;
+  }
+
+  [[nodiscard]] Duration lookahead() const { return lookahead_; }
+
+  /// The context to install while executing shard `i` (the engine does this
+  /// itself during run_until; exposed for harnesses that pre-populate
+  /// per-shard state).
+  [[nodiscard]] SimContext& context(std::size_t i) { return *contexts_[i]; }
+
+  /// Run every shard up to and including `until` (same contract as
+  /// Simulator::run_until, including leaving now() == until on every shard
+  /// when `until` is finite). Returns total events executed.
+  std::size_t run_until(SimTime until);
+
+  /// Accounting for the most recent run_until() call.
+  [[nodiscard]] const EngineRunStats& last_run() const { return last_run_; }
+
+ private:
+  void run_inline(SimTime until);
+  void run_threads(SimTime until);
+  /// Drain every channel inbound to shard `i`, in producer-index order.
+  void drain_incoming(std::size_t i);
+  void finish_run(SimTime until,
+                  const std::vector<std::uint64_t>& executed_before,
+                  const std::vector<std::uint64_t>& barrier_ns);
+
+  std::vector<Simulator*> shards_;
+  Mode mode_;
+  std::size_t channel_capacity_;
+  Duration lookahead_;
+  /// Dense [from * n + to] channel matrix; entries created on demand.
+  std::vector<std::unique_ptr<ShardChannel>> channels_;
+  /// Per-destination drain lists (channel pointers in producer order).
+  std::vector<std::vector<ShardChannel*>> incoming_;
+  std::vector<std::unique_ptr<SimContext>> contexts_;
+  EngineRunStats last_run_;
+};
+
+}  // namespace speedlight::sim

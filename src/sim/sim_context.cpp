@@ -1,0 +1,37 @@
+#include "sim/sim_context.hpp"
+
+namespace speedlight::sim {
+
+namespace {
+// The active context is genuinely per OS thread (that is the point: it
+// tracks which shard this thread is currently executing), so a
+// thread_local pointer is the correct mechanism, not a hazard.
+thread_local SimContext* tl_current = nullptr;
+}  // namespace
+
+std::atomic<std::size_t> SimContext::next_slot_{0};
+
+SimContext::~SimContext() {
+  for (Slot& s : slots_) {
+    if (s.obj != nullptr) s.destroy(s.obj);
+  }
+}
+
+SimContext& SimContext::current() noexcept {
+  if (tl_current == nullptr) {
+    // Threads outside any engine (the serial simulator's caller thread,
+    // unit tests) fall back to a per-thread default context — exactly the
+    // old thread-local-singleton behaviour.
+    static thread_local SimContext default_ctx;
+    tl_current = &default_ctx;
+  }
+  return *tl_current;
+}
+
+SimContext::Scoped::Scoped(SimContext& ctx) noexcept : prev_(tl_current) {
+  tl_current = &ctx;
+}
+
+SimContext::Scoped::~Scoped() { tl_current = prev_; }
+
+}  // namespace speedlight::sim

@@ -82,6 +82,20 @@ class Simulator {
     return at(now_ + delay, std::move(fn));
   }
 
+  /// at() with an explicit same-timestamp merge key (see
+  /// EventQueue::schedule_keyed). Cross-node channels schedule deliveries
+  /// with their channel id so equal-time interleaving at the destination is
+  /// a property of the channel, not of scheduling order — which is what
+  /// makes serial and sharded execution interleave identically.
+  EventId at_keyed(SimTime when, MergeKey key, EventQueue::Callback fn) {
+    ++stats_.scheduled;
+    if (when < now_) {
+      ++stats_.clamped_schedules;
+      when = now_;
+    }
+    return queue_.schedule_keyed(when, key, std::move(fn));
+  }
+
   /// Cancel a pending event.
   bool cancel(EventId id) {
     const bool cancelled = queue_.cancel(id);
@@ -93,8 +107,29 @@ class Simulator {
   /// Returns the number of events executed.
   std::size_t run_until(SimTime until = std::numeric_limits<SimTime>::max());
 
+  /// Run every event with timestamp strictly less than `horizon` — the
+  /// parallel engine's inner loop: a shard may execute exactly the events
+  /// the lookahead window proves no other shard can still affect.
+  /// Does NOT advance now() to the horizon (see advance_now()).
+  std::size_t run_before(SimTime horizon);
+
   /// Run exactly one event if available; returns whether one ran.
   bool step();
+
+  /// Timestamp of the next pending event, or SimTime max if none — the
+  /// shard's contribution to the engine's global minimum.
+  [[nodiscard]] SimTime next_event_time() const {
+    return queue_.empty() ? std::numeric_limits<SimTime>::max()
+                          : queue_.next_time();
+  }
+
+  /// Advance now() without executing anything (monotonic; earlier times are
+  /// ignored). The engine moves every shard's clock to the committed window
+  /// edge so clamped at() calls and now()-relative sampling agree across
+  /// shards regardless of which shard had events in the window.
+  void advance_now(SimTime t) {
+    if (t > now_) now_ = t;
+  }
 
   /// Pending events.
   [[nodiscard]] std::size_t pending() const { return queue_.size(); }

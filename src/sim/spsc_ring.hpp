@@ -1,0 +1,86 @@
+// Bounded single-producer / single-consumer ring buffer.
+//
+// The parallel engine's cross-shard channels are SPSC by construction (a
+// channel connects exactly one producer shard to one consumer shard), so
+// the ring needs only two monotonically increasing indices with
+// acquire/release handoff — no CAS, no locks, wait-free on both sides.
+// Producer and consumer indices live on separate cache lines so pushes and
+// pops don't false-share, and each side keeps a cached copy of the other
+// side's index so the common case touches a single shared atomic per
+// operation.
+//
+// Capacity is fixed at construction (rounded up to a power of two) and
+// try_push simply fails when full — the caller, not the ring, decides how
+// to handle backpressure. ShardChannel spills to a producer-local vector,
+// because a blocking producer inside a barrier-synchronized round would
+// deadlock the round.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace speedlight::sim {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// `capacity` is rounded up to the next power of two (minimum 2).
+  explicit SpscRing(std::size_t capacity)
+      : buf_(std::bit_ceil(capacity < 2 ? std::size_t{2} : capacity)),
+        mask_(buf_.size() - 1) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side. Returns false (leaving `v` untouched) when full.
+  [[nodiscard]] bool try_push(T&& v) {
+    const std::size_t t = tail_.load(std::memory_order_relaxed);
+    if (t - head_cache_ > mask_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (t - head_cache_ > mask_) return false;  // Genuinely full.
+    }
+    buf_[t & mask_] = std::move(v);
+    tail_.store(t + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when empty.
+  [[nodiscard]] bool try_pop(T& out) {
+    const std::size_t h = head_.load(std::memory_order_relaxed);
+    if (h == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (h == tail_cache_) return false;  // Genuinely empty.
+    }
+    out = std::move(buf_[h & mask_]);
+    head_.store(h + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Slots the ring can hold (the rounded-up power of two).
+  [[nodiscard]] std::size_t capacity() const { return buf_.size(); }
+
+  /// Approximate occupancy; exact only when one side is quiescent (which is
+  /// how the engine uses it: at round barriers, and in tests).
+  [[nodiscard]] std::size_t size() const {
+    return tail_.load(std::memory_order_acquire) -
+           head_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+ private:
+  std::vector<T> buf_;
+  const std::size_t mask_;
+
+  static constexpr std::size_t kCacheLine = 64;
+  // Consumer-owned index + the consumer's cached view of tail_.
+  alignas(kCacheLine) std::atomic<std::size_t> head_{0};
+  std::size_t tail_cache_ = 0;
+  // Producer-owned index + the producer's cached view of head_.
+  alignas(kCacheLine) std::atomic<std::size_t> tail_{0};
+  std::size_t head_cache_ = 0;
+};
+
+}  // namespace speedlight::sim

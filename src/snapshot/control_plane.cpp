@@ -318,7 +318,15 @@ void ControlPlane::ship(const UnitReport& r) {
   sim_.tracer().instant(obs::Category::ControlPlane, obs::EventName::CpReport,
                         track_, sim_.now(), r.sid, obs::pack_unit(r.unit));
   if (!report_) return;
-  sim_.after(timing_.observer_rpc_latency, [this, r]() { report_(r); });
+  if (report_ep_.wired()) {
+    // The sink closure runs on the observer's shard; `report_` itself is
+    // written once at wiring time and only read here, so the cross-shard
+    // call is race-free.
+    report_ep_.post(sim_.now() + timing_.observer_rpc_latency,
+                    [this, r]() { report_(r); });
+  } else {
+    sim_.after(timing_.observer_rpc_latency, [this, r]() { report_(r); });
+  }
 }
 
 void ControlPlane::start_register_poll() {

@@ -21,6 +21,7 @@
 
 #include "net/types.hpp"
 #include "sim/clock.hpp"
+#include "sim/parallel.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 #include "sim/timing_model.hpp"
@@ -66,6 +67,13 @@ class ControlPlane {
   void add_unit(UnitHandle* unit, std::vector<bool> completion_mask);
 
   void set_report_sink(ReportSink sink) { report_ = std::move(sink); }
+
+  /// Route shipped reports through a keyed endpoint to the observer's
+  /// shard (the report RPC). Unwired (default): the report event stays an
+  /// unkeyed local event, the pre-sharding behaviour. Either way the sink
+  /// runs observer_rpc_latency after ship time — on the observer's shard
+  /// when wired.
+  void set_report_endpoint(sim::Endpoint ep) { report_ep_ = ep; }
 
   /// Wire the notification transport's in_flight() so the proactive
   /// register poll can tell whether the notification path is quiet. The
@@ -138,6 +146,7 @@ class ControlPlane {
   std::vector<UnitState> units_;
   std::unordered_map<net::UnitId, std::size_t> unit_index_;
   ReportSink report_;
+  sim::Endpoint report_ep_;
 
   VirtualSid latest_initiated_ = 0;
   std::uint64_t track_ = 0;  ///< Flight-recorder lane (obs::cpu_track).

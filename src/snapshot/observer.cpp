@@ -75,9 +75,9 @@ Observer::Observer(sim::Simulator& sim, const sim::TimingModel& timing,
   completion_latency_ = &reg.histogram("observer.completion_latency_ns");
 }
 
-void Observer::register_device(ControlPlane* cp) {
+void Observer::register_device(ControlPlane* cp, sim::Endpoint rpc) {
   cp->set_report_sink([this](const UnitReport& r) { on_report(r); });
-  devices_.push_back({cp, cp->unit_ids()});
+  devices_.push_back({cp, cp->unit_ids(), rpc});
   total_units_ += devices_.back().units.size();
 }
 
@@ -113,8 +113,13 @@ std::optional<VirtualSid> Observer::request_snapshot(sim::SimTime when) {
   // Register the event with every device control plane (one RPC each).
   for (auto& dev : devices_) {
     ControlPlane* cp = dev.cp;
-    sim_.after(timing_.observer_rpc_latency,
-               [cp, id, when]() { cp->schedule_snapshot(id, when); });
+    if (dev.rpc.wired()) {
+      dev.rpc.post(sim_.now() + timing_.observer_rpc_latency,
+                   [cp, id, when]() { cp->schedule_snapshot(id, when); });
+    } else {
+      sim_.after(timing_.observer_rpc_latency,
+                 [cp, id, when]() { cp->schedule_snapshot(id, when); });
+    }
   }
   const sim::SimTime deadline = when + options_.completion_timeout;
   sim_.at(deadline, [this, id]() { timeout_snapshot(id); });

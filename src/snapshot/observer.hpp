@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sim/parallel.hpp"
 #include "sim/simulator.hpp"
 #include "sim/timing_model.hpp"
 #include "snapshot/config.hpp"
@@ -69,7 +70,11 @@ class Observer {
   /// observer. May be called at any time (Section 6, "Node attachment"):
   /// snapshots already outstanding keep their original device set, and the
   /// new device participates from the next request on.
-  void register_device(ControlPlane* cp);
+  ///
+  /// `rpc` is the keyed endpoint request RPCs travel through to reach the
+  /// device's shard; unwired (the default) keeps the pre-sharding local
+  /// scheduling.
+  void register_device(ControlPlane* cp, sim::Endpoint rpc = {});
 
   /// Request a network-wide snapshot at true time `when` (the observer's
   /// clock is the reference). Returns the assigned id, or nullopt if the
@@ -115,6 +120,7 @@ class Observer {
   struct Device {
     ControlPlane* cp;
     std::vector<net::UnitId> units;
+    sim::Endpoint rpc;  ///< Observer shard -> device shard request path.
   };
   std::vector<Device> devices_;
   std::size_t total_units_ = 0;

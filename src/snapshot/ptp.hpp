@@ -2,8 +2,17 @@
 // every switch CPU; here each managed clock is periodically re-aligned to
 // within a sampled residual error, with a freshly sampled oscillator drift
 // between corrections.
+//
+// Each clock gets its own correction loop and its own RNG stream (forked
+// per managed clock, in manage order): the loop's events run on the shard
+// that owns the clock's device, and the draws a clock sees depend only on
+// its own correction schedule — never on how many other clocks exist or
+// how the topology was sharded. That independence is what keeps sharded
+// runs digest-identical to serial ones.
 #pragma once
 
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "sim/clock.hpp"
@@ -22,34 +31,50 @@ class PtpService {
   PtpService& operator=(const PtpService&) = delete;
 
   /// Take over a clock: aligns it immediately and on every future round.
-  void manage(sim::LocalClock* clock) {
-    clock->synchronize(sim_.now(), timing_.sample_ptp_residual(rng_),
-                       timing_.sample_drift_ppm(rng_));
-    clocks_.push_back(clock);
+  /// The correction loop runs on `clock_sim` and samples from `clock_timing`
+  /// — pass the owning shard's simulator and timing copy; the single-arg
+  /// form uses the service's own (single-shard setups).
+  void manage(sim::LocalClock* clock) { manage(clock, sim_, timing_); }
+  void manage(sim::LocalClock* clock, sim::Simulator& clock_sim,
+              const sim::TimingModel& clock_timing) {
+    clocks_.push_back(std::make_unique<Managed>(Managed{
+        clock, &clock_sim, &clock_timing,
+        rng_.fork("clock" + std::to_string(clocks_.size()))}));
+    Managed& m = *clocks_.back();
+    m.clock->synchronize(m.sim->now(), m.timing->sample_ptp_residual(m.rng),
+                         m.timing->sample_drift_ppm(m.rng));
+    if (running_) schedule_round(m);
   }
 
-  /// Start the periodic correction loop.
+  /// Start the periodic correction loops (one per managed clock).
   void start() {
     if (running_) return;
     running_ = true;
-    schedule_round();
+    for (auto& m : clocks_) schedule_round(*m);
   }
 
  private:
-  void schedule_round() {
-    sim_.after(timing_.ptp_sync_interval, [this]() {
-      for (sim::LocalClock* c : clocks_) {
-        c->synchronize(sim_.now(), timing_.sample_ptp_residual(rng_),
-                       timing_.sample_drift_ppm(rng_));
-      }
-      schedule_round();
+  struct Managed {
+    sim::LocalClock* clock;
+    sim::Simulator* sim;
+    const sim::TimingModel* timing;
+    sim::Rng rng;
+  };
+
+  void schedule_round(Managed& m) {
+    m.sim->after(m.timing->ptp_sync_interval, [this, &m]() {
+      m.clock->synchronize(m.sim->now(), m.timing->sample_ptp_residual(m.rng),
+                           m.timing->sample_drift_ppm(m.rng));
+      schedule_round(m);
     });
   }
 
   sim::Simulator& sim_;
   const sim::TimingModel& timing_;
   sim::Rng rng_;
-  std::vector<sim::LocalClock*> clocks_;
+  /// unique_ptr keeps each Managed at a stable address: the self-
+  /// rescheduling correction events capture a reference to it.
+  std::vector<std::unique_ptr<Managed>> clocks_;
   bool running_ = false;
 };
 

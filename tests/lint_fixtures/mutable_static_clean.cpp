@@ -1,0 +1,27 @@
+// Guarded statics the mutable-static rule must accept: immutable values,
+// thread-local and atomic state, static functions (declaration and
+// definition), and a justified in-place suppression.
+#include <atomic>
+#include <cstdint>
+
+namespace {
+
+static constexpr int kSlots = 64;
+static const char* kLabel = "speedlight";
+static thread_local std::uint64_t tls_scratch = 0;
+static std::atomic<std::uint64_t> live_objects{0};
+
+static int helper(int x);
+static int helper(int x) { return x + kSlots; }
+
+// A deliberate mutable static, justified in place:
+// speedlight-lint: allow(mutable-static) fixture: single-threaded test tally
+static std::uint64_t suppressed_total = 0;
+
+}  // namespace
+
+int use_all() {
+  suppressed_total += static_cast<std::uint64_t>(kLabel[0]);
+  return helper(static_cast<int>(tls_scratch + suppressed_total +
+                                 live_objects.load()));
+}

@@ -1,0 +1,31 @@
+// Seeded violations for the mutable-static rule (scanned as control-plane
+// code: the rule applies repo-wide). Each flagged line declares static
+// storage that is neither const, thread_local, nor atomic — hidden shared
+// state that breaks replay determinism and per-shard isolation.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace {
+
+static std::uint64_t g_counter = 0;      // LINT-EXPECT: mutable-static
+static std::vector<int> g_registry;      // LINT-EXPECT: mutable-static
+
+}  // namespace
+
+std::uint64_t next_id() {
+  static std::uint64_t last = 0;         // LINT-EXPECT: mutable-static
+  return ++last;
+}
+
+const std::string& cached_name() {
+  static std::string name;               // LINT-EXPECT: mutable-static
+  if (name.empty()) name = "speedlight";
+  return name;
+}
+
+struct Stats {
+  inline static std::size_t instances;   // LINT-EXPECT: mutable-static
+  static bool verbose;                   // LINT-EXPECT: mutable-static
+};

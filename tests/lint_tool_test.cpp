@@ -85,8 +85,8 @@ TEST(LintTool, FixturesProduceExactlyTheMarkedDiagnostics) {
           << name << ": clean fixtures must not carry LINT-EXPECT markers";
     }
   }
-  EXPECT_GE(fixtures, 6u) << "fixture directory looks incomplete";
-  EXPECT_GE(seeded, 10u) << "seeded violations went missing";
+  EXPECT_GE(fixtures, 8u) << "fixture directory looks incomplete";
+  EXPECT_GE(seeded, 16u) << "seeded violations went missing";
 }
 
 TEST(LintTool, DatapathRulesRelaxOffTheDataPath) {
@@ -118,7 +118,7 @@ TEST(LintTool, RuleTableIsConsistent) {
     EXPECT_TRUE(names.insert(r.name).second) << "duplicate rule " << r.name;
     EXPECT_NE(std::string(r.summary), "");
   }
-  EXPECT_GE(names.size(), 7u);
+  EXPECT_GE(names.size(), 8u);
 }
 
 }  // namespace

@@ -1,0 +1,216 @@
+// Parallel engine: channel FIFO + spill semantics, endpoint routing,
+// inline and threaded round execution, the run_until contract, and —
+// the load-bearing property — digest equality between serial and sharded
+// runs of every corpus scenario.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "check/fuzzer.hpp"
+#include "check/scenario.hpp"
+#include "core/experiment.hpp"
+#include "core/network.hpp"
+#include "net/topology.hpp"
+#include "sim/parallel.hpp"
+#include "sim/simulator.hpp"
+
+#ifndef SPEEDLIGHT_CORPUS_DIR
+#error "SPEEDLIGHT_CORPUS_DIR must point at tests/corpus"
+#endif
+
+namespace speedlight {
+namespace {
+
+TEST(ShardChannel, DrainPreservesPostOrderThroughSpill) {
+  sim::Simulator sim(1);
+  sim::ShardChannel ch(2);  // Ring holds 2: most posts spill.
+  std::vector<int> ran;
+  for (int i = 0; i < 10; ++i) {
+    ch.post(100 + i, 1, [&ran, i]() { ran.push_back(i); });
+  }
+  EXPECT_EQ(ch.posted(), 10u);
+  EXPECT_GT(ch.spilled(), 0u);
+
+  EXPECT_EQ(ch.drain_into(sim), 10u);
+  EXPECT_EQ(ch.drain_into(sim), 0u);  // Idempotent once empty.
+  sim.run_until(1000);
+  ASSERT_EQ(ran.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(ran[i], i);
+}
+
+TEST(ShardChannel, SameTimestampMessagesKeepPostOrder) {
+  sim::Simulator sim(1);
+  sim::ShardChannel ch(64);
+  std::vector<int> ran;
+  for (int i = 0; i < 5; ++i) {
+    ch.post(50, 3, [&ran, i]() { ran.push_back(i); });
+  }
+  ch.drain_into(sim);
+  sim.run_until(100);
+  ASSERT_EQ(ran.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(ran[i], i);
+}
+
+TEST(Endpoint, LocalAndRemoteRouting) {
+  sim::Simulator sim(1);
+  sim::Endpoint unwired;
+  EXPECT_FALSE(unwired.wired());
+
+  bool local_ran = false;
+  sim::Endpoint loc = sim::Endpoint::local(sim, 7);
+  EXPECT_TRUE(loc.wired());
+  EXPECT_EQ(loc.key(), 7u);
+  loc.post(10, [&local_ran]() { local_ran = true; });
+  sim.run_until(10);
+  EXPECT_TRUE(local_ran);
+
+  sim::ShardChannel ch(4);
+  sim::Endpoint rem = sim::Endpoint::remote(ch, 9);
+  EXPECT_TRUE(rem.wired());
+  rem.post(20, []() {});
+  EXPECT_EQ(ch.posted(), 1u);
+}
+
+class ParallelEngineModes
+    : public ::testing::TestWithParam<sim::ParallelEngine::Mode> {};
+
+TEST_P(ParallelEngineModes, CrossShardPingPongRunsInTimestampOrder) {
+  sim::Simulator a(1);
+  sim::Simulator b(1);
+  sim::ParallelEngine eng({&a, &b}, GetParam(), /*channel_capacity=*/4);
+  sim::ShardChannel& ab = eng.channel(0, 1);
+  sim::ShardChannel& ba = eng.channel(1, 0);
+  eng.note_cross_latency(10);
+  EXPECT_EQ(eng.lookahead(), 10);
+
+  // a(t) -> b(t+10) -> a(t+20) -> ... : each hop records (side, time).
+  std::vector<std::pair<char, sim::SimTime>> hops;
+  struct Bouncer {
+    sim::Simulator* self;
+    sim::ShardChannel* out;
+    std::vector<std::pair<char, sim::SimTime>>* hops;
+    char side;
+    Bouncer* peer = nullptr;
+    void bounce(int remaining) {
+      hops->emplace_back(side, self->now());
+      if (remaining == 0) return;
+      Bouncer* p = peer;
+      out->post(self->now() + 10, 1,
+                [p, remaining]() { p->bounce(remaining - 1); });
+    }
+  };
+  Bouncer ba_side{&a, &ab, &hops, 'a'};
+  Bouncer bb_side{&b, &ba, &hops, 'b'};
+  ba_side.peer = &bb_side;
+  bb_side.peer = &ba_side;
+  a.at(0, [&ba_side]() { ba_side.bounce(6); });
+
+  const std::size_t executed = eng.run_until(1000);
+  EXPECT_EQ(executed, 7u);
+  ASSERT_EQ(hops.size(), 7u);
+  for (std::size_t i = 0; i < hops.size(); ++i) {
+    EXPECT_EQ(hops[i].first, i % 2 == 0 ? 'a' : 'b');
+    EXPECT_EQ(hops[i].second, static_cast<sim::SimTime>(10 * i));
+  }
+  // run_until's contract: both shards end at `until`, even the idle one.
+  EXPECT_EQ(a.now(), 1000);
+  EXPECT_EQ(b.now(), 1000);
+  EXPECT_GE(eng.last_run().rounds, 1u);
+  EXPECT_EQ(eng.last_run().executed, 7u);
+}
+
+TEST_P(ParallelEngineModes, IdleShardsAdvanceToUntil) {
+  sim::Simulator a(1);
+  sim::Simulator b(1);
+  sim::ParallelEngine eng({&a, &b}, GetParam());
+  eng.note_cross_latency(5);
+  EXPECT_EQ(eng.run_until(123), 0u);
+  EXPECT_EQ(a.now(), 123);
+  EXPECT_EQ(b.now(), 123);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, ParallelEngineModes,
+                         ::testing::Values(sim::ParallelEngine::Mode::Inline,
+                                           sim::ParallelEngine::Mode::Threads),
+                         [](const auto& info) {
+                           return info.param ==
+                                          sim::ParallelEngine::Mode::Inline
+                                      ? "Inline"
+                                      : "Threads";
+                         });
+
+// The acceptance property: a sharded network produces the exact snapshot
+// campaign of the serial one. Exercised through the real Network facade in
+// both execution modes.
+TEST(ParallelNetwork, CampaignBitIdenticalAcrossShardCountsAndModes) {
+  struct Config {
+    std::size_t shards;
+    core::NetworkOptions::ExecMode mode;
+  };
+  const Config configs[] = {
+      {1, core::NetworkOptions::ExecMode::Auto},
+      {2, core::NetworkOptions::ExecMode::Inline},
+      {4, core::NetworkOptions::ExecMode::Inline},
+      {4, core::NetworkOptions::ExecMode::Threads},
+  };
+  std::vector<std::uint64_t> totals;
+  std::vector<std::size_t> completed;
+  for (const Config& cfg : configs) {
+    core::NetworkOptions opt;
+    opt.seed = 77;
+    opt.shards = cfg.shards;
+    opt.exec_mode = cfg.mode;
+    core::Network net(net::make_ring(4), opt);
+    EXPECT_EQ(net.num_shards(), cfg.shards);
+    const auto campaign = core::run_snapshot_campaign(net, 3, sim::msec(2));
+    std::uint64_t total = 0;
+    std::size_t done = 0;
+    for (const auto* snap : campaign.results(net)) {
+      ++done;
+      total += snap->total_value(false);
+      for (const auto& [unit, r] : snap->reports) {
+        total ^= (r.local_value * 0x9E3779B97F4A7C15ULL) ^ unit.port;
+      }
+    }
+    totals.push_back(total);
+    completed.push_back(done);
+  }
+  for (std::size_t i = 1; i < totals.size(); ++i) {
+    EXPECT_EQ(totals[i], totals[0]) << "config " << i;
+    EXPECT_EQ(completed[i], completed[0]) << "config " << i;
+  }
+  EXPECT_GT(completed[0], 0u);
+}
+
+// Every corpus scenario must produce the serial digest at 2 and 4 shards —
+// the same oracle speedlight_fuzz --digest --shards N applies to random
+// scenarios, pinned to the committed reproducers.
+TEST(ParallelNetwork, CorpusDigestsMatchSerialAtTwoAndFourShards) {
+  std::vector<std::filesystem::path> files;
+  for (const auto& e :
+       std::filesystem::directory_iterator(SPEEDLIGHT_CORPUS_DIR)) {
+    if (e.path().extension() == ".scenario") files.push_back(e.path());
+  }
+  std::sort(files.begin(), files.end());
+  ASSERT_FALSE(files.empty());
+
+  for (const auto& f : files) {
+    const check::Scenario s = check::load_scenario(f.string());
+    check::RunOptions opts;
+    opts.with_oracle = false;
+    opts.shards = 1;
+    const check::RunResult serial = check::run_scenario(s, opts);
+    for (const std::size_t shards : {std::size_t{2}, std::size_t{4}}) {
+      opts.shards = shards;
+      const check::RunResult sharded = check::run_scenario(s, opts);
+      EXPECT_EQ(sharded.digest, serial.digest)
+          << f.filename() << " at " << shards << " shards";
+      EXPECT_EQ(sharded.completed, serial.completed) << f.filename();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace speedlight

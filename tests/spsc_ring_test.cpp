@@ -1,0 +1,111 @@
+// SpscRing: capacity rounding, FIFO order across wraparound, backpressure
+// (try_push fails when full, recovers after pops), move-only payloads, and
+// a two-thread producer/consumer stress run.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "sim/spsc_ring.hpp"
+
+namespace speedlight::sim {
+namespace {
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscRing<int>(0).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(1).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(2).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscRing<int>(1000).capacity(), 1024u);
+  EXPECT_EQ(SpscRing<int>(1024).capacity(), 1024u);
+}
+
+TEST(SpscRing, FifoOrderAcrossManyWraparounds) {
+  SpscRing<int> ring(4);  // Tiny, so every few pushes wrap the indices.
+  int next_push = 0;
+  int next_pop = 0;
+  for (int round = 0; round < 1000; ++round) {
+    // Push a burst (as much as fits), then drain half of it.
+    while (ring.try_push(next_push + 0)) ++next_push;
+    int out = -1;
+    for (std::size_t i = 0; i < ring.capacity() / 2; ++i) {
+      ASSERT_TRUE(ring.try_pop(out));
+      EXPECT_EQ(out, next_pop);
+      ++next_pop;
+    }
+  }
+  int out = -1;
+  while (ring.try_pop(out)) {
+    EXPECT_EQ(out, next_pop);
+    ++next_pop;
+  }
+  EXPECT_EQ(next_pop, next_push);
+  EXPECT_GT(next_push, 1000);  // Far more traffic than capacity.
+}
+
+TEST(SpscRing, BackpressureFailsWhenFullAndRecovers) {
+  SpscRing<int> ring(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.try_push(i + 0));
+  EXPECT_FALSE(ring.try_push(99));  // Full: push refused, ring unchanged.
+  EXPECT_EQ(ring.size(), 4u);
+
+  int out = -1;
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, 0);
+  EXPECT_TRUE(ring.try_push(4));  // One slot freed.
+  EXPECT_FALSE(ring.try_push(99));
+
+  for (int expect = 1; expect <= 4; ++expect) {
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, expect);
+  }
+  EXPECT_FALSE(ring.try_pop(out));  // Empty again.
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, MoveOnlyPayload) {
+  SpscRing<std::unique_ptr<int>> ring(2);
+  EXPECT_TRUE(ring.try_push(std::make_unique<int>(7)));
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(ring.try_pop(out));
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, 7);
+}
+
+TEST(SpscRing, TwoThreadStressPreservesOrder) {
+  constexpr std::uint64_t kCount = 200'000;
+  SpscRing<std::uint64_t> ring(64);
+  std::uint64_t received = 0;
+  std::uint64_t order_errors = 0;
+
+  std::thread consumer([&] {
+    std::uint64_t expect = 0;
+    std::uint64_t v = 0;
+    while (expect < kCount) {
+      if (ring.try_pop(v)) {
+        if (v != expect) ++order_errors;
+        ++expect;
+        ++received;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+
+  for (std::uint64_t i = 0; i < kCount;) {
+    if (ring.try_push(i + 0)) {
+      ++i;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  consumer.join();
+
+  EXPECT_EQ(received, kCount);
+  EXPECT_EQ(order_errors, 0u);
+}
+
+}  // namespace
+}  // namespace speedlight::sim

@@ -32,6 +32,10 @@ const std::vector<RuleInfo> kRules = {
     {"virtual-in-datapath", "virtual dispatch added to the data path", true},
     {"raw-new-delete",
      "raw new/delete outside the pool and slab allocators", false},
+    {"mutable-static",
+     "unguarded mutable static state; use const/constexpr, thread_local, or "
+     "std::atomic",
+     false},
 };
 
 bool known_rule(const std::string& name) {
@@ -365,6 +369,31 @@ std::vector<Diagnostic> scan_content(const std::string& path,
         break;
       }
       d = find_word(s, "delete", d + 1);
+    }
+    // Mutable static state: a `static` declaration with no const/constexpr/
+    // thread_local/atomic qualifier on the same line. Static *functions* are
+    // excluded by shape — a '(' before any '=' is a parameter list, not an
+    // initializer (`static Foo f(args);` direct-init slips through as a
+    // false negative; the repo uses `=` init throughout). static_cast and
+    // static_assert never match: find_word demands a word boundary.
+    const std::size_t st = find_word(s, "static");
+    if (st != std::string::npos) {
+      bool guarded = false;
+      for (const char* q : {"const", "constexpr", "consteval", "constinit",
+                            "thread_local", "atomic"}) {
+        if (find_word(s, q) != std::string::npos) {
+          guarded = true;
+          break;
+        }
+      }
+      const std::size_t paren = s.find('(', st);
+      const std::size_t eq = s.find('=', st);
+      const bool function_like =
+          paren != std::string::npos &&
+          (eq == std::string::npos || paren < eq);
+      if (!guarded && !function_like) {
+        report(l, "mutable-static", "'static'");
+      }
     }
   }
 
