@@ -95,14 +95,19 @@ double full_sim_sync_us(std::size_t routers, std::size_t snapshots,
     if (const sim::ParallelEngine* eng = net.engine()) {
       const sim::EngineRunStats& er = eng->last_run();
       report->metric("full_sim.rounds", static_cast<double>(er.rounds));
-      std::uint64_t barrier_ns = 0;
+      report->metric("full_sim.rounds_per_1k_events",
+                     er.rounds_per_1k_events());
+      report->metric("full_sim.avg_window_span_ns", er.avg_window_span());
+      report->metric("full_sim.horizon_stalls",
+                     static_cast<double>(er.horizon_stalls()));
+      std::uint64_t wait_ns = 0;
       std::uint64_t posted = 0;
       for (const auto& sh : er.shards) {
-        barrier_ns += sh.barrier_wait_ns;
+        wait_ns += sh.wait_ns;
         posted += sh.posted;
       }
-      report->metric("full_sim.barrier_wait_ms",
-                     static_cast<double>(barrier_ns) / 1e6);
+      report->metric("full_sim.sync_wait_ms",
+                     static_cast<double>(wait_ns) / 1e6);
       report->metric("full_sim.cross_shard_msgs",
                      static_cast<double>(posted));
     }

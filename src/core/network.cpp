@@ -43,7 +43,11 @@ Network::Network(const net::TopologySpec& spec, NetworkOptions options)
   // endpoint wiring (and with it the canonical merge-key event order) is
   // identical in every mode, which is what makes an N-shard run
   // digest-identical to the serial one.
-  part_ = net::partition_topology(spec_, options_.shards);
+  part_ = net::partition_topology(
+      spec_, options_.shards,
+      options_.shards > 1
+          ? net::trunk_traffic(spec_, options_.traffic_hints)
+          : std::vector<std::uint64_t>{});
   const std::size_t nsh = part_.num_shards;
   for (std::size_t i = 0; i < nsh; ++i) {
     sims_.push_back(std::make_unique<sim::Simulator>(options_.seed));
@@ -55,18 +59,24 @@ Network::Network(const net::TopologySpec& spec, NetworkOptions options)
     for (auto& s : sims_) raw.push_back(s.get());
     engine_ = std::make_unique<sim::ParallelEngine>(
         std::move(raw), to_engine_mode(options_.exec_mode));
-    // Lookahead: data-plane messages cross shards with at least the
-    // minimum cross-trunk propagation; control-plane RPCs (observer
-    // requests, reports, poll legs) with at least the smaller of the RPC
-    // latency and the poller's per-leg floor. The engine requires every
+    // Lookahead: register each channel's own latency floor with the engine
+    // so horizons are per shard *pair*, not global. Data-plane trunks
+    // contribute their propagation delay on exactly the (from, to) pairs
+    // they connect; observer RPCs (requests out, reports and notifications
+    // back) contribute observer_rpc_latency on the control shard's pairs
+    // (registered below, with the devices). The engine requires every
     // registered latency to be strictly positive — the partitioner
     // guarantees it for trunks; a zero observer_rpc_latency is not
-    // supported with shards > 1.
-    if (part_.cross_trunks > 0) {
-      engine_->note_cross_latency(part_.min_cross_latency);
+    // supported with shards > 1. Polling legs register their much smaller
+    // kMinPollHop floor lazily in register_all_units_for_polling(), so
+    // snapshot-only runs keep the wide RPC-scale control horizons.
+    for (const auto& t : spec_.trunks) {
+      const std::size_t sa = switch_shard(t.switch_a);
+      const std::size_t sb = switch_shard(t.switch_b);
+      if (sa == sb) continue;
+      engine_->note_channel_latency(sa, sb, t.propagation);
+      engine_->note_channel_latency(sb, sa, t.propagation);
     }
-    engine_->note_cross_latency(std::min(options_.timing.observer_rpc_latency,
-                                         poll::PollingObserver::kMinPollHop));
   }
 
   sim::Rng master = sims_[0]->rng().fork("network");
@@ -196,6 +206,15 @@ Network::Network(const net::TopologySpec& spec, NetworkOptions options)
     snap::ControlPlane& cp = swch.control_plane();
     cp.set_report_endpoint(make_endpoint(sh, 0, next_key_++));
     observer_->register_device(&cp, make_endpoint(0, sh, next_key_++));
+    if (engine_ != nullptr && sh != 0) {
+      // Both RPC directions (requests out, reports/notifications back)
+      // travel at observer_rpc_latency; see mutate_timing_at() for the
+      // matching mid-run mutation constraint.
+      engine_->note_channel_latency(0, sh,
+                                    options_.timing.observer_rpc_latency);
+      engine_->note_channel_latency(sh, 0,
+                                    options_.timing.observer_rpc_latency);
+    }
     ptp_->manage(&cp.clock(), *sims_[sh], *shard_timing_[sh]);
     if (options_.start_register_poll) {
       cp.start_register_poll();
@@ -213,7 +232,10 @@ void Network::mutate_timing_at(sim::SimTime when,
   // resolve identically for any shard count. Call while the network is not
   // running (scheduling onto other shards' queues is not thread-safe
   // mid-run); the usual pattern is to lay out the whole fault schedule
-  // before the first run_until().
+  // before the first run_until(). Under the engine, mutations must not
+  // lower observer_rpc_latency below the floor registered at construction:
+  // the per-channel lookahead already promised the engine that control
+  // RPCs never travel faster than that.
   auto shared =
       std::make_shared<std::function<void(sim::TimingModel&)>>(std::move(fn));
   const sim::MergeKey key = next_key_++;
@@ -227,6 +249,16 @@ void Network::register_all_units_for_polling() {
   for (std::size_t i = 0; i < switches_.size(); ++i) {
     sw::Switch& swch = *switches_[i];
     const std::size_t sh = switch_shard(i);
+    if (engine_ != nullptr && sh != 0) {
+      // Poll read/record legs travel at >= kMinPollHop (the poller clamps
+      // sampled RTTs to twice this). Registering the floor here — not at
+      // construction — keeps snapshot-only runs on the wider RPC-scale
+      // horizons. Like all setup, call this between runs: every shard sits
+      // at the previous `until`, so shrinking the floor cannot strand a
+      // shard past a future poll delivery.
+      engine_->note_channel_latency(0, sh, poll::PollingObserver::kMinPollHop);
+      engine_->note_channel_latency(sh, 0, poll::PollingObserver::kMinPollHop);
+    }
     for (net::PortId p = 0; p < swch.options().num_ports; ++p) {
       for (const auto dir : {net::Direction::Ingress, net::Direction::Egress}) {
         const sim::Endpoint read = make_endpoint(0, sh, next_key_++);

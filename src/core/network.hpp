@@ -85,6 +85,11 @@ struct NetworkOptions {
   /// Any shard count produces bit-identical results: execution order is
   /// canonical (time, merge key, schedule order) in every mode.
   std::size_t shards = 1;
+  /// Expected workload flows, used to weight trunks for traffic-aware
+  /// partitioning (shards > 1). Empty = uniform weights (the partitioner
+  /// minimizes the crossing-trunk count). Purely advisory: hints shape the
+  /// shards and the achieved cut (Partition::stats), never the results.
+  std::vector<net::FlowHint> traffic_hints;
   enum class ExecMode {
     Auto,     ///< Threads on multi-core hosts, Inline otherwise.
     Inline,   ///< All shards multiplexed on the calling thread.

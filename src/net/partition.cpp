@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <deque>
 #include <limits>
 #include <numeric>
 
@@ -38,15 +40,86 @@ class UnionFind {
   std::vector<std::size_t> size_;
 };
 
+/// Fixed-point scale for traffic mass -> integer trunk weights.
+constexpr double kTrafficScale = 4096.0;
+
 }  // namespace
 
+std::vector<std::uint64_t> trunk_traffic(const TopologySpec& spec,
+                                         const std::vector<FlowHint>& hints) {
+  std::vector<double> mass(spec.trunks.size(), 0.0);
+  if (!hints.empty()) {
+    const EcmpRoutes routes = compute_ecmp_routes(spec);
+    // (switch, port) -> trunk index; ports not in the map are host access
+    // ports, where a flow's mass terminates.
+    const std::size_t max_ports = [&] {
+      std::size_t m = 0;
+      for (const auto& sw : spec.switches) {
+        m = std::max<std::size_t>(m, sw.num_ports);
+      }
+      return m;
+    }();
+    std::vector<std::int64_t> port_trunk(spec.switches.size() * max_ports, -1);
+    for (std::size_t t = 0; t < spec.trunks.size(); ++t) {
+      const TrunkSpec& tr = spec.trunks[t];
+      port_trunk[tr.switch_a * max_ports + tr.port_a] =
+          static_cast<std::int64_t>(t);
+      port_trunk[tr.switch_b * max_ports + tr.port_b] =
+          static_cast<std::int64_t>(t);
+    }
+    for (const FlowHint& f : hints) {
+      if (f.src_host >= spec.hosts.size() || f.dst_host >= spec.hosts.size() ||
+          f.src_host == f.dst_host || f.weight <= 0.0) {
+        continue;
+      }
+      // Push the flow's mass along every ECMP shortest path, splitting
+      // evenly over the next-hop set at each switch. Shortest-path next
+      // hops are loop-free, so the walk terminates; a step cap guards
+      // against pathological route tables all the same.
+      std::deque<std::pair<std::size_t, double>> frontier;
+      frontier.emplace_back(spec.hosts[f.src_host].attached_switch, f.weight);
+      std::size_t steps = 0;
+      while (!frontier.empty() && steps < 1u << 20) {
+        const auto [sw, m] = frontier.front();
+        frontier.pop_front();
+        ++steps;
+        const std::vector<PortId>& ports = routes[sw][f.dst_host];
+        if (ports.empty()) continue;  // Unreachable: drop the mass.
+        const double share = m / static_cast<double>(ports.size());
+        for (const PortId p : ports) {
+          const std::int64_t t = port_trunk[sw * max_ports + p];
+          if (t < 0) continue;  // Host access port: delivered.
+          mass[static_cast<std::size_t>(t)] += share;
+          const TrunkSpec& tr = spec.trunks[static_cast<std::size_t>(t)];
+          frontier.emplace_back(tr.switch_a == sw ? tr.switch_b : tr.switch_a,
+                                share);
+        }
+      }
+    }
+  }
+  std::vector<std::uint64_t> weight(spec.trunks.size(), 1);
+  for (std::size_t t = 0; t < spec.trunks.size(); ++t) {
+    weight[t] += static_cast<std::uint64_t>(std::llround(
+        kTrafficScale * mass[t]));
+  }
+  return weight;
+}
+
 Partition partition_topology(const TopologySpec& spec,
-                             std::size_t requested_shards) {
+                             std::size_t requested_shards,
+                             const std::vector<std::uint64_t>& trunk_weight) {
+  assert(trunk_weight.empty() || trunk_weight.size() == spec.trunks.size());
   const std::size_t s = spec.switches.size();
+  const auto weight_of = [&](std::size_t t) -> std::uint64_t {
+    return trunk_weight.empty() ? 1 : trunk_weight[t];
+  };
   Partition out;
   out.switch_shard.assign(s, 0);
   out.host_shard.assign(spec.hosts.size(), 0);
   out.min_cross_latency = std::numeric_limits<sim::Duration>::max();
+  for (std::size_t t = 0; t < spec.trunks.size(); ++t) {
+    out.stats.total_weight += weight_of(t);
+  }
 
   if (requested_shards <= 1 || s <= 1) {
     for (std::size_t h = 0; h < spec.hosts.size(); ++h) {
@@ -65,38 +138,142 @@ Partition partition_topology(const TopologySpec& spec,
   // Components in first-switch-index order (deterministic), with sizes.
   std::vector<std::uint32_t> comp_of(s);
   std::vector<std::size_t> comp_size;
-  std::vector<std::size_t> comp_order;  // Component ids, discovery order.
   {
     std::vector<std::int64_t> root_comp(s, -1);
     for (std::size_t i = 0; i < s; ++i) {
       const std::size_t r = uf.find(i);
       if (root_comp[r] < 0) {
         root_comp[r] = static_cast<std::int64_t>(comp_size.size());
-        comp_order.push_back(comp_size.size());
         comp_size.push_back(0);
       }
       comp_of[i] = static_cast<std::uint32_t>(root_comp[r]);
       ++comp_size[comp_of[i]];
     }
   }
-
-  const std::size_t shards = std::min(requested_shards, comp_size.size());
+  const std::size_t ncomp = comp_size.size();
+  const std::size_t shards = std::min(requested_shards, ncomp);
   out.num_shards = static_cast<std::uint32_t>(shards);
 
-  // Greedy balanced packing: components by descending size (stable, so
-  // equal sizes keep discovery order), each into the least-loaded shard
-  // (lowest index on ties).
-  std::stable_sort(comp_order.begin(), comp_order.end(),
-                   [&](std::size_t a, std::size_t b) {
-                     return comp_size[a] > comp_size[b];
-                   });
+  // Component adjacency in trunk-weight units (contracted trunks vanish).
+  std::vector<std::uint64_t> comp_w(ncomp * ncomp, 0);
+  for (std::size_t t = 0; t < spec.trunks.size(); ++t) {
+    const std::uint32_t a = comp_of[spec.trunks[t].switch_a];
+    const std::uint32_t b = comp_of[spec.trunks[t].switch_b];
+    if (a == b) continue;
+    comp_w[a * ncomp + b] += weight_of(t);
+    comp_w[b * ncomp + a] += weight_of(t);
+  }
+
+  std::vector<std::uint32_t> comp_shard(ncomp, 0);
   std::vector<std::size_t> load(shards, 0);
-  std::vector<std::uint32_t> comp_shard(comp_size.size(), 0);
-  for (const std::size_t c : comp_order) {
-    const auto lightest = static_cast<std::uint32_t>(std::distance(
-        load.begin(), std::min_element(load.begin(), load.end())));
-    comp_shard[c] = lightest;
-    load[lightest] += comp_size[c];
+  std::vector<std::size_t> shard_comps(shards, 0);
+
+  if (shards > 1) {
+    // Balance cap: perfectly even plus ~25% slack. Infeasible fits fall
+    // back to the least-loaded shard, so packing always succeeds.
+    const std::size_t cap =
+        (s + shards - 1) / shards +
+        std::max<std::size_t>(1, s / (4 * shards));
+
+    // Traffic-affine packing, Prim-style: repeatedly place the unassigned
+    // component with the strongest tie to anything already placed, onto
+    // the feasible shard it is most attached to. Components with no placed
+    // neighbours seed new clusters on the least-loaded shard, largest
+    // first. Ties break toward lower component index — fully deterministic.
+    std::vector<bool> placed(ncomp, false);
+    const auto affinity = [&](std::size_t c, std::uint32_t sh) {
+      std::uint64_t w = 0;
+      for (std::size_t x = 0; x < ncomp; ++x) {
+        if (placed[x] && comp_shard[x] == sh) w += comp_w[c * ncomp + x];
+      }
+      return w;
+    };
+    for (std::size_t round = 0; round < ncomp; ++round) {
+      const std::size_t remaining = ncomp - round;
+      std::size_t empty_shards = 0;
+      for (std::size_t sh = 0; sh < shards; ++sh) {
+        if (shard_comps[sh] == 0) ++empty_shards;
+      }
+      // Every shard must end non-empty: once the spare components run out,
+      // only empty shards may receive seeds.
+      const bool force_empty = remaining <= empty_shards;
+
+      std::size_t best_c = ncomp;
+      std::uint32_t best_sh = 0;
+      std::uint64_t best_aff = 0;
+      std::size_t best_size = 0;
+      for (std::size_t c = 0; c < ncomp; ++c) {
+        if (placed[c]) continue;
+        // The best shard for this component under the current placement.
+        std::uint32_t sh_pick = std::numeric_limits<std::uint32_t>::max();
+        std::uint64_t aff_pick = 0;
+        for (std::uint32_t sh = 0; sh < shards; ++sh) {
+          if (force_empty && shard_comps[sh] != 0) continue;
+          if (load[sh] + comp_size[c] > cap && !force_empty) continue;
+          const std::uint64_t a = force_empty ? 0 : affinity(c, sh);
+          if (sh_pick == std::numeric_limits<std::uint32_t>::max() ||
+              a > aff_pick ||
+              (a == aff_pick && load[sh] < load[sh_pick])) {
+            sh_pick = sh;
+            aff_pick = a;
+          }
+        }
+        if (sh_pick == std::numeric_limits<std::uint32_t>::max()) {
+          // Cap squeezed every shard out: least-loaded fallback.
+          sh_pick = static_cast<std::uint32_t>(std::distance(
+              load.begin(), std::min_element(load.begin(), load.end())));
+          aff_pick = affinity(c, sh_pick);
+        }
+        if (best_c == ncomp || aff_pick > best_aff ||
+            (aff_pick == best_aff && comp_size[c] > best_size)) {
+          best_c = c;
+          best_sh = sh_pick;
+          best_aff = aff_pick;
+          best_size = comp_size[c];
+        }
+      }
+      placed[best_c] = true;
+      comp_shard[best_c] = best_sh;
+      load[best_sh] += comp_size[best_c];
+      ++shard_comps[best_sh];
+    }
+
+    // FM-style refinement: move whole components between shards while the
+    // weighted cut strictly shrinks, respecting the balance cap and never
+    // emptying a shard. Strict improvement => termination; fixed scan
+    // order => determinism.
+    for (std::size_t pass = 0; pass < 8; ++pass) {
+      bool moved = false;
+      for (std::size_t c = 0; c < ncomp; ++c) {
+        const std::uint32_t from = comp_shard[c];
+        if (shard_comps[from] <= 1) continue;
+        std::vector<std::uint64_t> attach(shards, 0);
+        for (std::size_t x = 0; x < ncomp; ++x) {
+          attach[comp_shard[x]] += comp_w[c * ncomp + x];
+        }
+        std::uint32_t best_to = from;
+        std::int64_t best_gain = 0;
+        for (std::uint32_t to = 0; to < shards; ++to) {
+          if (to == from || load[to] + comp_size[c] > cap) continue;
+          const std::int64_t gain = static_cast<std::int64_t>(attach[to]) -
+                                    static_cast<std::int64_t>(attach[from]);
+          if (gain > best_gain) {
+            best_gain = gain;
+            best_to = to;
+          }
+        }
+        if (best_to != from) {
+          comp_shard[c] = best_to;
+          load[from] -= comp_size[c];
+          load[best_to] += comp_size[c];
+          --shard_comps[from];
+          ++shard_comps[best_to];
+          ++out.stats.refine_moves;
+          moved = true;
+        }
+      }
+      if (!moved) break;
+    }
   }
 
   for (std::size_t i = 0; i < s; ++i) {
@@ -106,11 +283,15 @@ Partition partition_topology(const TopologySpec& spec,
     out.host_shard[h] = out.switch_shard[spec.hosts[h].attached_switch];
   }
 
-  for (const TrunkSpec& t : spec.trunks) {
-    if (out.switch_shard[t.switch_a] == out.switch_shard[t.switch_b]) continue;
-    assert(t.propagation > 0 && "zero-latency trunk crossed shards");
+  for (std::size_t t = 0; t < spec.trunks.size(); ++t) {
+    const TrunkSpec& tr = spec.trunks[t];
+    if (out.switch_shard[tr.switch_a] == out.switch_shard[tr.switch_b]) {
+      continue;
+    }
+    assert(tr.propagation > 0 && "zero-latency trunk crossed shards");
     ++out.cross_trunks;
-    out.min_cross_latency = std::min(out.min_cross_latency, t.propagation);
+    out.min_cross_latency = std::min(out.min_cross_latency, tr.propagation);
+    out.stats.cut_weight += weight_of(t);
   }
   return out;
 }

@@ -6,10 +6,16 @@
 // trunk links ever cross shards. Conservative synchronization needs
 // strictly positive lookahead on every cross-shard edge, so trunks with
 // zero propagation delay are contracted first (union-find): switches they
-// connect are forced into the same shard, and the resulting components are
-// distributed over the requested shard count by greedy balanced packing
-// (largest component first, least-loaded shard). Fully deterministic: ties
-// break on component discovery order, which follows switch index order.
+// connect are forced into the same shard.
+//
+// The resulting components are placed by *traffic-aware* packing: trunks
+// carry weights (expected workload traffic from trunk_traffic(), or 1 each
+// when no flow hints exist) and components are packed greedily by affinity
+// to already-placed neighbours under a balance cap, then improved by a
+// deterministic FM-style refinement pass that moves whole components while
+// the weighted cut shrinks. The achieved cut is reported in
+// PartitionStats. Fully deterministic: ties break on component discovery
+// order, which follows switch index order.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +25,21 @@
 #include "sim/time.hpp"
 
 namespace speedlight::net {
+
+/// Expected workload traffic between a host pair, used to weight trunks
+/// for partitioning. Weights are relative (rates, shares — any unit).
+struct FlowHint {
+  std::size_t src_host = 0;
+  std::size_t dst_host = 0;
+  double weight = 1.0;
+};
+
+/// Cut quality achieved by the partitioner, in trunk-weight units.
+struct PartitionStats {
+  std::uint64_t cut_weight = 0;    ///< Weight on shard-crossing trunks.
+  std::uint64_t total_weight = 0;  ///< Weight over all trunks.
+  std::size_t refine_moves = 0;    ///< Component moves the refiner applied.
+};
 
 struct Partition {
   /// Shard index per switch (indexed like TopologySpec::switches).
@@ -31,15 +52,32 @@ struct Partition {
 
   /// Minimum propagation delay over trunks whose endpoints landed on
   /// different shards (SimTime max when nothing crosses) — the engine's
-  /// lookahead bound. Strictly positive by construction.
+  /// tightest single-hop lookahead. Strictly positive by construction.
+  /// (The engine gets the full per-trunk latencies from the builder; this
+  /// scalar remains for sizing and diagnostics.)
   sim::Duration min_cross_latency = 0;
   /// Trunks whose two endpoint switches are on different shards.
   std::size_t cross_trunks = 0;
+
+  PartitionStats stats;
 };
 
+/// Per-trunk expected traffic weights: each flow hint's weight is pushed
+/// along the spec's ECMP shortest paths (mass split evenly over the
+/// next-hop set at every switch) and accumulated on the trunks it
+/// traverses, scaled to integers. Every trunk gets a baseline weight of 1
+/// so traffic-free trunks still count toward the cut. With no hints, all
+/// trunks weigh 1 (the partitioner then minimizes the crossing-trunk
+/// count). Deterministic.
+[[nodiscard]] std::vector<std::uint64_t> trunk_traffic(
+    const TopologySpec& spec, const std::vector<FlowHint>& hints);
+
 /// Partition `spec` into at most `requested_shards` shards. `requested_shards`
-/// of 0 or 1 yields the trivial single-shard partition.
-[[nodiscard]] Partition partition_topology(const TopologySpec& spec,
-                                           std::size_t requested_shards);
+/// of 0 or 1 yields the trivial single-shard partition. `trunk_weight`
+/// (empty = all ones) guides the cut: indexed like spec.trunks, typically
+/// from trunk_traffic().
+[[nodiscard]] Partition partition_topology(
+    const TopologySpec& spec, std::size_t requested_shards,
+    const std::vector<std::uint64_t>& trunk_weight = {});
 
 }  // namespace speedlight::net

@@ -1,9 +1,10 @@
 #include "sim/parallel.hpp"
 
 #include <algorithm>
-#include <barrier>
 #include <chrono>
+#include <condition_variable>
 #include <limits>
+#include <mutex>
 #include <thread>
 
 namespace speedlight::sim {
@@ -17,12 +18,12 @@ constexpr SimTime sat_add(SimTime a, Duration b) {
   return a > kNever - b ? kNever : a + b;
 }
 
-/// Wall-clock nanoseconds, for barrier-wait accounting only — this never
+/// Wall-clock nanoseconds, for sync-wait accounting only — this never
 /// feeds simulation time or any simulated decision.
 std::uint64_t mono_ns() {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
-          // speedlight-lint: allow(wall-clock) barrier-wait profiling only
+          // speedlight-lint: allow(wall-clock) sync-wait profiling only
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
 }
@@ -31,31 +32,62 @@ std::uint64_t mono_ns() {
 
 void ShardChannel::post(SimTime time, MergeKey key, InplaceCallback fn) {
   ++posted_;
+  if (time < window_floor_) window_floor_ = time;
   ShardMessage msg{time, key, std::move(fn)};
-  // Once the ring has overflowed in this round, keep appending to the spill
-  // so FIFO post order survives; the ring won't drain until the barrier.
-  if (spill_.empty() && ring_.try_push(std::move(msg))) return;
+  // Once messages have spilled, keep appending to the spill so FIFO post
+  // order survives; the backlog re-enters the ring via flush_spill().
+  if (spill_pos_ >= spill_.size() && ring_.try_push(std::move(msg))) return;
   ++spilled_;
+  if (time < spill_floor_.load(std::memory_order_relaxed)) {
+    spill_floor_.store(time, std::memory_order_relaxed);
+  }
   // Spill growth is backpressure handling, amortized like any freelist.
   det::DetAllow allow_growth;
   spill_.push_back(std::move(msg));
 }
 
-std::size_t ShardChannel::drain_into(Simulator& sim) {
-  std::size_t drained = 0;
-  ShardMessage msg;
-  while (ring_.try_pop(msg)) {
+std::size_t ShardChannel::drain_ring_into(Simulator& sim) {
+  return ring_.drain([&sim](ShardMessage&& msg) {
     assert(msg.time >= sim.now() && "lookahead violation: message in past");
     sim.at_keyed(msg.time, msg.key, std::move(msg.fn));
-    ++drained;
-  }
-  for (ShardMessage& m : spill_) {
+  });
+}
+
+std::size_t ShardChannel::drain_into(Simulator& sim) {
+  std::size_t drained = drain_ring_into(sim);
+  for (std::size_t i = spill_pos_; i < spill_.size(); ++i) {
+    ShardMessage& m = spill_[i];
     assert(m.time >= sim.now() && "lookahead violation: message in past");
     sim.at_keyed(m.time, m.key, std::move(m.fn));
     ++drained;
   }
   spill_.clear();
+  spill_pos_ = 0;
+  spill_floor_.store(kNever, std::memory_order_relaxed);
   return drained;
+}
+
+std::size_t ShardChannel::flush_spill() {
+  const std::size_t start = spill_pos_;
+  while (spill_pos_ < spill_.size() &&
+         ring_.try_push(std::move(spill_[spill_pos_]))) {
+    ++spill_pos_;
+  }
+  const std::size_t moved = spill_pos_ - start;
+  if (spill_pos_ >= spill_.size()) {
+    spill_.clear();
+    spill_pos_ = 0;
+    // The backlog is gone; flushed entries are ring in-flight now, covered
+    // by the caller's fold of spill_floor() into the locked floor matrix.
+    spill_floor_.store(kNever, std::memory_order_relaxed);
+  }
+  return moved;
+}
+
+SimTime ShardChannel::take_window_floor() {
+  const SimTime f = window_floor_;
+  window_floor_ = kNever;
+  return f;
 }
 
 ParallelEngine::Mode ParallelEngine::default_mode() {
@@ -68,10 +100,12 @@ ParallelEngine::ParallelEngine(std::vector<Simulator*> shards, Mode mode,
     : shards_(std::move(shards)),
       mode_(mode),
       channel_capacity_(channel_capacity),
-      lookahead_(kNever),
+      global_floor_(kNever),
       channels_(shards_.size() * shards_.size()),
       incoming_(shards_.size(),
-                std::vector<ShardChannel*>(shards_.size(), nullptr)) {
+                std::vector<ShardChannel*>(shards_.size(), nullptr)),
+      closure_(shards_.size() * shards_.size(), kNever),
+      cycle_(shards_.size(), kNever) {
   assert(!shards_.empty());
   contexts_.reserve(shards_.size());
   for (std::size_t i = 0; i < shards_.size(); ++i) {
@@ -85,8 +119,60 @@ ShardChannel& ParallelEngine::channel(std::size_t from, std::size_t to) {
   if (slot == nullptr) {
     slot = std::make_unique<ShardChannel>(channel_capacity_);
     incoming_[to][from] = slot.get();
+    closure_dirty_ = true;
   }
   return *slot;
+}
+
+Duration ParallelEngine::lookahead() const {
+  Duration min = global_floor_;
+  for (const auto& ch : channels_) {
+    if (ch != nullptr && ch->latency() < min) min = ch->latency();
+  }
+  return min;
+}
+
+void ParallelEngine::refresh_closure() {
+  const std::size_t n = shards_.size();
+  // Direct edges: a channel's own advertised latency, floored by the
+  // engine-wide back-compat registration. Channels that do not exist carry
+  // no messages and impose no constraint.
+  for (std::size_t f = 0; f < n; ++f) {
+    for (std::size_t t = 0; t < n; ++t) {
+      const ShardChannel* ch = channels_[f * n + t].get();
+      closure_[f * n + t] =
+          ch == nullptr ? kNever : std::min(ch->latency(), global_floor_);
+    }
+    closure_[f * n + f] = 0;
+  }
+  // Min-plus closure (Floyd–Warshall): D[j][i] bounds every causal chain
+  // j -> ... -> i, which is what makes per-pair horizons sound when a
+  // cheap two-hop path undercuts an expensive direct channel.
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const SimTime ik = closure_[i * n + k];
+      if (ik == kNever) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        const SimTime kj = closure_[k * n + j];
+        if (kj == kNever) continue;
+        closure_[i * n + j] = std::min(closure_[i * n + j], ik + kj);
+      }
+    }
+  }
+  // Cheapest feedback cycle through each shard: the self-lookahead bound
+  // that caps run-ahead against a shard's own future echoes.
+  for (std::size_t i = 0; i < n; ++i) {
+    SimTime c = kNever;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const SimTime out = closure_[i * n + j];
+      const SimTime back = closure_[j * n + i];
+      if (out == kNever || back == kNever) continue;
+      c = std::min(c, out + back);
+    }
+    cycle_[i] = c;
+  }
+  closure_dirty_ = false;
 }
 
 void ParallelEngine::drain_incoming(std::size_t i) {
@@ -105,6 +191,10 @@ std::size_t ParallelEngine::run_until(SimTime until) {
   }
   last_run_ = EngineRunStats{};
   last_run_.shards.assign(n, ShardRunStats{});
+  for (ShardRunStats& st : last_run_.shards) {
+    st.stalls_by_producer.assign(n, 0);
+  }
+  if (closure_dirty_) refresh_closure();
 
   if (mode_ == Mode::Threads && n > 1) {
     run_threads(until);
@@ -136,19 +226,45 @@ std::size_t ParallelEngine::run_until(SimTime until) {
 
 void ParallelEngine::run_inline(SimTime until) {
   const std::size_t n = shards_.size();
-  std::vector<SimTime> local_min(n, kNever);
+  std::vector<SimTime> m(n, kNever);
+  std::vector<SimTime> horizon(n, kNever);
   for (;;) {
+    // Lockstep sweep: full drain (rings are empty afterwards, so the m's
+    // alone bound all future traffic), publish, plan, run. Deliveries are
+    // batched per window — one drain per sweep, never one per event.
     for (std::size_t i = 0; i < n; ++i) {
       SimContext::Scoped ctx(*contexts_[i]);
       drain_incoming(i);
-      local_min[i] = shards_[i]->next_event_time();
+      m[i] = shards_[i]->next_event_time();
     }
-    const SimTime m = *std::min_element(local_min.begin(), local_min.end());
-    if (m > until) break;
-    const SimTime horizon = std::min(sat_add(m, lookahead_), sat_add(until, 1));
+    const SimTime global_min = *std::min_element(m.begin(), m.end());
+    if (global_min > until) break;
     for (std::size_t i = 0; i < n; ++i) {
+      // Self term first: i's own echoes bound it to m_i + C[i].
+      SimTime h = std::min(sat_add(until, 1), sat_add(m[i], cycle_[i]));
+      std::size_t binding = i;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const SimTime bound = sat_add(m[j], closure(j, i));
+        if (bound < h) {
+          h = bound;
+          binding = j;
+        }
+      }
+      horizon[i] = h;
+      ShardRunStats& st = last_run_.shards[i];
+      if (m[i] < h) {
+        ++st.windows;
+        st.window_span_sum += h - m[i];
+      } else if (m[i] <= until) {
+        ++st.horizon_stalls;
+        if (binding != i) ++st.stalls_by_producer[binding];
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (m[i] >= horizon[i]) continue;
       SimContext::Scoped ctx(*contexts_[i]);
-      shards_[i]->run_before(horizon);
+      shards_[i]->run_before(horizon[i]);
     }
     ++last_run_.rounds;
   }
@@ -156,41 +272,171 @@ void ParallelEngine::run_inline(SimTime until) {
 
 void ParallelEngine::run_threads(SimTime until) {
   const std::size_t n = shards_.size();
-  std::vector<SimTime> local_min(n, kNever);
-  std::vector<std::uint64_t> barrier_ns(n, 0);
-  struct Plan {
-    SimTime horizon = 0;
-    bool done = false;
-  };
-  Plan plan;
 
-  // Runs on exactly one worker when the last thread arrives; its writes
-  // synchronize-with every worker's return from arrive_and_wait.
-  auto compute_plan = [&]() noexcept {
-    const SimTime m = *std::min_element(local_min.begin(), local_min.end());
-    if (m > until) {
-      plan.done = true;
-      return;
+  // Coherent starting state, built single-threaded: every ring and spill
+  // drained (messages can be parked in channels between runs — snapshot
+  // requests are posted through endpoints while the engine is stopped),
+  // every clock published, every floor clear.
+  std::vector<SimTime> clock(n, kNever);
+  std::vector<SimTime> floor(n * n, kNever);  ///< Ring in-flight floors.
+  for (std::size_t i = 0; i < n; ++i) {
+    SimContext::Scoped ctx(*contexts_[i]);
+    drain_incoming(i);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    clock[i] = shards_[i]->next_event_time();
+    for (std::size_t t = 0; t < n; ++t) {
+      if (ShardChannel* ch = channels_[i * n + t].get()) {
+        (void)ch->take_window_floor();  // Consumed by the drain above.
+      }
     }
-    plan.horizon = std::min(sat_add(m, lookahead_), sat_add(until, 1));
-    ++last_run_.rounds;
-  };
-  std::barrier plan_bar(static_cast<std::ptrdiff_t>(n), compute_plan);
-  std::barrier<> post_bar(static_cast<std::ptrdiff_t>(n));
+  }
+  if (*std::min_element(clock.begin(), clock.end()) > until) return;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::atomic<std::uint64_t> epoch{0};
+  bool done = false;
+  std::vector<std::uint64_t> plans(n, 0);
 
   auto worker = [&](std::size_t i) {
     SimContext::Scoped ctx(*contexts_[i]);
+    ShardRunStats& st = last_run_.shards[i];
+    std::unique_lock<std::mutex> lk(mu);
     for (;;) {
-      drain_incoming(i);
-      local_min[i] = shards_[i]->next_event_time();
+      bool changed = false;
+      // Publish last window's output bounds: flush the spill backlog and
+      // fold the window's min post times into the in-flight floors. Doing
+      // this before raising our clock keeps min(clock, floor) a coherent
+      // lower bound on our undrained output at every locked instant.
+      for (std::size_t t = 0; t < n; ++t) {
+        if (t == i) continue;
+        if (ShardChannel* ch = channels_[i * n + t].get()) {
+          // A successful flush puts new traffic in the consumer's ring
+          // without touching any clock or floor — it must still bump the
+          // epoch, or a consumer stalled below the folded floor waits
+          // forever for messages that are already sitting in its ring.
+          if (ch->flush_spill() > 0) changed = true;
+          const SimTime wf =
+              std::min(ch->take_window_floor(), ch->spill_floor());
+          if (wf < floor[i * n + t]) {
+            floor[i * n + t] = wf;
+            changed = true;
+          }
+        }
+      }
+      // Drain our own rings (concurrent-safe SPSC side) and reset their
+      // floors to the producer's residual spill floor — NOT kNever: a full
+      // ring leaves messages in the producer-local spill backlog, and
+      // wiping their bound here would let termination fire with work still
+      // in flight. Anything pushed (or spilled) after this instant is
+      // covered by that producer's still-unraised clock, and the producer
+      // only raises spill_floor_ under this same mutex, so the relaxed
+      // read cannot miss a pending backlog.
+      for (std::size_t f = 0; f < n; ++f) {
+        if (f == i) continue;
+        if (ShardChannel* ch = channels_[f * n + i].get()) {
+          if (ch->drain_ring_into(*shards_[i]) > 0) changed = true;
+          const SimTime residual = ch->spill_floor();
+          if (floor[f * n + i] != residual) {
+            floor[f * n + i] = residual;
+            changed = true;
+          }
+        }
+      }
+      const SimTime next = shards_[i]->next_event_time();
+      if (next != clock[i]) {
+        clock[i] = next;
+        changed = true;
+      }
+      ++plans[i];
+
+      // Pairwise horizon from the coherent snapshot: published clocks plus
+      // in-flight floors, both pushed through the closure (a message parked
+      // en route to shard t can still cascade onward into us), plus the
+      // self-feedback bound clock_i + C[i] on our own future echoes.
+      SimTime h = std::min(sat_add(until, 1), sat_add(clock[i], cycle_[i]));
+      std::size_t binding = i;
+      SimTime global_min = kNever;
+      for (std::size_t j = 0; j < n; ++j) {
+        global_min = std::min(global_min, clock[j]);
+        if (j != i) {
+          const SimTime bound = sat_add(clock[j], closure(j, i));
+          if (bound < h) {
+            h = bound;
+            binding = j;
+          }
+        }
+        for (std::size_t t = 0; t < n; ++t) {
+          const SimTime fl = floor[j * n + t];
+          if (fl == kNever) continue;
+          global_min = std::min(global_min, fl);
+          const SimTime bound = sat_add(fl, closure(t, i));
+          if (bound < h) {
+            h = bound;
+            binding = j;
+          }
+        }
+      }
+
+      if (!done && global_min > until) {
+        // Nothing anywhere (queue or channel) at or before `until`, and —
+        // since any shard mid-window keeps its clock at the window start —
+        // nobody is still executing. Phase one of termination.
+        done = true;
+        changed = true;
+      }
+      if (changed) {
+        epoch.fetch_add(1, std::memory_order_release);
+        cv.notify_all();
+      }
+      if (done) {
+        // Phase two: collect stragglers posted after our last drain (all
+        // strictly beyond `until`) so nothing stays parked in a channel
+        // across runs. Producers are quiescent once `done` is set.
+        for (std::size_t f = 0; f < n; ++f) {
+          if (f == i) continue;
+          if (ShardChannel* ch = channels_[f * n + i].get()) {
+            ch->drain_ring_into(*shards_[i]);
+          }
+        }
+        break;
+      }
+
+      if (clock[i] < h) {
+        ++st.windows;
+        st.window_span_sum += h - clock[i];
+        lk.unlock();
+        shards_[i]->run_before(h);
+        lk.lock();
+        continue;
+      }
+
+      if (clock[i] <= until) {
+        ++st.horizon_stalls;
+        if (binding != i) ++st.stalls_by_producer[binding];
+      }
+      // Futex/spin hybrid wait: spin briefly on the epoch counter (cheap
+      // when a peer publishes within microseconds), then block on the
+      // condition variable (futex) so oversubscribed hosts stay polite.
+      const std::uint64_t seen = epoch.load(std::memory_order_acquire);
       const std::uint64_t t0 = mono_ns();
-      plan_bar.arrive_and_wait();
-      barrier_ns[i] += mono_ns() - t0;
-      if (plan.done) break;
-      shards_[i]->run_before(plan.horizon);
-      const std::uint64_t t1 = mono_ns();
-      post_bar.arrive_and_wait();
-      barrier_ns[i] += mono_ns() - t1;
+      lk.unlock();
+      constexpr int kSpinIters = 4096;
+      bool advanced = false;
+      for (int spin = 0; spin < kSpinIters; ++spin) {
+        if (epoch.load(std::memory_order_acquire) != seen) {
+          advanced = true;
+          break;
+        }
+      }
+      lk.lock();
+      if (!advanced) {
+        cv.wait(lk, [&] {
+          return epoch.load(std::memory_order_acquire) != seen || done;
+        });
+      }
+      st.wait_ns += mono_ns() - t0;
     }
   };
 
@@ -199,9 +445,15 @@ void ParallelEngine::run_threads(SimTime until) {
   for (std::size_t i = 1; i < n; ++i) threads.emplace_back(worker, i);
   worker(0);  // The calling thread drives shard 0.
   for (std::thread& t : threads) t.join();
+
+  // Workers drained their rings on exit, but spill backlogs (producer-side)
+  // can survive a full ring; everything is quiescent now, so a final
+  // single-threaded sweep parks any leftovers in their destination queues.
   for (std::size_t i = 0; i < n; ++i) {
-    last_run_.shards[i].barrier_wait_ns = barrier_ns[i];
+    SimContext::Scoped ctx(*contexts_[i]);
+    drain_incoming(i);
   }
+  last_run_.rounds = *std::max_element(plans.begin(), plans.end());
 }
 
 }  // namespace speedlight::sim

@@ -3,44 +3,70 @@
 // The topology is partitioned into shards (net/partition.hpp keeps a switch
 // and its ports together); each shard owns a full Simulator (event queue,
 // clock, RNG streams, flight recorder) plus a SimContext (packet pool). The
-// engine advances all shards in lockstep *windows* derived from link-latency
-// lookahead — the classic conservative-synchronization argument, in barrier
-// form rather than null-message form:
+// engine advances shards in *windows* derived from link-latency lookahead —
+// the classic conservative-synchronization argument, generalized from one
+// global window to an asymmetric per-shard-pair lookahead matrix:
 //
-//   Let M  = min over shards of their next pending event time, and
-//       L  = min latency over all cross-shard channels (L > 0; the
-//            partitioner co-shards zero-latency edges).
-//   Every cross-shard message posted by an event executing in this window
-//   runs at its source at some t >= M and arrives at t + latency >= M + L.
-//   Therefore every event with timestamp < H := min(M + L, until + 1) is
-//   already in its shard's queue and can run without further coordination.
+//   Let L[j][i] = min latency advertised by the channel j -> i (SimTime max
+//   when the channel does not exist), and D = the min-plus closure of L
+//   (all-pairs shortest path), so D[j][i] bounds the delay of *any* causal
+//   chain that starts at shard j and ends with a delivery into shard i —
+//   including multi-hop cascades through intermediate shards. With every
+//   shard j's earliest possible future activity bounded below by a clock
+//   m_j, every event with timestamp strictly before
 //
-// Each round: (1) every shard drains its incoming channels into its queue
-// and publishes its next event time, (2) a barrier completion step computes
-// M and H, (3) every shard runs its events strictly before H, posting
-// cross-shard deliveries into SPSC rings. Rings are only produced into
-// during (3) and only drained during (1), so the barrier between them is
-// the ring's only synchronization beyond its own indices. When a ring
-// fills, the producer spills to a local vector instead of blocking —
-// a producer that waited inside a round would deadlock the barrier.
+//       H_i := min(until + 1,
+//                  min over j != i of m_j + D[j][i],
+//                  m_i + C[i])
+//
+//   is already in shard i's queue and can run without further coordination.
+//   C[i] := min over j != i of D[i][j] + D[j][i] is the cheapest feedback
+//   cycle through i: shard i's own execution from m_i onward emits messages
+//   that can cascade back into i, and nothing i does at or after m_i can
+//   return before m_i + C[i] — without this term a shard facing only idle
+//   (or far-future) peers would run unboundedly ahead of its own echoes.
+//   The closure is what makes per-pair horizons sound: a cheap channel
+//   k -> j followed by a cheap channel j -> i can undercut an expensive
+//   direct channel k -> i, and D accounts for exactly that. Shards with
+//   slack (large m_j) let their neighbours run far ahead; only genuinely
+//   coupled shards synchronize tightly.
+//
+// Inline mode advances all shards in lockstep sweeps: drain every channel,
+// publish every m_i, compute every H_i from the same coherent snapshot, run
+// every shard to its own horizon. Rings are drained once per sweep (batched
+// windows), never per event, and are empty whenever horizons are computed,
+// so the published m's alone bound all future traffic.
+//
+// Threads mode runs one worker per shard with no per-round barrier at all.
+// A single engine mutex guards the shared clock vector m[], the per-channel
+// in-flight floors F[j][i] (a lower bound on messages posted into a ring
+// but not yet drained), and horizon computation; window execution happens
+// outside the lock. A worker that cannot run (its horizon has not passed
+// its next event) waits on a futex/spin hybrid: a bounded spin on an atomic
+// epoch counter — bumped whenever any worker publishes a new clock, folds a
+// floor, or drains a channel — followed by a condition-variable sleep, so a
+// "round" only ever involves the shards whose horizons actually moved.
+// Safety under asynchrony: while a worker executes a window its published
+// m is its window start, which lower-bounds every post it makes; when it
+// next takes the lock it atomically folds the window's per-channel minimum
+// post times into F and only then raises m, so min(m_j, F[j][*]) is a
+// coherent lower bound on shard j's undrained output at every instant the
+// lock is held. Consumers reset a channel's floor when they drain it.
 //
 // Determinism: execution order within a shard is (time, merge key, seq) —
 // the same canonical order the serial engine uses — and cross-shard
 // messages carry their channel's intrinsic key, so the same-timestamp merge
-// order at any destination is independent of how many shards exist or which
-// thread ran what. A sharded run is digest-identical to the serial run of
-// the same scenario (verified by speedlight_fuzz --digest --shards N; see
-// DESIGN.md section 12 for the full argument).
-//
-// Modes: Threads runs one worker per shard synchronized with std::barrier
-// (futex-backed waits, no spinning — this must behave on oversubscribed
-// hosts); Inline multiplexes every shard on the calling thread with the
-// identical round structure, for digest testing on single-core machines
-// and for debugging without thread interleaving.
+// order at any destination is independent of how many shards exist, which
+// thread ran what, or how events were batched into windows. A sharded run
+// is digest-identical to the serial run of the same scenario (verified by
+// speedlight_fuzz --digest --shards N; see DESIGN.md section 12 for the
+// full argument, including the asymmetric-lookahead safety proof).
 #pragma once
 
+#include <atomic>
 #include <cassert>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -62,28 +88,71 @@ struct ShardMessage {
 
 /// One direction of cross-shard traffic between a fixed (producer shard,
 /// consumer shard) pair. All links and RPC paths from shard A to shard B
-/// share the channel; each message still carries its own merge key.
+/// share the channel; each message still carries its own merge key. The
+/// channel also advertises the minimum latency of the edges it multiplexes
+/// (trunk propagation, RPC floors) — the engine's lookahead matrix entry.
 class ShardChannel {
  public:
   explicit ShardChannel(std::size_t capacity) : ring_(capacity) {}
 
   /// Producer side; never blocks. Ring overflow goes to a producer-local
-  /// spill vector that the consumer collects at the next round barrier.
+  /// spill vector (FIFO order preserved: once spilled, later posts spill
+  /// too until the producer flushes the backlog into the ring).
   void post(SimTime time, MergeKey key, InplaceCallback fn);
 
-  /// Consumer side: move every pending message (ring, then spill, i.e. in
-  /// FIFO post order) into `sim`'s queue. Only called between rounds, when
-  /// the producer is quiescent. Returns the number of messages drained.
+  /// Consumer side: move every ring message into `sim`'s queue, in FIFO
+  /// post order. Safe to call concurrently with the producer (SPSC).
+  /// Returns the number of messages drained.
+  std::size_t drain_ring_into(Simulator& sim);
+
+  /// Quiescent full drain: ring, then spill. Only valid when the producer
+  /// is not concurrently posting (inline mode, engine setup, tests).
   std::size_t drain_into(Simulator& sim);
+
+  /// Producer side: move as much of the spill backlog into the ring as
+  /// fits. Called with the engine lock held in Threads mode so the fold of
+  /// `spill_floor()` into the locked floor matrix is atomic with the move.
+  /// Returns the number of messages moved — a nonzero return means the
+  /// consumer has new ring traffic and must be woken (the move itself
+  /// changes no clock or floor, so the caller would otherwise stay silent
+  /// and the consumer could stall forever below the folded floor).
+  std::size_t flush_spill();
+
+  /// Producer side: minimum timestamp posted since the last call, then
+  /// reset. The engine folds this into the channel's in-flight floor when
+  /// the producer publishes a new clock.
+  [[nodiscard]] SimTime take_window_floor();
+
+  /// Lower bound on timestamps still sitting in the spill backlog (SimTime
+  /// max when the spill is empty). Producer-maintained; readers take the
+  /// engine lock, the producer publishes with its next lock acquisition —
+  /// stale reads are covered by the producer's published clock.
+  [[nodiscard]] SimTime spill_floor() const {
+    return spill_floor_.load(std::memory_order_relaxed);
+  }
+
+  /// Advertise a minimum latency for an edge multiplexed onto this channel;
+  /// the channel's lookahead is the minimum over all advertisements.
+  /// Latency must be positive — zero-latency edges must be co-sharded.
+  void note_latency(Duration latency) {
+    assert(latency > 0 && "zero-latency edges must not cross shards");
+    if (latency < latency_) latency_ = latency;
+  }
+  /// Min advertised latency (SimTime max when never advertised).
+  [[nodiscard]] Duration latency() const { return latency_; }
 
   [[nodiscard]] std::uint64_t posted() const { return posted_; }
   [[nodiscard]] std::uint64_t spilled() const { return spilled_; }
 
  private:
   SpscRing<ShardMessage> ring_;
-  // Producer-written during run phases, consumer-drained between rounds;
-  // the round barrier separates the two extents, so no lock is needed.
+  // Producer-owned backlog (ring overflow). `spill_pos_` is the index of
+  // the first unflushed entry; the vector is compacted when fully flushed.
   std::vector<ShardMessage> spill_;
+  std::size_t spill_pos_ = 0;
+  Duration latency_ = std::numeric_limits<SimTime>::max();
+  SimTime window_floor_ = std::numeric_limits<SimTime>::max();
+  std::atomic<SimTime> spill_floor_{std::numeric_limits<SimTime>::max()};
   std::uint64_t posted_ = 0;   ///< Producer-owned counter.
   std::uint64_t spilled_ = 0;  ///< Producer-owned counter.
 };
@@ -133,21 +202,61 @@ class Endpoint {
   MergeKey key_ = 0;
 };
 
-/// Per-shard engine accounting. `executed` and `barrier_wait_ns` cover the
-/// most recent run_until() call; `posted`/`spilled` are engine-lifetime
-/// channel totals (runs are almost always one-shot).
+/// Per-shard engine accounting. `executed`, `windows`, `window_span_sum`,
+/// `horizon_stalls`, and `wait_ns` cover the most recent run_until() call;
+/// `posted`/`spilled` are engine-lifetime channel totals (runs are almost
+/// always one-shot).
 struct ShardRunStats {
-  std::uint64_t executed = 0;        ///< Events run on this shard.
-  std::uint64_t posted = 0;          ///< Cross-shard messages sent.
-  std::uint64_t spilled = 0;         ///< ... of which overflowed the ring.
-  std::uint64_t barrier_wait_ns = 0; ///< Wall time blocked on round barriers
-                                     ///< (Threads mode only; 0 inline).
+  std::uint64_t executed = 0;  ///< Events run on this shard.
+  std::uint64_t posted = 0;    ///< Cross-shard messages sent.
+  std::uint64_t spilled = 0;   ///< ... of which overflowed the ring.
+  /// Execution windows this shard actually ran (had an event before its
+  /// horizon) and the total simulated width `horizon - first_event` of
+  /// those windows — avg_window_span = window_span_sum / windows.
+  std::uint64_t windows = 0;
+  std::uint64_t window_span_sum = 0;
+  /// Times this shard had a pending event within the run but its pairwise
+  /// horizon forbade running it (another shard's clock was binding).
+  std::uint64_t horizon_stalls = 0;
+  /// horizon_stalls attributed to the producer shard whose clock/floor was
+  /// the binding constraint (size = shard count; self-index unused).
+  std::vector<std::uint64_t> stalls_by_producer;
+  /// Wall time blocked waiting for peer horizon advances (Threads mode
+  /// futex/spin waits; 0 inline).
+  std::uint64_t wait_ns = 0;
 };
 
 struct EngineRunStats {
+  /// Synchronization rounds: lockstep sweeps in Inline mode; the maximum
+  /// per-worker plan count (lock-acquire/replan iterations) in Threads
+  /// mode. Inline counts are fully deterministic for a given scenario.
   std::uint64_t rounds = 0;
   std::uint64_t executed = 0;  ///< Total events across shards.
   std::vector<ShardRunStats> shards;
+
+  /// Sync granularity: rounds per 1000 executed events (0 when idle).
+  [[nodiscard]] double rounds_per_1k_events() const {
+    return executed == 0 ? 0.0
+                         : 1000.0 * static_cast<double>(rounds) /
+                               static_cast<double>(executed);
+  }
+  /// Mean simulated width of an execution window, over all shards.
+  [[nodiscard]] double avg_window_span() const {
+    std::uint64_t w = 0;
+    std::uint64_t span = 0;
+    for (const ShardRunStats& s : shards) {
+      w += s.windows;
+      span += s.window_span_sum;
+    }
+    return w == 0 ? 0.0
+                  : static_cast<double>(span) / static_cast<double>(w);
+  }
+  /// Total horizon stalls across shards.
+  [[nodiscard]] std::uint64_t horizon_stalls() const {
+    std::uint64_t n = 0;
+    for (const ShardRunStats& s : shards) n += s.horizon_stalls;
+    return n;
+  }
 };
 
 class ParallelEngine {
@@ -174,15 +283,28 @@ class ParallelEngine {
   /// created on first use. Topology construction only (single-threaded).
   ShardChannel& channel(std::size_t from, std::size_t to);
 
-  /// Register a cross-shard edge latency; the engine's lookahead is the
-  /// minimum over all registered latencies. Latency must be positive —
-  /// zero-latency edges must be co-sharded by the partitioner.
-  void note_cross_latency(Duration latency) {
-    assert(latency > 0 && "zero-latency edges must not cross shards");
-    if (latency < lookahead_) lookahead_ = latency;
+  /// Advertise the min latency of one cross-shard edge on its own channel
+  /// (creating the channel if needed) — one entry of the asymmetric
+  /// lookahead matrix. The builder registers every cross-shard trunk and
+  /// RPC path here; the matrix closure is recomputed lazily at run_until.
+  void note_channel_latency(std::size_t from, std::size_t to,
+                            Duration latency) {
+    channel(from, to).note_latency(latency);
+    closure_dirty_ = true;
   }
 
-  [[nodiscard]] Duration lookahead() const { return lookahead_; }
+  /// Back-compat global floor: applies to *every* channel, existing and
+  /// future, as if advertised on each. Latency must be positive.
+  void note_cross_latency(Duration latency) {
+    assert(latency > 0 && "zero-latency edges must not cross shards");
+    if (latency < global_floor_) global_floor_ = latency;
+    closure_dirty_ = true;
+  }
+
+  /// The tightest single-hop lookahead over all channels (the global floor
+  /// when no per-channel latency beats it). Sizing hint only — horizons use
+  /// the full pairwise closure, not this scalar.
+  [[nodiscard]] Duration lookahead() const;
 
   /// The context to install while executing shard `i` (the engine does this
   /// itself during run_until; exposed for harnesses that pre-populate
@@ -200,20 +322,30 @@ class ParallelEngine {
  private:
   void run_inline(SimTime until);
   void run_threads(SimTime until);
-  /// Drain every channel inbound to shard `i`, in producer-index order.
+  /// Quiescent full drain of every channel inbound to shard `i`, in
+  /// producer-index order (single-threaded contexts only).
   void drain_incoming(std::size_t i);
-  void finish_run(SimTime until,
-                  const std::vector<std::uint64_t>& executed_before,
-                  const std::vector<std::uint64_t>& barrier_ns);
+  /// Recompute the min-plus closure of the channel latency matrix.
+  void refresh_closure();
+  /// D[from * n + to] after refresh_closure().
+  [[nodiscard]] SimTime closure(std::size_t from, std::size_t to) const {
+    return closure_[from * shards_.size() + to];
+  }
 
   std::vector<Simulator*> shards_;
   Mode mode_;
   std::size_t channel_capacity_;
-  Duration lookahead_;
+  Duration global_floor_;
   /// Dense [from * n + to] channel matrix; entries created on demand.
   std::vector<std::unique_ptr<ShardChannel>> channels_;
   /// Per-destination drain lists (channel pointers in producer order).
   std::vector<std::vector<ShardChannel*>> incoming_;
+  /// Min-plus closure of per-channel latencies (SimTime max = unreachable).
+  std::vector<SimTime> closure_;
+  /// C[i]: cheapest feedback cycle through shard i (min over j != i of
+  /// D[i][j] + D[j][i]); SimTime max when nothing i emits can return.
+  std::vector<SimTime> cycle_;
+  bool closure_dirty_ = true;
   std::vector<std::unique_ptr<SimContext>> contexts_;
   EngineRunStats last_run_;
 };

@@ -131,6 +131,75 @@ TEST_P(ParallelEngineModes, IdleShardsAdvanceToUntil) {
   EXPECT_EQ(b.now(), 123);
 }
 
+TEST_P(ParallelEngineModes, AsymmetricChannelLatenciesDeliverInOrder) {
+  // Fast channel 0->1 (10 ticks), slow channel 1->0 (1000 ticks): shard 1
+  // must follow shard 0 closely, while shard 0 may run far ahead of 1.
+  sim::Simulator a(1);
+  sim::Simulator b(1);
+  sim::ParallelEngine eng({&a, &b}, GetParam(), /*channel_capacity=*/8);
+  eng.note_channel_latency(0, 1, 10);
+  eng.note_channel_latency(1, 0, 1000);
+  EXPECT_EQ(eng.lookahead(), 10);  // Global floor = tightest channel.
+
+  // Shard 0 posts into the fast channel every 50 ticks; shard 1 records
+  // the times at which the deliveries execute.
+  sim::ShardChannel& ab = eng.channel(0, 1);
+  std::vector<sim::SimTime> deliveries;
+  struct Sender {
+    sim::Simulator* self;
+    sim::ShardChannel* out;
+    std::vector<sim::SimTime>* log;
+    sim::Simulator* peer;
+    void fire(int remaining) {
+      auto* lg = log;
+      auto* p = peer;
+      out->post(self->now() + 10, 1, [lg, p]() { lg->push_back(p->now()); });
+      if (remaining == 0) return;
+      self->at(self->now() + 50, [this, remaining]() { fire(remaining - 1); });
+    }
+  };
+  Sender s{&a, &ab, &deliveries, &b};
+  a.at(0, [&s]() { s.fire(9); });
+
+  eng.run_until(2000);
+  ASSERT_EQ(deliveries.size(), 10u);
+  for (std::size_t i = 0; i < deliveries.size(); ++i) {
+    EXPECT_EQ(deliveries[i], static_cast<sim::SimTime>(50 * i + 10));
+  }
+  EXPECT_EQ(a.now(), 2000);
+  EXPECT_EQ(b.now(), 2000);
+}
+
+// The batched-window property: with wide lookahead, one sync round covers
+// many events. Inline rounds are deterministic, so the bound is exact-ish.
+TEST(ParallelEngine, WideLookaheadBatchesManyEventsPerRound) {
+  sim::Simulator a(1);
+  sim::Simulator b(1);
+  sim::ParallelEngine eng({&a, &b}, sim::ParallelEngine::Mode::Inline);
+  eng.note_cross_latency(1000);
+
+  std::uint64_t count = 0;
+  struct Ticker {
+    sim::Simulator* self;
+    std::uint64_t* count;
+    void tick() {
+      ++*count;
+      if (self->now() < 10'000) self->at(self->now() + 10, [this]() { tick(); });
+    }
+  };
+  Ticker ta{&a, &count};
+  Ticker tb{&b, &count};
+  a.at(0, [&ta]() { ta.tick(); });
+  b.at(5, [&tb]() { tb.tick(); });
+
+  eng.run_until(10'000);
+  EXPECT_GE(count, 2000u);
+  // ~10 windows of width ~1000 cover the run; allow generous slack, but
+  // far below one round per event (the global-window regime).
+  EXPECT_LE(eng.last_run().rounds, 40u);
+  EXPECT_GE(eng.last_run().avg_window_span(), 250.0);
+}
+
 INSTANTIATE_TEST_SUITE_P(Modes, ParallelEngineModes,
                          ::testing::Values(sim::ParallelEngine::Mode::Inline,
                                            sim::ParallelEngine::Mode::Threads),
@@ -163,6 +232,58 @@ TEST(ParallelNetwork, CampaignBitIdenticalAcrossShardCountsAndModes) {
     opt.shards = cfg.shards;
     opt.exec_mode = cfg.mode;
     core::Network net(net::make_ring(4), opt);
+    EXPECT_EQ(net.num_shards(), cfg.shards);
+    const auto campaign = core::run_snapshot_campaign(net, 3, sim::msec(2));
+    std::uint64_t total = 0;
+    std::size_t done = 0;
+    for (const auto* snap : campaign.results(net)) {
+      ++done;
+      total += snap->total_value(false);
+      for (const auto& [unit, r] : snap->reports) {
+        total ^= (r.local_value * 0x9E3779B97F4A7C15ULL) ^ unit.port;
+      }
+    }
+    totals.push_back(total);
+    completed.push_back(done);
+  }
+  for (std::size_t i = 1; i < totals.size(); ++i) {
+    EXPECT_EQ(totals[i], totals[0]) << "config " << i;
+    EXPECT_EQ(completed[i], completed[0]) << "config " << i;
+  }
+  EXPECT_GT(completed[0], 0u);
+}
+
+// Deliberately skewed link latencies: one WAN-slow trunk and one merely
+// sluggish one among fast 500ns trunks, so the lookahead matrix rows are
+// genuinely asymmetric at every shard count. The campaign must still be
+// bit-identical across {1,2,4,8} shards in both execution modes.
+TEST(ParallelNetwork, SkewedTrunkLatenciesCampaignBitIdentical) {
+  net::TopologySpec spec = net::make_ring(8);
+  ASSERT_GE(spec.trunks.size(), 8u);
+  spec.trunks[3].propagation = sim::usec(50);  // Cut at every shard count.
+  spec.trunks[7].propagation = sim::usec(5);
+
+  struct Config {
+    std::size_t shards;
+    core::NetworkOptions::ExecMode mode;
+  };
+  const Config configs[] = {
+      {1, core::NetworkOptions::ExecMode::Auto},
+      {2, core::NetworkOptions::ExecMode::Inline},
+      {2, core::NetworkOptions::ExecMode::Threads},
+      {4, core::NetworkOptions::ExecMode::Inline},
+      {4, core::NetworkOptions::ExecMode::Threads},
+      {8, core::NetworkOptions::ExecMode::Inline},
+      {8, core::NetworkOptions::ExecMode::Threads},
+  };
+  std::vector<std::uint64_t> totals;
+  std::vector<std::size_t> completed;
+  for (const Config& cfg : configs) {
+    core::NetworkOptions opt;
+    opt.seed = 501;
+    opt.shards = cfg.shards;
+    opt.exec_mode = cfg.mode;
+    core::Network net(spec, opt);
     EXPECT_EQ(net.num_shards(), cfg.shards);
     const auto campaign = core::run_snapshot_campaign(net, 3, sim::msec(2));
     std::uint64_t total = 0;

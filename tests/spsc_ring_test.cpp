@@ -74,6 +74,74 @@ TEST(SpscRing, MoveOnlyPayload) {
   EXPECT_EQ(*out, 7);
 }
 
+TEST(SpscRing, BatchedDrainConsumesSnapshotInFifoOrder) {
+  SpscRing<int> ring(4);
+  std::vector<int> got;
+  const auto sink = [&got](int&& v) { got.push_back(v); };
+
+  EXPECT_EQ(ring.drain(sink), 0u);  // Empty drain is a no-op.
+
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(ring.try_push(i + 0));
+  EXPECT_EQ(ring.drain(sink), 3u);
+  EXPECT_TRUE(ring.empty());
+
+  // Repeated bursts wrap the indices; each drain takes the whole window.
+  for (int round = 0; round < 100; ++round) {
+    const int base = 3 + round * 4;
+    for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.try_push(base + i));
+    EXPECT_EQ(ring.drain(sink), 4u);
+  }
+  ASSERT_EQ(got.size(), 403u);
+  for (int i = 0; i < 403; ++i) EXPECT_EQ(got[i], i);
+}
+
+TEST(SpscRing, BatchedDrainFreesSlotsForTheProducer) {
+  SpscRing<int> ring(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.try_push(i + 0));
+  EXPECT_FALSE(ring.try_push(99));
+  int sum = 0;
+  EXPECT_EQ(ring.drain([&sum](int&& v) { sum += v; }), 4u);
+  EXPECT_EQ(sum, 6);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.try_push(i + 0));
+}
+
+TEST(SpscRing, TwoThreadStressWithBatchedDrainPreservesOrder) {
+  constexpr std::uint64_t kCount = 200'000;
+  SpscRing<std::uint64_t> ring(64);
+  std::uint64_t received = 0;
+  std::uint64_t order_errors = 0;
+  std::uint64_t batches = 0;
+
+  std::thread consumer([&] {
+    std::uint64_t expect = 0;
+    while (expect < kCount) {
+      const std::size_t n = ring.drain([&](std::uint64_t&& v) {
+        if (v != expect) ++order_errors;
+        ++expect;
+        ++received;
+      });
+      if (n == 0) {
+        std::this_thread::yield();
+      } else {
+        ++batches;
+      }
+    }
+  });
+
+  for (std::uint64_t i = 0; i < kCount;) {
+    if (ring.try_push(i + 0)) {
+      ++i;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  consumer.join();
+
+  EXPECT_EQ(received, kCount);
+  EXPECT_EQ(order_errors, 0u);
+  EXPECT_LE(batches, kCount);  // Batching: never more drains than items.
+}
+
 TEST(SpscRing, TwoThreadStressPreservesOrder) {
   constexpr std::uint64_t kCount = 200'000;
   SpscRing<std::uint64_t> ring(64);
