@@ -24,6 +24,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -36,11 +37,19 @@ namespace speedlight::bench {
 inline int g_checks_failed = 0;
 inline int g_checks_passed = 0;
 inline bool g_smoke = false;
+/// Non-empty: write the JSON report here even under --smoke (the
+/// benchdiff CI job diffs freshly-built smoke JSONs against committed
+/// smoke baselines, so smoke runs must be able to emit comparable files).
+inline std::string g_json_out;
 
-/// Parse the shared bench flags (currently --smoke). Call first in main().
+/// Parse the shared bench flags (--smoke, --json-out PATH). Call first in
+/// main().
 inline void parse_args(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) g_smoke = true;
+    if (std::strcmp(argv[i], "--json-out") == 0 && i + 1 < argc) {
+      g_json_out = argv[++i];
+    }
   }
 }
 
@@ -102,6 +111,11 @@ class JsonReport {
     registry_ = os.str();
   }
 
+  /// Attach a pre-rendered JSON object as the report's "profile" member
+  /// (the engine profiler's blame matrix / critical-path summary, see
+  /// obs/prof.hpp). Omitted from the file when never called.
+  void embed_profile(std::string json) { profile_ = std::move(json); }
+
   [[nodiscard]] double elapsed_seconds() const {
     return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                          start_)
@@ -110,14 +124,17 @@ class JsonReport {
 
   [[nodiscard]] const std::string& name() const { return name_; }
 
-  /// Write BENCH_<name>.json into the working directory. Smoke runs skip
-  /// the write so reduced-iteration numbers never clobber committed results.
+  /// Write BENCH_<name>.json into the working directory (or the --json-out
+  /// path). Smoke runs skip the write — reduced-iteration numbers must
+  /// never clobber committed results — unless --json-out explicitly asks
+  /// for a file somewhere else.
   void write() const {
-    if (g_smoke) {
+    if (g_smoke && g_json_out.empty()) {
       std::cout << "Smoke mode: skipping BENCH_" << name_ << ".json\n";
       return;
     }
-    const std::string path = "BENCH_" + name_ + ".json";
+    const std::string path =
+        g_json_out.empty() ? "BENCH_" + name_ + ".json" : g_json_out;
     std::ofstream out(path);
     out.precision(12);
     out << "{\n"
@@ -131,8 +148,9 @@ class JsonReport {
       out << (i == 0 ? "\n" : ",\n") << "    \"" << escaped(fields_[i].first)
           << "\": " << fields_[i].second;
     }
-    out << (fields_.empty() ? "},\n" : "\n  },\n")
-        << "  \"registry\": " << (registry_.empty() ? "{}" : registry_) << "\n"
+    out << (fields_.empty() ? "},\n" : "\n  },\n");
+    if (!profile_.empty()) out << "  \"profile\": " << profile_ << ",\n";
+    out << "  \"registry\": " << (registry_.empty() ? "{}" : registry_) << "\n"
         << "}\n";
     std::cout << "Wrote " << path << "\n";
   }
@@ -152,18 +170,31 @@ class JsonReport {
   std::chrono::steady_clock::time_point start_;
   std::vector<std::pair<std::string, std::string>> fields_;
   std::string registry_;  ///< Pre-rendered registry JSON, "" when not embedded.
+  std::string profile_;   ///< Pre-rendered profile JSON, "" when not embedded.
 };
 
 /// Merge point-in-time samples from several registries — one per engine
 /// shard — into a single dump, so a sharded run's artifact carries every
-/// switch and transport, not just the control shard's. Clashing names (the
-/// per-shard sim.* counters) pick up the registry's own "#N" suffix.
+/// switch and transport, not just the control shard's. Names exported by
+/// more than one registry (the per-shard sim.* counters) are namespaced
+/// with a "shard<i>." prefix, so every per-shard series stays addressable
+/// by a stable key instead of the registry's opaque "#N" clash suffix.
 inline void embed_registries(
     JsonReport& report, const std::vector<const obs::MetricsRegistry*>& regs) {
-  obs::MetricsRegistry merged;
+  std::vector<std::vector<obs::MetricsRegistry::Sample>> collected;
+  collected.reserve(regs.size());
+  std::map<std::string, int> owners;  // registries exporting each name
   for (const obs::MetricsRegistry* reg : regs) {
-    for (const auto& s : reg->collect()) {
-      merged.register_reader(s.name, s.kind, [v = s.value]() { return v; });
+    collected.push_back(reg->collect());
+    for (const auto& s : collected.back()) ++owners[s.name];
+  }
+  obs::MetricsRegistry merged;
+  for (std::size_t i = 0; i < collected.size(); ++i) {
+    for (const auto& s : collected[i]) {
+      const std::string name = owners[s.name] > 1
+                                   ? "shard" + std::to_string(i) + "." + s.name
+                                   : s.name;
+      merged.register_reader(name, s.kind, [v = s.value]() { return v; });
     }
   }
   report.embed_registry(merged);

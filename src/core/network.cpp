@@ -301,6 +301,14 @@ void Network::enable_tracing(std::size_t capacity) {
   }
 }
 
+void Network::enable_engine_profiling(std::size_t capacity_per_shard) {
+  if (engine_ != nullptr) engine_->enable_profiling(capacity_per_shard);
+}
+
+const obs::EngineProfiler* Network::engine_profiler() const {
+  return engine_ == nullptr ? nullptr : engine_->profiler();
+}
+
 bool Network::export_chrome_trace(const std::string& path) const {
   std::vector<const obs::Tracer*> tracers;
   tracers.reserve(sims_.size());

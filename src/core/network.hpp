@@ -218,6 +218,17 @@ class Network {
   /// Perfetto / chrome://tracing). Returns false on I/O failure.
   bool export_chrome_trace(const std::string& path) const;
 
+  /// Start the engine's per-shard round profiler (obs/prof.hpp): one
+  /// RoundRecord per planned window or stall, per shard. No-op when
+  /// running serially (1 shard) or when the trace layer is compiled out.
+  /// Call before run_until; read engine_profiler() after it returns.
+  void enable_engine_profiling(std::size_t capacity_per_shard = 0);
+
+  /// The engine's round profiler, or nullptr (serial run, profiling never
+  /// enabled, or trace layer compiled out). Feed obs::analyze() for the
+  /// blame matrix or obs::export_profile_chrome_trace() for the timeline.
+  [[nodiscard]] const obs::EngineProfiler* engine_profiler() const;
+
   /// Reconstruct the causal timeline of snapshot `id` from the trace ring.
   /// Requires enable_tracing() before the snapshot ran.
   [[nodiscard]] obs::SnapshotTimeline snapshot_timeline(std::uint64_t id) const;

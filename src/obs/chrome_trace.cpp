@@ -1,5 +1,6 @@
 #include "obs/chrome_trace.hpp"
 
+#include <algorithm>
 #include <cstdint>
 #include <fstream>
 #include <ostream>
@@ -67,22 +68,46 @@ void write_chrome_trace(std::ostream& os,
     }
   }
 
-  for (const Tracer* tracer : tracers) {
-    tracer->for_each([&](const TraceEvent& e) {
-      sep() << "{\"name\": \"" << event_name(e.name) << "\", \"cat\": \""
-            << category_name(e.cat) << "\", \"ph\": \""
-            << (e.dur > 0 ? 'X' : 'i') << "\", \"ts\": ";
-      write_us(os, e.ts);
-      if (e.dur > 0) {
-        os << ", \"dur\": ";
-        write_us(os, e.dur);
-      } else {
-        os << ", \"s\": \"t\"";  // Instant scope: thread.
-      }
-      os << ", \"pid\": " << track_pid(e.track)
-         << ", \"tid\": " << track_tid(e.track) << ", \"args\": {\"a0\": "
-         << e.a0 << ", \"a1\": " << e.a1 << "}}";
-    });
+  // Merge the rings deterministically: sort by (ts, tracer index, ring
+  // position). Per-ring order is already chronological, so the tracer index
+  // and position are a total tie-break — a threaded run with per-shard
+  // rings exports the same byte stream no matter how its workers were
+  // scheduled.
+  struct Ref {
+    const TraceEvent* e;
+    std::size_t tracer;
+    std::size_t seq;
+  };
+  std::vector<Ref> refs;
+  std::size_t total = 0;
+  for (const Tracer* t : tracers) total += t->size();
+  refs.reserve(total);
+  for (std::size_t ti = 0; ti < tracers.size(); ++ti) {
+    std::size_t seq = 0;
+    tracers[ti]->for_each(
+        [&](const TraceEvent& e) { refs.push_back({&e, ti, seq++}); });
+  }
+  std::stable_sort(refs.begin(), refs.end(), [](const Ref& a, const Ref& b) {
+    if (a.e->ts != b.e->ts) return a.e->ts < b.e->ts;
+    if (a.tracer != b.tracer) return a.tracer < b.tracer;
+    return a.seq < b.seq;
+  });
+
+  for (const Ref& ref : refs) {
+    const TraceEvent& e = *ref.e;
+    sep() << "{\"name\": \"" << event_name(e.name) << "\", \"cat\": \""
+          << category_name(e.cat) << "\", \"ph\": \""
+          << (e.dur > 0 ? 'X' : 'i') << "\", \"ts\": ";
+    write_us(os, e.ts);
+    if (e.dur > 0) {
+      os << ", \"dur\": ";
+      write_us(os, e.dur);
+    } else {
+      os << ", \"s\": \"t\"";  // Instant scope: thread.
+    }
+    os << ", \"pid\": " << track_pid(e.track)
+       << ", \"tid\": " << track_tid(e.track) << ", \"args\": {\"a0\": "
+       << e.a0 << ", \"a1\": " << e.a1 << "}}";
   }
 
   os << (first ? "]\n" : "\n  ]\n") << "}\n";

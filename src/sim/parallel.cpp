@@ -7,6 +7,8 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/prof.hpp"
+
 namespace speedlight::sim {
 
 namespace {
@@ -113,6 +115,17 @@ ParallelEngine::ParallelEngine(std::vector<Simulator*> shards, Mode mode,
   }
 }
 
+ParallelEngine::~ParallelEngine() = default;
+
+void ParallelEngine::enable_profiling(std::size_t capacity_per_shard) {
+#ifdef SPEEDLIGHT_TRACE_DISABLED
+  (void)capacity_per_shard;
+#else
+  if (prof_ == nullptr) prof_ = std::make_unique<obs::EngineProfiler>();
+  prof_->enable(shards_.size(), capacity_per_shard);
+#endif
+}
+
 ShardChannel& ParallelEngine::channel(std::size_t from, std::size_t to) {
   assert(from < shards_.size() && to < shards_.size() && from != to);
   std::unique_ptr<ShardChannel>& slot = channels_[from * shards_.size() + to];
@@ -175,12 +188,14 @@ void ParallelEngine::refresh_closure() {
   closure_dirty_ = false;
 }
 
-void ParallelEngine::drain_incoming(std::size_t i) {
+std::size_t ParallelEngine::drain_incoming(std::size_t i) {
   // Producer-index order: deterministic regardless of channel creation
   // order (merge keys make cross-channel drain order immaterial anyway).
+  std::size_t drained = 0;
   for (ShardChannel* ch : incoming_[i]) {
-    if (ch != nullptr) ch->drain_into(*shards_[i]);
+    if (ch != nullptr) drained += ch->drain_into(*shards_[i]);
   }
+  return drained;
 }
 
 std::size_t ParallelEngine::run_until(SimTime until) {
@@ -228,14 +243,28 @@ void ParallelEngine::run_inline(SimTime until) {
   const std::size_t n = shards_.size();
   std::vector<SimTime> m(n, kNever);
   std::vector<SimTime> horizon(n, kNever);
+#ifndef SPEEDLIGHT_TRACE_DISABLED
+  const bool profile = prof_ != nullptr && prof_->enabled();
+  // Per-shard carry between the sweep's phases (drain -> plan -> run);
+  // stall records are emitted at plan time, window records right after
+  // their window runs (once the executed count exists) — records are
+  // built in registers and stored once, never staged.
+  std::vector<std::uint64_t> prof_drained(profile ? n : 0);
+  std::vector<std::uint32_t> prof_binding(profile ? n : 0);
+  std::vector<obs::Binding> prof_kind(profile ? n : 0);
+#endif
   for (;;) {
     // Lockstep sweep: full drain (rings are empty afterwards, so the m's
     // alone bound all future traffic), publish, plan, run. Deliveries are
     // batched per window — one drain per sweep, never one per event.
     for (std::size_t i = 0; i < n; ++i) {
       SimContext::Scoped ctx(*contexts_[i]);
-      drain_incoming(i);
+      const std::size_t drained = drain_incoming(i);
       m[i] = shards_[i]->next_event_time();
+      (void)drained;
+#ifndef SPEEDLIGHT_TRACE_DISABLED
+      if (profile) prof_drained[i] = drained;
+#endif
     }
     const SimTime global_min = *std::min_element(m.begin(), m.end());
     if (global_min > until) break;
@@ -260,12 +289,66 @@ void ParallelEngine::run_inline(SimTime until) {
         ++st.horizon_stalls;
         if (binding != i) ++st.stalls_by_producer[binding];
       }
+#ifndef SPEEDLIGHT_TRACE_DISABLED
+      if (profile) {
+        const obs::Binding kind =
+            binding != i                ? obs::Binding::Peer
+            : h == sat_add(until, 1)    ? obs::Binding::Until
+                                        : obs::Binding::SelfCycle;
+        if (m[i] < h) {
+          // Window: the executed count only exists after run_before, so
+          // stash the binding and record in the execution loop below.
+          prof_binding[i] = static_cast<std::uint32_t>(binding);
+          prof_kind[i] = kind;
+        } else if (m[i] <= until) {
+          // Stall: complete now. Idle shards (no pending event within the
+          // run) record nothing, matching horizon_stalls above.
+          obs::RoundRecord r{};
+          r.m = m[i];
+          r.horizon = h;
+          r.round = last_run_.rounds;
+          r.drained = prof_drained[i];
+          r.shard = static_cast<std::uint32_t>(i);
+          r.binding_shard = static_cast<std::uint32_t>(binding);
+          r.binding = kind;
+          r.ran = false;
+          prof_->shard(i).record_round(r);
+        }
+      }
+#endif
     }
+#ifndef SPEEDLIGHT_TRACE_DISABLED
+    std::uint64_t max_executed = 0;
+#endif
     for (std::size_t i = 0; i < n; ++i) {
       if (m[i] >= horizon[i]) continue;
       SimContext::Scoped ctx(*contexts_[i]);
+#ifndef SPEEDLIGHT_TRACE_DISABLED
+      if (profile) {
+        const std::uint64_t before = shards_[i]->stats().executed;
+        shards_[i]->run_before(horizon[i]);
+        obs::RoundRecord r{};
+        r.m = m[i];
+        r.horizon = horizon[i];
+        r.round = last_run_.rounds;
+        r.executed = shards_[i]->stats().executed - before;
+        r.drained = prof_drained[i];
+        r.shard = static_cast<std::uint32_t>(i);
+        r.binding_shard = prof_binding[i];
+        r.binding = prof_kind[i];
+        r.ran = true;
+        max_executed = std::max(max_executed, r.executed);
+        prof_->shard(i).record_round(r);
+        continue;
+      }
+#endif
       shards_[i]->run_before(horizon[i]);
     }
+#ifndef SPEEDLIGHT_TRACE_DISABLED
+    // Aligned critical-path accumulator: the sweep's cost is its busiest
+    // shard's work (all others overlap it in a perfectly parallel run).
+    if (profile) prof_->note_inline_round(max_executed);
+#endif
     ++last_run_.rounds;
   }
 }
@@ -302,6 +385,15 @@ void ParallelEngine::run_threads(SimTime until) {
   auto worker = [&](std::size_t i) {
     SimContext::Scoped ctx(*contexts_[i]);
     ShardRunStats& st = last_run_.shards[i];
+#ifndef SPEEDLIGHT_TRACE_DISABLED
+    // Each worker feeds only its own shard's sub-profiler, so recording
+    // needs no lock beyond what the plan already holds. `pending_wait_ns`
+    // carries the wall time of the wait that preceded the current plan.
+    obs::ShardProfiler* prof =
+        prof_ != nullptr && prof_->enabled() ? &prof_->shard(i) : nullptr;
+    std::uint64_t pending_wait_ns = 0;
+    std::uint64_t drained_since_plan = 0;
+#endif
     std::unique_lock<std::mutex> lk(mu);
     for (;;) {
       bool changed = false;
@@ -336,7 +428,11 @@ void ParallelEngine::run_threads(SimTime until) {
       for (std::size_t f = 0; f < n; ++f) {
         if (f == i) continue;
         if (ShardChannel* ch = channels_[f * n + i].get()) {
-          if (ch->drain_ring_into(*shards_[i]) > 0) changed = true;
+          const std::size_t got = ch->drain_ring_into(*shards_[i]);
+          if (got > 0) changed = true;
+#ifndef SPEEDLIGHT_TRACE_DISABLED
+          if (prof != nullptr) drained_since_plan += got;
+#endif
           const SimTime residual = ch->spill_floor();
           if (floor[f * n + i] != residual) {
             floor[f * n + i] = residual;
@@ -403,10 +499,39 @@ void ParallelEngine::run_threads(SimTime until) {
         break;
       }
 
+#ifndef SPEEDLIGHT_TRACE_DISABLED
+      obs::RoundRecord rec;
+      if (prof != nullptr) {
+        rec.m = clock[i];
+        rec.horizon = h;
+        rec.round = plans[i];
+        rec.drained = drained_since_plan;
+        rec.wait_ns = pending_wait_ns;
+        rec.shard = static_cast<std::uint32_t>(i);
+        rec.binding_shard = static_cast<std::uint32_t>(binding);
+        rec.binding = binding != i                ? obs::Binding::Peer
+                      : h == sat_add(until, 1)    ? obs::Binding::Until
+                                                  : obs::Binding::SelfCycle;
+        drained_since_plan = 0;
+        pending_wait_ns = 0;
+      }
+#endif
+
       if (clock[i] < h) {
         ++st.windows;
         st.window_span_sum += h - clock[i];
         lk.unlock();
+#ifndef SPEEDLIGHT_TRACE_DISABLED
+        if (prof != nullptr) {
+          const std::uint64_t before = shards_[i]->stats().executed;
+          shards_[i]->run_before(h);
+          rec.executed = shards_[i]->stats().executed - before;
+          rec.ran = true;
+          prof->record_round(rec);  // Unlocked: the ring is worker-owned.
+          lk.lock();
+          continue;
+        }
+#endif
         shards_[i]->run_before(h);
         lk.lock();
         continue;
@@ -415,6 +540,9 @@ void ParallelEngine::run_threads(SimTime until) {
       if (clock[i] <= until) {
         ++st.horizon_stalls;
         if (binding != i) ++st.stalls_by_producer[binding];
+#ifndef SPEEDLIGHT_TRACE_DISABLED
+        if (prof != nullptr) prof->record_round(rec);
+#endif
       }
       // Futex/spin hybrid wait: spin briefly on the epoch counter (cheap
       // when a peer publishes within microseconds), then block on the
@@ -436,7 +564,11 @@ void ParallelEngine::run_threads(SimTime until) {
           return epoch.load(std::memory_order_acquire) != seen || done;
         });
       }
-      st.wait_ns += mono_ns() - t0;
+      const std::uint64_t waited = mono_ns() - t0;
+      st.wait_ns += waited;
+#ifndef SPEEDLIGHT_TRACE_DISABLED
+      if (prof != nullptr) pending_wait_ns += waited;
+#endif
     }
   };
 

@@ -76,6 +76,10 @@
 #include "sim/spsc_ring.hpp"
 #include "sim/time.hpp"
 
+namespace speedlight::obs {
+class EngineProfiler;
+}  // namespace speedlight::obs
+
 namespace speedlight::sim {
 
 /// A cross-shard delivery: run `fn` on the destination shard at `time`,
@@ -275,6 +279,7 @@ class ParallelEngine {
 
   ParallelEngine(const ParallelEngine&) = delete;
   ParallelEngine& operator=(const ParallelEngine&) = delete;
+  ~ParallelEngine();
 
   [[nodiscard]] std::size_t num_shards() const { return shards_.size(); }
   [[nodiscard]] Mode mode() const { return mode_; }
@@ -319,12 +324,27 @@ class ParallelEngine {
   /// Accounting for the most recent run_until() call.
   [[nodiscard]] const EngineRunStats& last_run() const { return last_run_; }
 
+  /// Allocate the per-shard round profiler (obs/prof.hpp) and start
+  /// recording: one RoundRecord per planned window or stall, per shard.
+  /// Call single-threaded before run_until; records accumulate across runs
+  /// (call again to reset). No-op when the trace layer is compiled out
+  /// (profiler() stays null), so run_until's hot loops stay untouched.
+  /// `capacity_per_shard == 0` means EngineProfiler::kDefaultCapacity.
+  void enable_profiling(std::size_t capacity_per_shard = 0);
+
+  /// The round profiler, or nullptr when profiling was never enabled (or
+  /// the trace layer is compiled out). Read after run_until returns.
+  [[nodiscard]] const obs::EngineProfiler* profiler() const {
+    return prof_.get();
+  }
+
  private:
   void run_inline(SimTime until);
   void run_threads(SimTime until);
   /// Quiescent full drain of every channel inbound to shard `i`, in
-  /// producer-index order (single-threaded contexts only).
-  void drain_incoming(std::size_t i);
+  /// producer-index order (single-threaded contexts only). Returns the
+  /// number of messages moved into the shard's queue.
+  std::size_t drain_incoming(std::size_t i);
   /// Recompute the min-plus closure of the channel latency matrix.
   void refresh_closure();
   /// D[from * n + to] after refresh_closure().
@@ -348,6 +368,9 @@ class ParallelEngine {
   bool closure_dirty_ = true;
   std::vector<std::unique_ptr<SimContext>> contexts_;
   EngineRunStats last_run_;
+  /// Round profiler; null until enable_profiling. Workers touch only their
+  /// own shard's sub-profiler, so Threads mode needs no extra locking.
+  std::unique_ptr<obs::EngineProfiler> prof_;
 };
 
 }  // namespace speedlight::sim

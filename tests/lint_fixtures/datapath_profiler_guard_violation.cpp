@@ -1,0 +1,39 @@
+// Fixture: engine-profiler hot calls on the data path must sit inside a
+// region the SPEEDLIGHT_TRACE=OFF build compiles out. The guard tracker
+// follows the preprocessor conditional stack, including #else flips and
+// nesting inside unrelated conditionals.
+struct Rec {
+  unsigned shard;
+};
+struct Prof {
+  void record_round(const Rec&) {}
+  void note_inline_round(unsigned long long) {}
+};
+
+void hot_path(Prof& prof, const Rec& rec) {
+  prof.record_round(rec);  // LINT-EXPECT: unguarded-profiler
+
+#ifndef SPEEDLIGHT_TRACE_DISABLED
+  prof.record_round(rec);  // Guarded: compiled out with the kill switch.
+  prof.note_inline_round(1);
+#else
+  prof.record_round(rec);  // LINT-EXPECT: unguarded-profiler
+#endif
+
+#ifdef SPEEDLIGHT_TRACE_DISABLED
+  prof.note_inline_round(2);  // LINT-EXPECT: unguarded-profiler
+#else
+  prof.record_round(rec);  // Guarded: this is the tracing-enabled branch.
+#endif
+
+#if !defined(SPEEDLIGHT_TRACE_DISABLED)
+  prof.record_round(rec);  // Guarded: negated defined() test.
+#endif
+
+#ifdef SOME_OTHER_FLAG
+  prof.record_round(rec);  // LINT-EXPECT: unguarded-profiler
+#ifndef SPEEDLIGHT_TRACE_DISABLED
+  prof.note_inline_round(3);  // Guarded: any enclosing level suffices.
+#endif
+#endif
+}

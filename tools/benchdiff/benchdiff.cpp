@@ -1,0 +1,269 @@
+#include "benchdiff/benchdiff.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+
+namespace speedlight::benchdiff {
+namespace {
+
+// Minimal recursive-descent JSON reader, just enough for the bench schema.
+// No DOM: numeric leaves land directly in the flat map as they are parsed.
+class Flattener {
+ public:
+  Flattener(const std::string& text, std::map<std::string, double>& out)
+      : text_(text), out_(out) {}
+
+  bool run(std::string* err) {
+    skip_ws();
+    if (!value("")) {
+      if (err != nullptr) {
+        std::ostringstream os;
+        os << "parse error at byte " << pos_ << ": " << err_;
+        *err = os.str();
+      }
+      return false;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      if (err != nullptr) *err = "trailing garbage after document";
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  bool fail(const char* why) {
+    err_ = why;
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool literal(const char* word) {
+    const std::size_t len = std::char_traits<char>::length(word);
+    if (text_.compare(pos_, len, word) != 0) return fail("bad literal");
+    pos_ += len;
+    return true;
+  }
+
+  bool string(std::string& out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return fail("expected string");
+    }
+    ++pos_;
+    out.clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return fail("truncated escape");
+        c = text_[pos_++];
+        // Escapes beyond the ones the bench writer emits (\" and \\) keep
+        // their literal character — paths only need to be stable, not
+        // fully unescaped.
+      }
+      out.push_back(c);
+    }
+    if (pos_ >= text_.size()) return fail("unterminated string");
+    ++pos_;  // Closing quote.
+    return true;
+  }
+
+  bool value(const std::string& path) {
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return object(path);
+    if (c == '[') return array(path);
+    if (c == '"') {
+      std::string ignored;
+      return string(ignored);  // String leaves carry no numeric value.
+    }
+    if (c == 't') {
+      if (!literal("true")) return false;
+      out_[path] = 1;
+      return true;
+    }
+    if (c == 'f') {
+      if (!literal("false")) return false;
+      out_[path] = 0;
+      return true;
+    }
+    if (c == 'n') return literal("null");
+    return number(path);
+  }
+
+  bool number(const std::string& path) {
+    const char* begin = text_.c_str() + pos_;
+    char* end = nullptr;
+    const double v = std::strtod(begin, &end);
+    if (end == begin) return fail("expected value");
+    pos_ += static_cast<std::size_t>(end - begin);
+    out_[path] = v;
+    return true;
+  }
+
+  bool object(const std::string& path) {
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (!string(key)) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return fail("expected ':'");
+      }
+      ++pos_;
+      if (!value(path.empty() ? key : path + "." + key)) return false;
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool array(const std::string& path) {
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (std::size_t index = 0;; ++index) {
+      const std::string elem = std::to_string(index);
+      if (!value(path.empty() ? elem : path + "." + elem)) return false;
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  const std::string& text_;
+  std::map<std::string, double>& out_;
+  std::size_t pos_ = 0;
+  const char* err_ = "";
+};
+
+}  // namespace
+
+bool parse_gate(const std::string& spec, Gate& out) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 2 > spec.size()) {
+    return false;
+  }
+  Gate g;
+  g.path = spec.substr(0, colon);
+  std::string tol = spec.substr(colon + 1);
+  if (tol[0] == '+') {
+    g.higher_is_worse = true;
+  } else if (tol[0] == '-') {
+    g.higher_is_worse = false;
+  } else {
+    return false;
+  }
+  tol.erase(0, 1);
+  if (!tol.empty() && tol.back() == '%') {
+    g.relative = true;
+    tol.pop_back();
+  } else {
+    g.relative = false;
+  }
+  if (tol.empty()) return false;
+  char* end = nullptr;
+  g.tolerance = std::strtod(tol.c_str(), &end);
+  if (end != tol.c_str() + tol.size() || g.tolerance < 0 ||
+      !std::isfinite(g.tolerance)) {
+    return false;
+  }
+  out = g;
+  return true;
+}
+
+bool flatten_json(const std::string& text, std::map<std::string, double>& out,
+                  std::string* err) {
+  out.clear();
+  return Flattener(text, out).run(err);
+}
+
+GateResult evaluate(const Gate& gate,
+                    const std::map<std::string, double>& baseline,
+                    const std::map<std::string, double>& fresh) {
+  GateResult r;
+  r.gate = gate;
+  const auto b = baseline.find(gate.path);
+  const auto f = fresh.find(gate.path);
+  if (b == baseline.end() || f == fresh.end()) {
+    r.ok = false;
+    r.missing = true;
+    r.detail = std::string("missing from ") +
+               (b == baseline.end() ? "baseline" : "fresh file");
+    return r;
+  }
+  r.baseline = b->second;
+  r.fresh = f->second;
+  // Relative slack scales with |baseline| so "-10%" means the same thing
+  // for speedups below 1 as above; an exact-zero baseline gets no slack.
+  const double slack = gate.relative
+                           ? std::fabs(r.baseline) * gate.tolerance / 100.0
+                           : gate.tolerance;
+  const double drift = r.fresh - r.baseline;
+  r.ok = gate.higher_is_worse ? drift <= slack : drift >= -slack;
+  std::ostringstream os;
+  os.precision(12);
+  os << r.baseline << " -> " << r.fresh;
+  if (r.baseline != 0) {
+    os.precision(3);
+    os << " (" << (drift >= 0 ? "+" : "") << drift / std::fabs(r.baseline) * 100
+       << "%)";
+  }
+  r.detail = os.str();
+  return r;
+}
+
+std::size_t diff(const std::map<std::string, double>& baseline,
+                 const std::map<std::string, double>& fresh,
+                 const std::vector<Gate>& gates, std::ostream& os) {
+  std::size_t failed = 0;
+  for (const Gate& g : gates) {
+    const GateResult r = evaluate(g, baseline, fresh);
+    if (!r.ok) ++failed;
+    os << (r.ok ? "[OK]   " : "[FAIL] ") << g.path << " "
+       << (g.higher_is_worse ? "+" : "-") << g.tolerance
+       << (g.relative ? "%" : "") << ": " << r.detail << "\n";
+  }
+  os << (failed == 0 ? "benchdiff: all gates hold"
+                     : "benchdiff: " + std::to_string(failed) +
+                           " gate(s) regressed")
+     << " (" << gates.size() << " gated, " << fresh.size()
+     << " fresh metrics)\n";
+  return failed;
+}
+
+}  // namespace speedlight::benchdiff

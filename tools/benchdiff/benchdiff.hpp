@@ -1,0 +1,75 @@
+// speedlight_benchdiff: regression differ for BENCH_*.json result files
+// (schema "speedlight-bench-v2", see bench/bench_common.hpp).
+//
+// The bench harnesses already gate hard shape claims in-process; what they
+// cannot see is drift ACROSS commits — sync rounds creeping up 1% per PR,
+// profiler overhead quietly doubling, a check silently starting to fail.
+// benchdiff compares a freshly produced JSON against a committed baseline
+// and exits nonzero when a gated metric moves past its tolerance, so CI
+// can hold the line without anyone eyeballing numbers.
+//
+// Both files are flattened to dotted-path -> double maps ("metrics.rounds",
+// "profile.fabric.stalls", "registry.values.3.value", ...; booleans count
+// as 0/1, strings and nulls are skipped). Gates are command-line specs:
+//
+//   metrics.rounds:+2%     value may rise at most 2% over baseline
+//                          (higher is worse; any drop passes)
+//   metrics.speedup:-10%   value may fall at most 10% under baseline
+//                          (lower is worse; any rise passes)
+//   checks_failed:+0       no increase at all (tolerance zero)
+//   metrics.foo:+5         absolute slack: may rise by at most 5.0
+//
+// A gated path missing from either file is a failure — a metric that
+// disappears must be a conscious baseline update, not a silent pass.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace speedlight::benchdiff {
+
+/// One parsed gate spec ("metrics.rounds:+2%").
+struct Gate {
+  std::string path;       ///< Flattened dotted path to the metric.
+  bool higher_is_worse;   ///< '+' specs guard rises, '-' specs guard falls.
+  bool relative;          ///< Trailing '%': tolerance scales with baseline.
+  double tolerance = 0;   ///< In percent when relative, absolute otherwise.
+};
+
+/// Verdict for one gate against a (baseline, fresh) pair.
+struct GateResult {
+  Gate gate;
+  bool ok = false;
+  bool missing = false;   ///< Path absent from one of the files.
+  double baseline = 0;
+  double fresh = 0;
+  std::string detail;     ///< Human-readable one-liner for the report.
+};
+
+/// Parse "path:+2%" / "path:-10%" / "path:+0". Returns false (and leaves
+/// `out` untouched) on a malformed spec.
+[[nodiscard]] bool parse_gate(const std::string& spec, Gate& out);
+
+/// Flatten a JSON document to dotted-path -> numeric value. Object keys
+/// join with '.', array elements use their decimal index, booleans map to
+/// 0/1, strings and nulls are dropped. Returns false on malformed JSON
+/// (error position reported via `err` when non-null).
+[[nodiscard]] bool flatten_json(const std::string& text,
+                                std::map<std::string, double>& out,
+                                std::string* err = nullptr);
+
+/// Evaluate one gate. Missing paths fail with `missing = true`.
+[[nodiscard]] GateResult evaluate(const Gate& gate,
+                                  const std::map<std::string, double>& baseline,
+                                  const std::map<std::string, double>& fresh);
+
+/// Compare two flattened documents under a gate list, writing a line per
+/// gate plus a summary to `os`. Returns the number of failed gates.
+std::size_t diff(const std::map<std::string, double>& baseline,
+                 const std::map<std::string, double>& fresh,
+                 const std::vector<Gate>& gates, std::ostream& os);
+
+}  // namespace speedlight::benchdiff

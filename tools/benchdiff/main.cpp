@@ -1,0 +1,66 @@
+// CLI wrapper: speedlight_benchdiff BASELINE.json FRESH.json GATE...
+//
+//   GATE   path:+2%   fail if the metric rose more than 2% over baseline
+//          path:-10%  fail if it fell more than 10% under baseline
+//          path:+0    fail on any rise at all
+//
+// Exit codes: 0 all gates hold, 1 at least one regression or missing
+// gated metric, 2 usage / unreadable file / malformed JSON or gate spec.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "benchdiff/benchdiff.hpp"
+
+namespace {
+
+bool slurp(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream os;
+  os << in.rdbuf();
+  out = os.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace speedlight::benchdiff;
+  if (argc < 4) {
+    std::cerr << "usage: " << argv[0]
+              << " BASELINE.json FRESH.json path:+2% [path:-10% ...]\n";
+    return 2;
+  }
+  std::vector<Gate> gates;
+  for (int i = 3; i < argc; ++i) {
+    Gate g;
+    if (!parse_gate(argv[i], g)) {
+      std::cerr << "benchdiff: malformed gate spec '" << argv[i]
+                << "' (want path:+2% / path:-10% / path:+0)\n";
+      return 2;
+    }
+    gates.push_back(g);
+  }
+  std::map<std::string, double> baseline;
+  std::map<std::string, double> fresh;
+  for (int side = 0; side < 2; ++side) {
+    const std::string path = argv[1 + side];
+    std::string text;
+    std::string err;
+    auto& out = side == 0 ? baseline : fresh;
+    if (!slurp(path, text)) {
+      std::cerr << "benchdiff: cannot read " << path << "\n";
+      return 2;
+    }
+    if (!flatten_json(text, out, &err)) {
+      std::cerr << "benchdiff: " << path << ": " << err << "\n";
+      return 2;
+    }
+  }
+  std::cout << "benchdiff: " << argv[1] << " (baseline) vs " << argv[2]
+            << "\n";
+  return diff(baseline, fresh, gates, std::cout) == 0 ? 0 : 1;
+}

@@ -11,6 +11,11 @@
 //      and pools (PR 1); a stray std::function, heap keyword, or virtual
 //      added to src/net, src/switchlib, or the snapshot dataplane files
 //      regresses both performance and determinism.
+//   3. A zero-cost profiler kill switch — the engine round profiler
+//      (obs/prof.hpp) promises zero overhead when SPEEDLIGHT_TRACE=OFF, so
+//      its hot calls (record_round, note_inline_round) on the data path and
+//      in src/sim must sit inside #ifndef SPEEDLIGHT_TRACE_DISABLED regions
+//      (the linter tracks the preprocessor conditional stack).
 //
 // The linter scans source text (comments and string literals stripped),
 // emits file:line diagnostics, and exits nonzero on any hit. Legitimate
@@ -53,6 +58,10 @@ struct RuleInfo {
 /// typestate.hpp). The rest of src/snapshot is control-plane code where
 /// std::function et al. are fine.
 [[nodiscard]] bool is_datapath(const std::string& path);
+
+/// True where the unguarded-profiler rule applies: data-path files plus
+/// everything under src/sim/ (the engines own the profiler call sites).
+[[nodiscard]] bool is_profiler_scope(const std::string& path);
 
 /// Scan one file's contents. `path` is used for diagnostics and for
 /// data-path classification (the contents need not come from disk — the
