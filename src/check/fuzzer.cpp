@@ -9,6 +9,7 @@
 #include "obs/trace.hpp"
 #include "sim/determinism.hpp"
 #include "workload/basic.hpp"
+#include "workload/mixes.hpp"
 
 namespace speedlight::check {
 
@@ -61,7 +62,10 @@ SingleRun run_once(const Scenario& s, const RunOptions& opts,
   const sim::TimingModel base_timing = nopt.timing;
   core::Network net(s.topology(), nopt);
 
-  // Workload: Poisson all-to-all from `generators` hosts (round-robin).
+  // Workload: one generator per source host (round-robin over hosts), the
+  // shape picked by s.workload.mix. Every generator runs on the shard that
+  // owns its source host (with 1 shard this is net.simulator(), the
+  // pre-sharding wiring), so mixes are valid at any shard count.
   std::vector<net::NodeId> all;
   for (std::size_t h = 0; h < net.num_hosts(); ++h) {
     all.push_back(net.host_id(h));
@@ -71,17 +75,59 @@ SingleRun run_once(const Scenario& s, const RunOptions& opts,
       std::max<std::size_t>(1, std::min(s.workload.generators, net.num_hosts()));
   for (std::size_t g = 0; g < n_gens; ++g) {
     const std::size_t h = g % net.num_hosts();
-    std::vector<net::NodeId> dsts;
-    for (const auto id : all) {
-      if (id != net.host_id(h)) dsts.push_back(id);
+    sim::Simulator& host_sim = net.shard_simulator(net.host_shard(h));
+    sim::Rng rng(s.seed * 977 + g);
+    std::unique_ptr<wl::Generator> gen;
+    switch (s.workload.mix) {
+      case MixKind::AllToAll: {
+        std::vector<net::NodeId> dsts;
+        for (const auto id : all) {
+          if (id != net.host_id(h)) dsts.push_back(id);
+        }
+        if (dsts.empty()) break;  // Single-host topology: nothing to send to.
+        gen = std::make_unique<wl::PoissonGenerator>(
+            host_sim, net.host(h), std::move(dsts), s.workload.rate_pps,
+            s.workload.packet_size, rng);
+        break;
+      }
+      case MixKind::Incast: {
+        // Fixed victim (the last host); every other source storms it on a
+        // shared cadence.
+        if (net.num_hosts() < 2 || h == net.num_hosts() - 1) break;
+        wl::IncastGenerator::Options io;
+        io.packet_size = s.workload.packet_size;
+        io.period = sim::usec(500);
+        io.burst_packets = 32;
+        gen = std::make_unique<wl::IncastGenerator>(host_sim, net.host(h),
+                                                    all.back(), io, rng);
+        break;
+      }
+      case MixKind::Shuffle: {
+        std::vector<net::NodeId> peers;
+        for (const auto id : all) {
+          if (id != net.host_id(h)) peers.push_back(id);
+        }
+        if (peers.empty()) break;
+        wl::ShuffleGenerator::Options so;
+        so.packet_size = s.workload.packet_size;
+        so.chunk_bytes = 32 * 1024;
+        gen = std::make_unique<wl::ShuffleGenerator>(
+            host_sim, net.host(h), std::move(peers), h, so, rng);
+        break;
+      }
+      case MixKind::MixedTenant: {
+        wl::MixedTenantGenerator::Options mo;
+        mo.service_rate_pps = s.workload.rate_pps;
+        mo.service_packet_size = s.workload.packet_size;
+        // Cap batch packets at the scenario's packet size: the checker's
+        // per-drop conservation slack is sized from it.
+        mo.batch_packet_size = s.workload.packet_size;
+        gen = std::make_unique<wl::MixedTenantGenerator>(host_sim, net.host(h),
+                                                         h, all, mo, rng);
+        break;
+      }
     }
-    if (dsts.empty()) break;  // Single-host topology: nothing to send to.
-    // The generator's events must run on the shard that owns its host
-    // (with 1 shard this is net.simulator(), the pre-sharding wiring).
-    auto gen = std::make_unique<wl::PoissonGenerator>(
-        net.shard_simulator(net.host_shard(h)), net.host(h), std::move(dsts),
-        s.workload.rate_pps, s.workload.packet_size,
-        sim::Rng(s.seed * 977 + g));
+    if (!gen) continue;
     gen->start(net.now());
     gens.push_back(std::move(gen));
   }

@@ -18,6 +18,16 @@ const char* fault_kind_name(FaultKind k) {
   return "?";
 }
 
+const char* mix_kind_name(MixKind k) {
+  switch (k) {
+    case MixKind::AllToAll: return "all_to_all";
+    case MixKind::Incast: return "incast";
+    case MixKind::Shuffle: return "shuffle";
+    case MixKind::MixedTenant: return "mixed_tenant";
+  }
+  return "?";
+}
+
 net::TopologySpec Scenario::topology() const {
   return make_topo(topo, size_a, size_b, size_c);
 }
@@ -53,6 +63,9 @@ std::string Scenario::label() const {
   os << "seed=" << seed << " " << topo_kind_name(topo) << "(" << size_a << ","
      << size_b << "," << size_c << ")" << (channel_state ? " cs" : " nocs")
      << " m=" << modulus << " snaps=" << snapshots << " f=" << faults.size();
+  if (workload.mix != MixKind::AllToAll) {
+    os << " mix=" << mix_kind_name(workload.mix);
+  }
   return os.str();
 }
 
@@ -162,6 +175,98 @@ Scenario generate_scenario(std::uint64_t seed) {
   return s;
 }
 
+Scenario generate_scenario(std::uint64_t seed, const ScenarioBudget& budget) {
+  // Distinct stream: the plain generate_scenario(seed) draw sequence is
+  // pinned by the digest corpus and must never move.
+  sim::Rng r = sim::Rng(seed).fork("scenario-xl");
+
+  // Candidate large topologies with their switch counts (fat-tree k has
+  // 5k^2/4 switches); only those under budget enter the draw, so the
+  // sampler degrades gracefully instead of redrawing.
+  struct Candidate {
+    TopoKind topo;
+    std::size_t a, b, c;
+    std::size_t switches;
+  };
+  const Candidate pool[] = {
+      {TopoKind::FatTree, 4, 0, 0, 20},
+      {TopoKind::FatTree, 8, 0, 0, 80},
+      {TopoKind::FatTree, 16, 0, 0, 320},
+      {TopoKind::LeafSpine, 8, 4, 4, 12},
+      {TopoKind::LeafSpine, 12, 6, 8, 18},
+  };
+  std::vector<const Candidate*> admissible;
+  for (const auto& c : pool) {
+    if (c.switches <= budget.max_switches) admissible.push_back(&c);
+  }
+  if (admissible.empty()) admissible.push_back(&pool[0]);
+
+  Scenario s;
+  s.seed = seed;
+  const Candidate& pick =
+      *admissible[r.uniform_int(0, admissible.size() - 1)];
+  s.topo = pick.topo;
+  s.size_a = pick.a;
+  s.size_b = pick.b;
+  s.size_c = pick.c;
+
+  // Production fabrics run the paper's deployed configuration: ECMP or
+  // flowlet balancing, either metric, and an occasional bounded wire space.
+  s.lb = r.chance(0.5) ? sw::LoadBalancerKind::Ecmp
+                       : sw::LoadBalancerKind::Flowlet;
+  s.metric = r.chance(0.25) ? sw::MetricKind::ByteCount
+                            : sw::MetricKind::PacketCount;
+  s.transport = r.chance(0.2) ? snap::NotificationMode::Digest
+                              : snap::NotificationMode::RawSocket;
+  // Channel state multiplies per-port snapshot slots by the egress fanout;
+  // at hundreds of switches that dominates run time, so sample it rarely.
+  s.channel_state = r.chance(0.2);
+  s.modulus = r.chance(0.3) ? 32 : 0;
+
+  s.drift_ppm = static_cast<double>(r.uniform_int(0, 40));
+  s.ptp_residual_stddev =
+      static_cast<sim::Duration>(r.uniform_int(1'000, 10'000));
+
+  switch (r.uniform_int(0, 3)) {
+    case 0: s.workload.mix = MixKind::AllToAll; break;
+    case 1: s.workload.mix = MixKind::Incast; break;
+    case 2: s.workload.mix = MixKind::Shuffle; break;
+    default: s.workload.mix = MixKind::MixedTenant; break;
+  }
+  // Generators scale with the fabric but stay bounded: enough sources to
+  // light up the core without making the event count quadratic.
+  s.workload.generators = r.uniform_int(8, 24);
+  s.workload.rate_pps = static_cast<double>(r.uniform_int(10'000, 40'000));
+  s.workload.packet_size =
+      static_cast<std::uint32_t>(r.uniform_int(200, 1500));
+
+  s.warmup = sim::usec(static_cast<double>(r.uniform_int(500, 1'500)));
+  const std::size_t max_snaps =
+      budget.max_snapshots == 0 ? 1 : budget.max_snapshots;
+  s.snapshots = r.uniform_int(1, max_snaps);
+  s.interval = sim::usec(static_cast<double>(r.uniform_int(1'000, 3'000)));
+  s.completion_timeout =
+      s.transport == snap::NotificationMode::Digest ? sim::msec(150)
+                                                    : sim::msec(80);
+
+  // One fault at most: large fabrics already exercise breadth through
+  // scale; the small-fabric fuzzer owns the dense fault matrix.
+  if (r.chance(0.5)) {
+    FaultSpec f;
+    if (r.chance(0.5)) {
+      f.kind = FaultKind::NotifDropBurst;
+      f.magnitude = static_cast<double>(r.uniform_int(50, 100)) / 100.0;
+    } else {
+      f.kind = FaultKind::CpuBacklogSpike;
+      f.magnitude = static_cast<double>(r.uniform_int(3, 10));
+    }
+    f.start = sim::usec(static_cast<double>(r.uniform_int(0, 3'000)));
+    f.duration = sim::usec(static_cast<double>(r.uniform_int(1'000, 4'000)));
+    s.faults.push_back(f);
+  }
+  return s;
+}
+
 // --- Serialization ----------------------------------------------------------
 
 namespace {
@@ -187,7 +292,13 @@ void write_scenario(std::ostream& os, const Scenario& s) {
   os << "drift_ppm " << s.drift_ppm << "\n";
   os << "ptp_stddev_ns " << s.ptp_residual_stddev << "\n";
   os << "workload " << s.workload.generators << " " << s.workload.rate_pps
-     << " " << s.workload.packet_size << "\n";
+     << " " << s.workload.packet_size;
+  // Trailing mix token only when non-default: pre-mix files stay
+  // byte-identical through a read/write round trip.
+  if (s.workload.mix != MixKind::AllToAll) {
+    os << " " << mix_kind_name(s.workload.mix);
+  }
+  os << "\n";
   os << "warmup_us " << to_us(s.warmup) << "\n";
   os << "snapshots " << s.snapshots << " " << to_us(s.interval) << " "
      << to_us(s.completion_timeout) << "\n";
@@ -302,6 +413,20 @@ Scenario read_scenario(std::istream& is) {
       if (!(ls >> s.workload.generators >> s.workload.rate_pps >>
             s.workload.packet_size)) {
         fail(lineno, "bad workload directive");
+      }
+      std::string mix;
+      if (ls >> mix) {  // Optional trailing token (absent = all_to_all).
+        if (mix == "all_to_all") {
+          s.workload.mix = MixKind::AllToAll;
+        } else if (mix == "incast") {
+          s.workload.mix = MixKind::Incast;
+        } else if (mix == "shuffle") {
+          s.workload.mix = MixKind::Shuffle;
+        } else if (mix == "mixed_tenant") {
+          s.workload.mix = MixKind::MixedTenant;
+        } else {
+          fail(lineno, "unknown workload mix '" + mix + "'");
+        }
       }
     } else if (key == "warmup_us") {
       std::int64_t us = 0;

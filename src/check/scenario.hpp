@@ -17,7 +17,7 @@
 //   modulus <u32>
 //   drift_ppm <double>
 //   ptp_stddev_ns <u64>
-//   workload <generators> <rate_pps> <packet_size>
+//   workload <generators> <rate_pps> <packet_size> [mix]
 //   warmup_us <u64>
 //   snapshots <count> <interval_us> <timeout_us>
 //   fault link_flap <trunk> <a_to_b> <start_us> <up_mean_us> <down_mean_us>
@@ -60,10 +60,25 @@ struct FaultSpec {
   sim::Duration down_mean = sim::msec(1);
 };
 
+/// Traffic shape the generating hosts run. AllToAll is the original
+/// uniform Poisson mix; the others are the production-fabric mixes from
+/// workload/mixes.hpp. Serialized as an optional trailing token on the
+/// `workload` line — omitted for AllToAll, so pre-mix scenario files
+/// round-trip byte-identically.
+enum class MixKind : std::uint8_t {
+  AllToAll,     ///< Poisson, uniform destinations (the historic default).
+  Incast,       ///< Synchronized cross-rack bursts at one victim host.
+  Shuffle,      ///< Datacenter-wide all-pairs chunk exchange.
+  MixedTenant,  ///< Tenant-partitioned service + batch co-tenancy.
+};
+
+[[nodiscard]] const char* mix_kind_name(MixKind k);
+
 struct WorkloadSpec {
   std::size_t generators = 4;  ///< Hosts generating (round-robin over hosts).
-  double rate_pps = 40000;     ///< Poisson mean per generator.
+  double rate_pps = 40000;     ///< Poisson mean per generator (AllToAll).
   std::uint32_t packet_size = 1000;
+  MixKind mix = MixKind::AllToAll;
 };
 
 struct Scenario {
@@ -102,6 +117,23 @@ struct Scenario {
 /// Derive a full random scenario from one 64-bit seed. Deterministic:
 /// equal seeds yield byte-identical scenarios.
 [[nodiscard]] Scenario generate_scenario(std::uint64_t seed);
+
+/// Budget for the large-fabric sampler: caps the topology draw so a CI
+/// shard can bound its wall-clock and memory.
+struct ScenarioBudget {
+  /// Largest admissible switch count; candidate topologies above this are
+  /// excluded from the draw. 400 admits fat-tree k=16 (320 switches).
+  std::size_t max_switches = 400;
+  std::size_t max_snapshots = 4;  ///< Large fabrics get short snapshot trains.
+};
+
+/// Large-fabric variant of generate_scenario: same deterministic contract,
+/// but the topology pool adds fat-tree k in {4, 8, 16} and the workload
+/// draw includes the production mixes, all clamped under `budget`. Uses a
+/// distinct RNG stream ("scenario-xl"), so it never perturbs the plain
+/// generate_scenario(seed) sequence the digest corpus pins.
+[[nodiscard]] Scenario generate_scenario(std::uint64_t seed,
+                                         const ScenarioBudget& budget);
 
 void write_scenario(std::ostream& os, const Scenario& s);
 [[nodiscard]] std::string scenario_to_string(const Scenario& s);

@@ -37,6 +37,12 @@ Network::Network(const net::TopologySpec& spec, NetworkOptions options)
     : options_(std::move(options)), spec_(spec) {
   spec_.validate();
 
+  // Struct-of-arrays topology core: the CSR index and the shared interned
+  // route base are built once and consumed by the partitioner, the
+  // per-switch routing tables, and any diagnostic that walks the topology.
+  index_ = net::build_topology_index(spec_);
+  routes_ = net::compute_compact_routes(spec_, index_);
+
   // Partition first: everything below is constructed onto its shard's
   // simulator. With 1 shard this degenerates to the classic serial build —
   // same simulator, same timing object, same RNG fork chain — but the
@@ -46,7 +52,7 @@ Network::Network(const net::TopologySpec& spec, NetworkOptions options)
   part_ = net::partition_topology(
       spec_, options_.shards,
       options_.shards > 1
-          ? net::trunk_traffic(spec_, options_.traffic_hints)
+          ? net::trunk_traffic(spec_, index_, routes_, options_.traffic_hints)
           : std::vector<std::uint64_t>{});
   const std::size_t nsh = part_.num_shards;
   for (std::size_t i = 0; i < nsh; ++i) {
@@ -88,8 +94,12 @@ Network::Network(const net::TopologySpec& spec, NetworkOptions options)
     options_.control.probe_on_initiate = true;
   }
 
-  // Node ids: switches first, then hosts.
+  // Node ids: switches first, then hosts. Devices live in contiguous
+  // arenas sized exactly once from the spec.
   const std::size_t s = spec_.switches.size();
+  switches_.reset(s);
+  hosts_.reset(spec_.hosts.size());
+  links_.reset(2 * spec_.hosts.size() + 2 * spec_.trunks.size());
   for (std::size_t i = 0; i < s; ++i) {
     sw::SwitchOptions so;
     so.num_ports = spec_.switches[i].num_ports;
@@ -105,16 +115,16 @@ Network::Network(const net::TopologySpec& spec, NetworkOptions options)
     so.notification_mode = options_.notification_mode;
     so.int_enabled = options_.int_enabled;
     so.ecn_threshold = options_.ecn_threshold;
+    so.per_instance_metrics = s <= options_.per_instance_metrics_limit;
     so.control = options_.control;
     const std::size_t sh = switch_shard(i);
-    switches_.push_back(std::make_unique<sw::Switch>(
-        *sims_[sh], static_cast<net::NodeId>(i), spec_.switches[i].name,
-        *shard_timing_[sh], so, master.fork("switch" + std::to_string(i))));
+    switches_.emplace_back(*sims_[sh], static_cast<net::NodeId>(i),
+                           spec_.switches[i].name, *shard_timing_[sh], so,
+                           master.fork("switch" + std::to_string(i)));
   }
   for (std::size_t i = 0; i < spec_.hosts.size(); ++i) {
-    hosts_.push_back(std::make_unique<net::Host>(
-        *sims_[host_shard(i)], static_cast<net::NodeId>(s + i),
-        spec_.hosts[i].name));
+    hosts_.emplace_back(*sims_[host_shard(i)], static_cast<net::NodeId>(s + i),
+                        spec_.hosts[i].name);
   }
 
   // A link lives on its source's shard (transmission events); arrival
@@ -123,36 +133,39 @@ Network::Network(const net::TopologySpec& spec, NetworkOptions options)
   // function of the topology — independent of the shard count.
   auto make_link = [this, &master](std::size_t src_shard, std::size_t dst_shard,
                                    double bw, sim::Duration prop) {
-    links_.push_back(std::make_unique<net::Link>(
+    // links_.size() is read before the emplace lands, so the fork stream
+    // ("link0", "link1", ...) matches the old per-entity construction
+    // exactly — the RNG chain is digest-load-bearing.
+    net::Link& link = links_.emplace_back(
         *sims_[src_shard], bw, prop,
-        master.fork("link" + std::to_string(links_.size()))));
-    links_.back()->set_arrival_endpoint(
+        master.fork("link" + std::to_string(links_.size())));
+    link.set_arrival_endpoint(
         make_endpoint(src_shard, dst_shard, next_key_++));
-    return links_.back().get();
+    return &link;
   };
 
   // Host access links (duplex). Hosts are co-sharded with their switch, so
   // these never cross shards.
   for (std::size_t i = 0; i < spec_.hosts.size(); ++i) {
     const auto& h = spec_.hosts[i];
-    sw::Switch& swch = *switches_[h.attached_switch];
+    sw::Switch& swch = switches_[h.attached_switch];
     const std::size_t hs = host_shard(i);
     const std::size_t ss = switch_shard(h.attached_switch);
     net::Link* up = make_link(hs, ss, spec_.host_link_bandwidth_bps,
                               spec_.host_link_propagation);
     up->connect(&swch, h.switch_port);
-    hosts_[i]->attach_uplink(up);
+    hosts_[i].attach_uplink(up);
     net::Link* down = make_link(ss, hs, spec_.host_link_bandwidth_bps,
                                 spec_.host_link_propagation);
-    down->connect(hosts_[i].get(), 0);
+    down->connect(&hosts_[i], 0);
     swch.attach_link(h.switch_port, down, /*to_host=*/true);
   }
 
   // Switch-to-switch trunks (duplex). These are the only links that can
   // cross shards.
   for (const auto& t : spec_.trunks) {
-    sw::Switch& a = *switches_[t.switch_a];
-    sw::Switch& b = *switches_[t.switch_b];
+    sw::Switch& a = switches_[t.switch_a];
+    sw::Switch& b = switches_[t.switch_b];
     const std::size_t sa = switch_shard(t.switch_a);
     const std::size_t sb = switch_shard(t.switch_b);
     net::Link* ab = make_link(sa, sb, t.bandwidth_bps, t.propagation);
@@ -173,18 +186,48 @@ Network::Network(const net::TopologySpec& spec, NetworkOptions options)
     }
   }
 
-  // Routing: install the full ECMP next-hop sets.
-  const net::EcmpRoutes routes = net::compute_ecmp_routes(spec_);
+  // Routing: every switch's table is a view into the shared interned route
+  // base — no per-(switch, host) vectors. Lookup results (contents, order)
+  // and the FIB version sequence match the old per-destination install
+  // loop exactly; the equivalence tests pin both.
   for (std::size_t sw_idx = 0; sw_idx < s; ++sw_idx) {
-    for (std::size_t h = 0; h < spec_.hosts.size(); ++h) {
-      if (!routes[sw_idx][h].empty()) {
-        switches_[sw_idx]->set_route(static_cast<net::NodeId>(s + h),
-                                     routes[sw_idx][h]);
-      }
-    }
+    switches_[sw_idx].routing().set_compact_base(
+        &routes_, sw_idx, static_cast<net::NodeId>(s));
   }
 
-  for (auto& swch : switches_) swch->finalize();
+  for (std::size_t i = 0; i < switches_.size(); ++i) switches_[i].finalize();
+
+  // Large fabric: per-instance registration is off on every switch (see
+  // SwitchOptions::per_instance_metrics); expose the fixed-cardinality
+  // fabric-wide streaming view instead, re-summed on the cold collect path.
+  if (s > options_.per_instance_metrics_limit) {
+    streaming_.set_refresh([this](obs::StreamingMetrics& sm) {
+      sm.clear();
+      std::uint64_t max_backlog = 0;
+      for (std::size_t i = 0; i < switches_.size(); ++i) {
+        sw::Switch& swch = switches_[i];
+        sm.add(obs::StreamClass::QueueDrops, swch.queue_drops());
+        sm.add(obs::StreamClass::ForwardingDrops, swch.forwarding_drops());
+        sm.add(obs::StreamClass::TtlDrops, swch.ttl_drops());
+        sm.add(obs::StreamClass::SnapCaptures, swch.snapshot_captures());
+        sm.add(obs::StreamClass::SnapNotifications,
+               swch.snapshot_notifications());
+        const snap::NotificationTransport& nt = swch.notifications();
+        sm.add(obs::StreamClass::NotifDelivered, nt.delivered());
+        sm.add(obs::StreamClass::NotifDroppedOverflow, nt.dropped_overflow());
+        sm.add(obs::StreamClass::NotifDroppedRandom, nt.dropped_random());
+        sm.add(obs::StreamClass::NotifBacklog, nt.backlog());
+        max_backlog = std::max<std::uint64_t>(max_backlog, nt.max_backlog());
+        const snap::ControlPlane& cp = swch.control_plane();
+        sm.add(obs::StreamClass::CpInitiations, cp.initiations_sent());
+        sm.add(obs::StreamClass::CpReinitiationRounds,
+               cp.reinitiation_rounds());
+        sm.add(obs::StreamClass::CpReports, cp.reports_sent());
+      }
+      sm.set(obs::StreamClass::NotifMaxBacklog, max_backlog);
+    });
+    streaming_.register_views(sims_[0]->metrics(), "fabric");
+  }
 
   // Measurement services, all on the control shard (0). Each managed PTP
   // clock's correction loop runs on its device's shard.
@@ -200,7 +243,7 @@ Network::Network(const net::TopologySpec& spec, NetworkOptions options)
       *sims_[0], *shard_timing_[0], master.fork("poller"));
 
   for (std::size_t i = 0; i < switches_.size(); ++i) {
-    sw::Switch& swch = *switches_[i];
+    sw::Switch& swch = switches_[i];
     if (!swch.options().snapshot_enabled) continue;
     const std::size_t sh = switch_shard(i);
     snap::ControlPlane& cp = swch.control_plane();
@@ -247,7 +290,7 @@ void Network::mutate_timing_at(sim::SimTime when,
 
 void Network::register_all_units_for_polling() {
   for (std::size_t i = 0; i < switches_.size(); ++i) {
-    sw::Switch& swch = *switches_[i];
+    sw::Switch& swch = switches_[i];
     const std::size_t sh = switch_shard(i);
     if (engine_ != nullptr && sh != 0) {
       // Poll read/record legs travel at >= kMinPollHop (the poller clamps
@@ -276,7 +319,7 @@ void Network::enable_tracing(std::size_t capacity) {
   // switch's tracks are named on the tracer of the shard that records
   // them; the shared observer/poller/tap processes are named everywhere.
   for (std::size_t i = 0; i < switches_.size(); ++i) {
-    const sw::Switch& swch = *switches_[i];
+    const sw::Switch& swch = switches_[i];
     obs::Tracer& tr = sims_[switch_shard(i)]->tracer();
     const net::NodeId id = swch.id();
     tr.name_process(id, swch.name());

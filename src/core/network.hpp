@@ -21,10 +21,13 @@
 #include <string>
 #include <vector>
 
+#include "net/arena.hpp"
 #include "net/host.hpp"
 #include "net/link.hpp"
 #include "net/partition.hpp"
+#include "net/soa.hpp"
 #include "net/topology.hpp"
+#include "obs/streaming.hpp"
 #include "obs/timeline.hpp"
 #include "polling/polling_observer.hpp"
 #include "sim/parallel.hpp"
@@ -96,6 +99,14 @@ struct NetworkOptions {
     Threads,  ///< One worker thread per shard.
   };
   ExecMode exec_mode = ExecMode::Auto;
+
+  /// Fabrics up to this many switches register the classic per-instance
+  /// "switch.<name>.*" metric series; larger fabrics register only the
+  /// fixed-cardinality fabric-wide streaming view ("fabric.*",
+  /// obs/streaming.hpp) — per-instance names and reader closures alone are
+  /// O(switches) memory at production scale. Set to 0 to force streaming
+  /// (the metrics tests do), or SIZE_MAX to force per-instance everywhere.
+  std::size_t per_instance_metrics_limit = 64;
 };
 
 class Network {
@@ -149,25 +160,44 @@ class Network {
   // --- Topology access --------------------------------------------------------
   [[nodiscard]] std::size_t num_switches() const { return switches_.size(); }
   [[nodiscard]] std::size_t num_hosts() const { return hosts_.size(); }
-  [[nodiscard]] sw::Switch& switch_at(std::size_t i) { return *switches_.at(i); }
-  [[nodiscard]] net::Host& host(std::size_t i) { return *hosts_.at(i); }
+  [[nodiscard]] sw::Switch& switch_at(std::size_t i) { return switches_.at(i); }
+  [[nodiscard]] net::Host& host(std::size_t i) { return hosts_.at(i); }
   /// Node id of host `i` (what Host::send routes on).
   [[nodiscard]] net::NodeId host_id(std::size_t i) const {
-    return hosts_.at(i)->id();
+    return hosts_.at(i).id();
   }
   [[nodiscard]] const net::TopologySpec& spec() const { return spec_; }
+  /// The struct-of-arrays topology view and the shared interned route base
+  /// every switch's RoutingTable points into (src/net/soa.hpp).
+  [[nodiscard]] const net::TopologyIndex& topology_index() const {
+    return index_;
+  }
+  [[nodiscard]] const net::CompactRoutes& compact_routes() const {
+    return routes_;
+  }
+
+  /// Ports across the fabric whose snapshot state machines or queue rings
+  /// have materialized — the scale tests assert this stays O(ports
+  /// touched), not O(ports built).
+  [[nodiscard]] std::size_t materialized_ports() const {
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < switches_.size(); ++i) {
+      n += switches_[i].materialized_ports();
+    }
+    return n;
+  }
 
   /// Direct access to the instantiated links, for taps and fault injection.
   /// Host access links: `host_uplink`/`host_downlink`; trunk links by index
   /// into spec().trunks and direction.
   [[nodiscard]] net::Link& host_uplink(std::size_t host) {
-    return *links_.at(2 * host);
+    return links_.at(2 * host);
   }
   [[nodiscard]] net::Link& host_downlink(std::size_t host) {
-    return *links_.at(2 * host + 1);
+    return links_.at(2 * host + 1);
   }
   [[nodiscard]] net::Link& trunk_link(std::size_t trunk, bool a_to_b) {
-    return *links_.at(2 * spec_.hosts.size() + 2 * trunk + (a_to_b ? 0 : 1));
+    return links_.at(2 * spec_.hosts.size() + 2 * trunk + (a_to_b ? 0 : 1));
   }
 
   // --- Measurement services ----------------------------------------------------
@@ -244,6 +274,11 @@ class Network {
   NetworkOptions options_;
   net::TopologySpec spec_;
   net::Partition part_;
+  /// Struct-of-arrays topology core. Declared before the device arenas:
+  /// every switch's RoutingTable points into routes_, so the route base
+  /// must outlive the switches (members destroy in reverse order).
+  net::TopologyIndex index_;
+  net::CompactRoutes routes_;
   /// Shard 0 is the control shard (observer, poller, campaign clock).
   std::vector<std::unique_ptr<sim::Simulator>> sims_;
   /// Per-shard timing copies at stable addresses; [0] doubles as the
@@ -252,9 +287,15 @@ class Network {
   std::unique_ptr<sim::ParallelEngine> engine_;
   sim::MergeKey next_key_ = 1;  ///< 0 is reserved for unkeyed local events.
 
-  std::vector<std::unique_ptr<sw::Switch>> switches_;
-  std::vector<std::unique_ptr<net::Host>> hosts_;
-  std::vector<std::unique_ptr<net::Link>> links_;
+  /// Contiguous id-indexed device storage: one allocation per kind, stable
+  /// addresses (components exchange raw pointers at wiring time), no
+  /// per-entity heap objects or pointer indirections.
+  net::ObjectArena<sw::Switch> switches_;
+  net::ObjectArena<net::Host> hosts_;
+  net::ObjectArena<net::Link> links_;
+
+  /// Fabric-wide O(1)-memory metric accumulators (large fabrics).
+  obs::StreamingMetrics streaming_;
 
   std::unique_ptr<snap::PtpService> ptp_;
   std::unique_ptr<snap::Observer> observer_;

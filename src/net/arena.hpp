@@ -1,0 +1,108 @@
+// Contiguous object arena: the struct-of-arrays storage primitive behind
+// the production-scale topology core.
+//
+// A fabric instantiates tens of thousands of switches, hosts, links, and
+// ports. Storing each behind its own unique_ptr costs one heap allocation
+// plus one pointer indirection per entity and scatters hot per-entity state
+// across the heap. ObjectArena replaces that with a single contiguous
+// allocation sized exactly once: elements are placement-new'd in id order,
+// addresses are stable for the arena's lifetime (components hand out raw
+// pointers to each other at wiring time), and destruction runs in reverse
+// construction order.
+//
+// Deliberately minimal: no growth after reset() (capacity is known from the
+// TopologySpec up front), no erase, no copy/move of elements. That is what
+// keeps addresses stable without the per-entity indirection.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <stdexcept>
+#include <utility>
+
+namespace speedlight::net {
+
+template <typename T>
+class ObjectArena {
+ public:
+  ObjectArena() = default;
+  explicit ObjectArena(std::size_t capacity) { reset(capacity); }
+
+  ObjectArena(const ObjectArena&) = delete;
+  ObjectArena& operator=(const ObjectArena&) = delete;
+
+  ~ObjectArena() { clear(); }
+
+  /// Destroy all elements and reallocate for exactly `capacity` elements.
+  void reset(std::size_t capacity) {
+    clear();
+    std::byte* raw = nullptr;
+    if (capacity != 0) {
+      // speedlight-lint: allow(datapath-alloc, raw-new-delete) construction-time aligned arena storage.
+      raw = static_cast<std::byte*>(::operator new(capacity * sizeof(T), std::align_val_t{alignof(T)}));
+    }
+    storage_.reset(raw);
+    capacity_ = capacity;
+  }
+
+  /// Construct the next element in place. Addresses never move afterwards.
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ >= capacity_) {
+      throw std::length_error("ObjectArena: capacity exhausted");
+    }
+    // speedlight-lint: allow(datapath-alloc, raw-new-delete) placement-new into the arena, no heap traffic.
+    T* obj = new (slot(size_)) T(std::forward<Args>(args)...);
+    ++size_;
+    return *obj;
+  }
+
+  /// Destroy elements in reverse construction order.
+  void clear() {
+    while (size_ > 0) {
+      --size_;
+      slot(size_)->~T();
+    }
+  }
+
+  [[nodiscard]] T& operator[](std::size_t i) {
+    assert(i < size_);
+    return *slot(i);
+  }
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    assert(i < size_);
+    return *slot(i);
+  }
+  [[nodiscard]] T& at(std::size_t i) {
+    if (i >= size_) throw std::out_of_range("ObjectArena::at");
+    return *slot(i);
+  }
+  [[nodiscard]] const T& at(std::size_t i) const {
+    if (i >= size_) throw std::out_of_range("ObjectArena::at");
+    return *slot(i);
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+ private:
+  struct AlignedDelete {
+    void operator()(std::byte* p) const {
+      // speedlight-lint: allow(raw-new-delete) matches the aligned operator new.
+      ::operator delete(p, std::align_val_t{alignof(T)});
+    }
+  };
+
+  [[nodiscard]] T* slot(std::size_t i) const {
+    return std::launder(reinterpret_cast<T*>(storage_.get() + i * sizeof(T)));
+  }
+
+  std::unique_ptr<std::byte[], AlignedDelete> storage_;
+  std::size_t capacity_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace speedlight::net

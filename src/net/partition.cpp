@@ -47,53 +47,48 @@ constexpr double kTrafficScale = 4096.0;
 
 std::vector<std::uint64_t> trunk_traffic(const TopologySpec& spec,
                                          const std::vector<FlowHint>& hints) {
+  if (hints.empty()) {
+    // No hints, no routing needed: all trunks weigh 1.
+    return std::vector<std::uint64_t>(spec.trunks.size(), 1);
+  }
+  const TopologyIndex index = build_topology_index(spec);
+  return trunk_traffic(spec, index, compute_compact_routes(spec, index),
+                       hints);
+}
+
+std::vector<std::uint64_t> trunk_traffic(const TopologySpec& spec,
+                                         const TopologyIndex& index,
+                                         const CompactRoutes& routes,
+                                         const std::vector<FlowHint>& hints) {
   std::vector<double> mass(spec.trunks.size(), 0.0);
-  if (!hints.empty()) {
-    const EcmpRoutes routes = compute_ecmp_routes(spec);
-    // (switch, port) -> trunk index; ports not in the map are host access
-    // ports, where a flow's mass terminates.
-    const std::size_t max_ports = [&] {
-      std::size_t m = 0;
-      for (const auto& sw : spec.switches) {
-        m = std::max<std::size_t>(m, sw.num_ports);
-      }
-      return m;
-    }();
-    std::vector<std::int64_t> port_trunk(spec.switches.size() * max_ports, -1);
-    for (std::size_t t = 0; t < spec.trunks.size(); ++t) {
-      const TrunkSpec& tr = spec.trunks[t];
-      port_trunk[tr.switch_a * max_ports + tr.port_a] =
-          static_cast<std::int64_t>(t);
-      port_trunk[tr.switch_b * max_ports + tr.port_b] =
-          static_cast<std::int64_t>(t);
+  for (const FlowHint& f : hints) {
+    if (f.src_host >= spec.hosts.size() || f.dst_host >= spec.hosts.size() ||
+        f.src_host == f.dst_host || f.weight <= 0.0) {
+      continue;
     }
-    for (const FlowHint& f : hints) {
-      if (f.src_host >= spec.hosts.size() || f.dst_host >= spec.hosts.size() ||
-          f.src_host == f.dst_host || f.weight <= 0.0) {
-        continue;
-      }
-      // Push the flow's mass along every ECMP shortest path, splitting
-      // evenly over the next-hop set at each switch. Shortest-path next
-      // hops are loop-free, so the walk terminates; a step cap guards
-      // against pathological route tables all the same.
-      std::deque<std::pair<std::size_t, double>> frontier;
-      frontier.emplace_back(spec.hosts[f.src_host].attached_switch, f.weight);
-      std::size_t steps = 0;
-      while (!frontier.empty() && steps < 1u << 20) {
-        const auto [sw, m] = frontier.front();
-        frontier.pop_front();
-        ++steps;
-        const std::vector<PortId>& ports = routes[sw][f.dst_host];
-        if (ports.empty()) continue;  // Unreachable: drop the mass.
-        const double share = m / static_cast<double>(ports.size());
-        for (const PortId p : ports) {
-          const std::int64_t t = port_trunk[sw * max_ports + p];
-          if (t < 0) continue;  // Host access port: delivered.
-          mass[static_cast<std::size_t>(t)] += share;
-          const TrunkSpec& tr = spec.trunks[static_cast<std::size_t>(t)];
-          frontier.emplace_back(tr.switch_a == sw ? tr.switch_b : tr.switch_a,
-                                share);
-        }
+    // Push the flow's mass along every ECMP shortest path, splitting
+    // evenly over the next-hop set at each switch. Shortest-path next
+    // hops are loop-free, so the walk terminates; a step cap guards
+    // against pathological route tables all the same. The interned route
+    // sets match the per-entity ECMP sets exactly (contents and order),
+    // so the accumulated weights are bit-identical to the old path.
+    std::deque<std::pair<std::size_t, double>> frontier;
+    frontier.emplace_back(spec.hosts[f.src_host].attached_switch, f.weight);
+    std::size_t steps = 0;
+    while (!frontier.empty() && steps < 1u << 20) {
+      const auto [sw, m] = frontier.front();
+      frontier.pop_front();
+      ++steps;
+      const std::span<const PortId> ports = routes.lookup(sw, f.dst_host);
+      if (ports.empty()) continue;  // Unreachable: drop the mass.
+      const double share = m / static_cast<double>(ports.size());
+      for (const PortId p : ports) {
+        const std::int32_t t = index.port_trunk[sw * index.max_ports + p];
+        if (t < 0) continue;  // Host access port: delivered.
+        mass[static_cast<std::size_t>(t)] += share;
+        const TrunkSpec& tr = spec.trunks[static_cast<std::size_t>(t)];
+        frontier.emplace_back(tr.switch_a == sw ? tr.switch_b : tr.switch_a,
+                              share);
       }
     }
   }

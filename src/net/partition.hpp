@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "net/soa.hpp"
 #include "net/topology.hpp"
 #include "sim/time.hpp"
 
@@ -71,6 +72,15 @@ struct Partition {
 /// count). Deterministic.
 [[nodiscard]] std::vector<std::uint64_t> trunk_traffic(
     const TopologySpec& spec, const std::vector<FlowHint>& hints);
+
+/// Same weights, computed from the struct-of-arrays topology core: the CSR
+/// port->trunk map and the interned route sets replace the per-entity
+/// EcmpRoutes (which costs O(switches * hosts) vectors — prohibitive at
+/// fat-tree k=32). The facade passes the index and routes it already built;
+/// weights are bit-identical to the per-entity overload.
+[[nodiscard]] std::vector<std::uint64_t> trunk_traffic(
+    const TopologySpec& spec, const TopologyIndex& index,
+    const CompactRoutes& routes, const std::vector<FlowHint>& hints);
 
 /// Partition `spec` into at most `requested_shards` shards. `requested_shards`
 /// of 0 or 1 yields the trivial single-shard partition. `trunk_weight`

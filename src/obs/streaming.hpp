@@ -1,0 +1,119 @@
+// O(1)-memory streaming metrics for production-scale fabrics.
+//
+// The per-instance registry path costs O(switches) memory in dotted names
+// and reader closures alone ("switch.<name>.queue_drops" x 10 series x
+// 1,280 switches at fat-tree k=32). StreamingMetrics replaces that with one
+// fixed-size accumulator per metric *class*: the facade re-sums the
+// fabric's per-switch counters into kCount totals on the cold collect()
+// path, and the registry holds exactly kCount readers no matter how many
+// switches exist. The per-instance registry API is unchanged and remains
+// the default for small fabrics (NetworkOptions::per_instance_metrics_limit
+// gates the switch-over), so existing tests and dashboards keep their
+// per-switch series; past the threshold, only the fabric-wide view exists.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace speedlight::obs {
+
+/// The fabric-wide metric classes: every per-switch series the facade
+/// registers per instance has a streaming counterpart here.
+enum class StreamClass : std::uint8_t {
+  QueueDrops = 0,
+  ForwardingDrops,
+  TtlDrops,
+  SnapCaptures,
+  SnapNotifications,
+  NotifDelivered,
+  NotifDroppedOverflow,
+  NotifDroppedRandom,
+  NotifBacklog,
+  NotifMaxBacklog,
+  CpInitiations,
+  CpReinitiationRounds,
+  CpReports,
+  kCount,
+};
+
+[[nodiscard]] constexpr std::size_t stream_class_count() {
+  return static_cast<std::size_t>(StreamClass::kCount);
+}
+
+[[nodiscard]] constexpr const char* stream_class_name(StreamClass c) {
+  switch (c) {
+    case StreamClass::QueueDrops: return "queue_drops";
+    case StreamClass::ForwardingDrops: return "forwarding_drops";
+    case StreamClass::TtlDrops: return "ttl_drops";
+    case StreamClass::SnapCaptures: return "snap.captures";
+    case StreamClass::SnapNotifications: return "snap.notifications";
+    case StreamClass::NotifDelivered: return "notif.delivered";
+    case StreamClass::NotifDroppedOverflow: return "notif.dropped_overflow";
+    case StreamClass::NotifDroppedRandom: return "notif.dropped_random";
+    case StreamClass::NotifBacklog: return "notif.backlog";
+    case StreamClass::NotifMaxBacklog: return "notif.max_backlog";
+    case StreamClass::CpInitiations: return "cp.initiations_sent";
+    case StreamClass::CpReinitiationRounds: return "cp.reinitiation_rounds";
+    case StreamClass::CpReports: return "cp.reports_sent";
+    case StreamClass::kCount: break;
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr MetricKind stream_class_kind(StreamClass c) {
+  return c == StreamClass::NotifBacklog || c == StreamClass::NotifMaxBacklog
+             ? MetricKind::Gauge
+             : MetricKind::Counter;
+}
+
+/// Fixed-size per-class accumulators. The owner installs a refresh callback
+/// that re-sums the fabric into set()/add() calls; refresh runs only on the
+/// cold read path (collect()/write_json()), so steady-state simulation pays
+/// nothing and the registry's footprint is constant in fabric size.
+class StreamingMetrics {
+ public:
+  void set_refresh(std::function<void(StreamingMetrics&)> refresh) {
+    refresh_ = std::move(refresh);
+  }
+
+  void clear() { totals_.fill(0); }
+  void set(StreamClass c, std::uint64_t v) {
+    totals_[static_cast<std::size_t>(c)] = v;
+  }
+  void add(StreamClass c, std::uint64_t v) {
+    totals_[static_cast<std::size_t>(c)] += v;
+  }
+  [[nodiscard]] std::uint64_t value(StreamClass c) const {
+    return totals_[static_cast<std::size_t>(c)];
+  }
+
+  /// Run the owner's refresh (no-op without one) and read one class.
+  [[nodiscard]] std::uint64_t refreshed_value(StreamClass c) {
+    if (refresh_) refresh_(*this);
+    return value(c);
+  }
+
+  /// Register exactly stream_class_count() readers under `prefix` —
+  /// constant registry cardinality regardless of fabric size.
+  void register_views(MetricsRegistry& reg, const std::string& prefix) {
+    for (std::size_t i = 0; i < stream_class_count(); ++i) {
+      const auto c = static_cast<StreamClass>(i);
+      reg.register_reader(prefix + "." + stream_class_name(c),
+                          stream_class_kind(c),
+                          [this, c] { return refreshed_value(c); });
+    }
+  }
+
+ private:
+  std::array<std::uint64_t, stream_class_count()> totals_{};
+  // Cold-path callback: collect()-time re-summation over the fabric.
+  // speedlight-lint: allow(std-function-in-datapath) cold collect path only.
+  std::function<void(StreamingMetrics&)> refresh_;
+};
+
+}  // namespace speedlight::obs

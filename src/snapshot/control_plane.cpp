@@ -18,6 +18,7 @@ ControlPlane::ControlPlane(sim::Simulator& sim, net::NodeId device,
       rng_(rng),
       space_(options.snapshot.sid_space()),
       track_(obs::cpu_track(device)) {
+  if (!options_.per_instance_metrics) return;
   using obs::MetricKind;
   auto& reg = sim_.metrics();
   const std::string prefix = "cp." + name_;

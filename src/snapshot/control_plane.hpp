@@ -52,6 +52,11 @@ class ControlPlane {
     /// notifications.
     bool proactive_register_poll = false;
     sim::Duration register_poll_interval = sim::msec(10);
+    /// Register per-device "cp.<name>.*" series with the flight recorder.
+    /// Large fabrics turn this off (registry names are O(devices) memory)
+    /// and read the same counters through the fabric-wide streaming
+    /// accumulators instead (obs/streaming.hpp).
+    bool per_instance_metrics = true;
   };
 
   ControlPlane(sim::Simulator& sim, net::NodeId device, std::string name,

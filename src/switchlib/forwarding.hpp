@@ -1,33 +1,65 @@
 // Destination-based forwarding with multipath (ECMP candidate sets) and a
 // version tag for forwarding-state snapshots (Section 10).
+//
+// Production-scale storage: the fabric-wide shortest-path sets live in one
+// shared, interned net::CompactRoutes (a few MB for a k=32 fat-tree); each
+// switch's table is a pointer into it plus a small per-destination override
+// map for runtime FIB edits (set_route/remove_route keep their per-entity
+// semantics, including version bumps). Small hand-built configurations that
+// never install a compact base behave exactly as the old per-entity table.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "net/soa.hpp"
 #include "net/types.hpp"
 
 namespace speedlight::sw {
 
 class RoutingTable {
  public:
+  /// Install the fabric-wide shared route base for this switch. Host node
+  /// ids are `first_host_id + host_index` (the facade's id layout). The
+  /// version advances once per routable destination, mirroring the
+  /// per-destination install sequence of the per-entity path.
+  void set_compact_base(const net::CompactRoutes* base,
+                        std::size_t self_switch, net::NodeId first_host_id) {
+    base_ = base;
+    self_switch_ = self_switch;
+    first_host_id_ = first_host_id;
+    version_ += base->routable_destinations(self_switch);
+  }
+
   /// Install (or replace) the candidate out-port set for a destination
   /// host. Bumps the table version.
   void set_route(net::NodeId dst_host, std::vector<net::PortId> ports) {
-    routes_[dst_host] = std::move(ports);
+    overrides_[dst_host] = {std::move(ports), /*present=*/true};
     ++version_;
   }
 
   void remove_route(net::NodeId dst_host) {
-    if (routes_.erase(dst_host) > 0) ++version_;
+    const bool had_route = [&] {
+      const auto it = overrides_.find(dst_host);
+      if (it != overrides_.end()) return it->second.present;
+      return !base_lookup(dst_host).empty();
+    }();
+    overrides_[dst_host] = {{}, /*present=*/false};
+    if (had_route) ++version_;
   }
 
   /// Candidate ports for a destination; empty if unroutable.
-  [[nodiscard]] const std::vector<net::PortId>& lookup(net::NodeId dst) const {
-    static const std::vector<net::PortId> kEmpty;
-    const auto it = routes_.find(dst);
-    return it == routes_.end() ? kEmpty : it->second;
+  [[nodiscard]] std::span<const net::PortId> lookup(net::NodeId dst) const {
+    if (!overrides_.empty()) {
+      const auto it = overrides_.find(dst);
+      if (it != overrides_.end()) {
+        return it->second.present ? std::span<const net::PortId>(it->second.ports)
+                                  : std::span<const net::PortId>{};
+      }
+    }
+    return base_lookup(dst);
   }
 
   /// Section 10: "the control plane can ensure every FIB rule and version
@@ -35,10 +67,36 @@ class RoutingTable {
   /// version into the processing unit's state.
   [[nodiscard]] std::uint64_t version() const { return version_; }
 
-  [[nodiscard]] std::size_t size() const { return routes_.size(); }
+  /// Destinations with a (possibly overridden) non-empty candidate set.
+  [[nodiscard]] std::size_t size() const {
+    std::size_t n =
+        base_ == nullptr ? 0 : base_->routable_destinations(self_switch_);
+    for (const auto& [dst, ov] : overrides_) {
+      const bool base_routable = !base_lookup(dst).empty();
+      const bool now_routable = ov.present && !ov.ports.empty();
+      if (now_routable && !base_routable) ++n;
+      if (!now_routable && base_routable) --n;
+    }
+    return n;
+  }
 
  private:
-  std::unordered_map<net::NodeId, std::vector<net::PortId>> routes_;
+  struct Override {
+    std::vector<net::PortId> ports;
+    bool present = false;  ///< false: tombstone from remove_route().
+  };
+
+  [[nodiscard]] std::span<const net::PortId> base_lookup(net::NodeId dst) const {
+    if (base_ == nullptr || dst < first_host_id_) return {};
+    const std::size_t host = dst - first_host_id_;
+    if (host >= base_->num_hosts()) return {};
+    return base_->lookup(self_switch_, host);
+  }
+
+  const net::CompactRoutes* base_ = nullptr;
+  std::size_t self_switch_ = 0;
+  net::NodeId first_host_id_ = 0;
+  std::unordered_map<net::NodeId, Override> overrides_;
   std::uint64_t version_ = 0;
 };
 

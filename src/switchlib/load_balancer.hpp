@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "net/packet.hpp"
@@ -20,10 +21,12 @@ class LoadBalancer {
   // time (perf-verified in fig13).
   // speedlight-lint: allow(virtual-in-datapath) strategy interface, above.
   virtual ~LoadBalancer() = default;
-  /// Choose one of `candidates` (non-empty) for `pkt` at time `now`.
+  /// Choose one of `candidates` (non-empty) for `pkt` at time `now`. The
+  /// span typically views the fabric's shared interned route pool
+  /// (net::CompactRoutes); order matches the per-entity ECMP sets exactly.
   // speedlight-lint: allow(virtual-in-datapath) see class note above.
   virtual net::PortId choose(const net::Packet& pkt,
-                             const std::vector<net::PortId>& candidates,
+                             std::span<const net::PortId> candidates,
                              sim::SimTime now) = 0;
 };
 
@@ -35,7 +38,7 @@ class EcmpBalancer final : public LoadBalancer {
   explicit EcmpBalancer(std::uint64_t salt) : salt_(salt) {}
 
   net::PortId choose(const net::Packet& pkt,
-                     const std::vector<net::PortId>& candidates,
+                     std::span<const net::PortId> candidates,
                      sim::SimTime /*now*/) override {
     return candidates[hash_flow(pkt) % candidates.size()];
   }
@@ -66,7 +69,7 @@ class FlowletBalancer final : public LoadBalancer {
       : ecmp_(salt), gap_(gap), rng_(rng), table_(table_size) {}
 
   net::PortId choose(const net::Packet& pkt,
-                     const std::vector<net::PortId>& candidates,
+                     std::span<const net::PortId> candidates,
                      sim::SimTime now) override {
     const std::size_t idx =
         (static_cast<std::size_t>(pkt.flow) * 0x9E3779B97f4A7C15ULL) %

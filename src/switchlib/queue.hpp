@@ -6,6 +6,7 @@
 // drained highest-priority-first (class 0 = highest).
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <optional>
 #include <utility>
@@ -13,18 +14,23 @@
 
 #include "net/packet.hpp"
 #include "net/packet_pool.hpp"
+#include "sim/determinism.hpp"
 
 namespace speedlight::sw {
 
-// A bounded FIFO over a ring of packet handles, fully preallocated at
-// construction: the bounded capacity is known up front, so push/pop on the
+// A bounded FIFO over a ring of packet handles. The ring materializes
+// lazily: an untouched queue owns no storage at all (a 50k-port fabric at
+// the default 4096-packet capacity would otherwise pay ~gigabytes for rings
+// that never see a packet), the first push allocates a small ring, and
+// occupancy beyond it grows the ring geometrically up to the configured
+// capacity. Growth is a per-queue amortized one-off, DetAllow-exempted like
+// the event-slab and packet-pool growth paths; steady-state push/pop on the
 // per-packet path never touch the allocator (std::deque grew a chunk every
 // ~64 pushes, which the SPEEDLIGHT_CHECK_DETERMINISM allocation guard
 // rightly flagged).
 class FifoQueue {
  public:
-  explicit FifoQueue(std::size_t capacity)
-      : capacity_(capacity), ring_(capacity) {}
+  explicit FifoQueue(std::size_t capacity) : capacity_(capacity) {}
 
   FifoQueue(FifoQueue&& other) noexcept
       : capacity_(other.capacity_),
@@ -42,7 +48,8 @@ class FifoQueue {
       ++drops_;
       return false;  // Dropping the handle recycles the packet.
     }
-    ring_[(head_ + size_) % capacity_] = std::move(pkt);
+    if (size_ == ring_.size()) grow();
+    ring_[(head_ + size_) % ring_.size()] = std::move(pkt);
     ++size_;
     if (size_ > max_depth_) max_depth_ = size_;
     return true;
@@ -51,7 +58,7 @@ class FifoQueue {
   std::optional<net::PooledPacket> pop() {
     if (size_ == 0) return std::nullopt;
     net::PooledPacket pkt = std::move(ring_[head_]);
-    head_ = (head_ + 1) % capacity_;
+    head_ = (head_ + 1) % ring_.size();
     --size_;
     return pkt;
   }
@@ -61,8 +68,29 @@ class FifoQueue {
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
   [[nodiscard]] std::size_t max_depth() const { return max_depth_; }
   [[nodiscard]] std::uint64_t drops() const { return drops_; }
+  /// Ring entries actually allocated (0 until the first push). The scale
+  /// tests assert untouched queues cost nothing.
+  [[nodiscard]] std::size_t allocated() const { return ring_.size(); }
 
  private:
+  /// Cold path: first push, or occupancy reached the current ring. The new
+  /// ring is linearized (head back to 0) so the modulus change is safe.
+  void grow() {
+    sim::det::DetAllow allow_ring_growth;  // Amortized one-off, see header.
+    const std::size_t next =
+        ring_.empty() ? std::min<std::size_t>(capacity_, kInitialRing)
+                      : std::min(capacity_, ring_.size() * 2);
+    // speedlight-lint: allow(datapath-alloc) amortized ring growth, above.
+    std::vector<net::PooledPacket> bigger(next);
+    for (std::size_t i = 0; i < size_; ++i) {
+      bigger[i] = std::move(ring_[(head_ + i) % ring_.size()]);
+    }
+    ring_ = std::move(bigger);
+    head_ = 0;
+  }
+
+  static constexpr std::size_t kInitialRing = 64;
+
   std::size_t capacity_;
   std::vector<net::PooledPacket> ring_;
   std::size_t head_ = 0;
@@ -114,6 +142,13 @@ class CosQueueSet {
   }
   [[nodiscard]] const FifoQueue& class_queue(std::size_t c) const {
     return queues_[c];
+  }
+  /// True once any class ring has allocated storage (i.e. saw a packet).
+  [[nodiscard]] bool materialized() const {
+    for (const auto& q : queues_) {
+      if (q.allocated() > 0) return true;
+    }
+    return false;
   }
 
  private:

@@ -17,24 +17,15 @@ class Switch::PortUnit final : public snap::UnitHandle {
   PortUnit(Switch& sw, net::PortId port, net::Direction dir)
       : sw_(sw), port_(port), dir_(dir) {}
 
-  void build_dataplane() {
-    const bool ingress = dir_ == net::Direction::Ingress;
-    const std::uint16_t channels =
-        ingress ? 2
-                : static_cast<std::uint16_t>(sw_.options_.num_ports *
-                                                 sw_.options_.cos_classes +
-                                             1);
-    const std::uint16_t cpu =
-        ingress ? kIngressCpuChannel : sw_.egress_cpu_channel();
-    const MetricKind metric = sw_.options_.metric;
-    // speedlight-lint: allow(datapath-alloc) construction-time wiring.
-    dp_ = std::make_unique<snap::DataplaneUnit>(
-        unit_id(), sw_.options_.snapshot, channels, cpu,
-        [this, metric]() { return counters_.read(metric); },
-        [metric](const snap::PacketView& v) {
-          return metric_channel_add(metric, v.size_bytes);
-        },
-        [this](const snap::Notification& n) { sw_.notif_->push(n); });
+  /// The unit's snapshot state machine, materialized on first touch. An
+  /// untouched unit of a 50k-port fabric owns no register file, no slot
+  /// array, and no callbacks; reads through the UnitHandle below return
+  /// exactly what a freshly-built (never-traversed) machine would, so
+  /// materialization time is unobservable to the protocol — the twin-run
+  /// digest oracle pins this.
+  [[nodiscard]] snap::DataplaneUnit& ensure_dataplane() {
+    if (!dp_) materialize();
+    return *dp_;
   }
 
   [[nodiscard]] net::UnitId unit_id() const override {
@@ -43,11 +34,22 @@ class Switch::PortUnit final : public snap::UnitHandle {
   [[nodiscard]] bool is_ingress() const override {
     return dir_ == net::Direction::Ingress;
   }
+  /// Channel geometry is a pure function of the switch options, so the
+  /// control plane can size its completion masks before (or without) the
+  /// state machine materializing. Snapshot-disabled switches expose no
+  /// channels, as before.
   [[nodiscard]] std::uint16_t num_channels() const override {
-    return dp_ ? dp_->num_channels() : 0;
+    if (!sw_.options_.snapshot_enabled) return 0;
+    return dir_ == net::Direction::Ingress
+               ? 2
+               : static_cast<std::uint16_t>(sw_.options_.num_ports *
+                                                sw_.options_.cos_classes +
+                                            1);
   }
   [[nodiscard]] std::uint16_t cpu_channel() const override {
-    return dp_ ? dp_->cpu_channel() : 0;
+    if (!sw_.options_.snapshot_enabled) return 0;
+    return dir_ == net::Direction::Ingress ? kIngressCpuChannel
+                                           : sw_.egress_cpu_channel();
   }
 
   void inject_initiation(snap::WireSid sid) override {
@@ -60,6 +62,10 @@ class Switch::PortUnit final : public snap::UnitHandle {
     sw_.do_inject_probe(port_);
   }
 
+  // Register reads on an unmaterialized unit return the untouched-machine
+  // values (sid 0, empty slots, last-seen 0) without materializing — the
+  // polling baseline sweeps every unit of the fabric and must not inflate
+  // untouched ports.
   [[nodiscard]] snap::SlotValue read_value_slot(std::size_t index) const override {
     return dp_ ? dp_->read_slot(index) : snap::SlotValue{};
   }
@@ -75,10 +81,34 @@ class Switch::PortUnit final : public snap::UnitHandle {
   }
 
   [[nodiscard]] snap::DataplaneUnit* dataplane() { return dp_.get(); }
+  [[nodiscard]] bool has_dataplane() const { return dp_ != nullptr; }
+  [[nodiscard]] std::uint64_t captures() const {
+    return dp_ ? dp_->captures() : 0;
+  }
+  [[nodiscard]] std::uint64_t notifications_sent() const {
+    return dp_ ? dp_->notifications_sent() : 0;
+  }
   [[nodiscard]] CounterSet& counters() { return counters_; }
   [[nodiscard]] const CounterSet& counters() const { return counters_; }
 
  private:
+  /// Cold path, once per touched unit. Runs under DetAllow: like event-slab
+  /// and packet-pool growth, this is amortized infrastructure allocation,
+  /// not per-packet work.
+  void materialize() {
+    sim::det::DetAllow allow_unit_materialization;
+    const MetricKind metric = sw_.options_.metric;
+    // speedlight-lint: allow(datapath-alloc) one-off unit materialization.
+    dp_ = std::make_unique<snap::DataplaneUnit>(
+        unit_id(), sw_.options_.snapshot, num_channels(), cpu_channel(),
+        [this, metric]() { return counters_.read(metric); },
+        [metric](const snap::PacketView& v) {
+          return metric_channel_add(metric, v.size_bytes);
+        },
+        [this](const snap::Notification& n) { sw_.notif_->push(n); });
+    dp_->attach_observability(&sw_.sim_.tracer());
+  }
+
   Switch& sw_;
   net::PortId port_;
   net::Direction dir_;
@@ -117,11 +147,13 @@ Switch::Switch(sim::Simulator& sim, net::NodeId id, std::string name,
   if (options_.cos_classes == 0) options_.cos_classes = 1;
   lb_ = make_load_balancer(options_.load_balancer, id * 0x9E3779B9u + 7,
                            options_.flowlet_gap, rng_.fork("lb"));
-  ports_.reserve(options_.num_ports);
+  // One contiguous arena for every port record; the heavyweight members
+  // (snapshot register files, queue rings) stay unmaterialized until the
+  // port is actually touched.
+  ports_.reset(options_.num_ports);
   for (net::PortId p = 0; p < options_.num_ports; ++p) {
-    // speedlight-lint: allow(datapath-alloc) construction-time wiring.
-    ports_.push_back(std::make_unique<Port>(*this, p, options_.cos_classes,
-                                            options_.queue_capacity));
+    ports_.emplace_back(*this, p, options_.cos_classes,
+                        options_.queue_capacity);
   }
 }
 
@@ -129,7 +161,7 @@ Switch::~Switch() = default;
 
 void Switch::attach_link(net::PortId port, net::Link* link, bool to_host) {
   assert(!finalized_ && "attach_link must precede finalize()");
-  Port& p = *ports_.at(port);
+  Port& p = ports_.at(port);
   p.link = link;
   p.to_host = to_host;
   if (to_host) p.ingress_neighbor_enabled = false;  // hosts carry no markers
@@ -137,7 +169,7 @@ void Switch::attach_link(net::PortId port, net::Link* link, bool to_host) {
 
 void Switch::set_ingress_neighbor_enabled(net::PortId port, bool enabled) {
   assert(!finalized_);
-  ports_.at(port)->ingress_neighbor_enabled = enabled;
+  ports_.at(port).ingress_neighbor_enabled = enabled;
 }
 
 void Switch::set_route(net::NodeId dst_host, std::vector<net::PortId> ports) {
@@ -150,6 +182,7 @@ void Switch::finalize() {
 
   snap::ControlPlane::Options cp_options = options_.control;
   cp_options.snapshot = options_.snapshot;
+  cp_options.per_instance_metrics = options_.per_instance_metrics;
   // speedlight-lint: allow(datapath-alloc) finalize()-time wiring.
   cp_ = std::make_unique<snap::ControlPlane>(sim_, id(), name(), timing_,
                                              cp_options, rng_.fork("cp"));
@@ -166,66 +199,62 @@ void Switch::finalize() {
   cp_->set_in_flight_probe([this]() { return notif_->in_flight(); });
 
   // Register this switch with the flight recorder: drop counters plus the
-  // notification transport's surface, all under "switch.<name>".
+  // notification transport's surface, all under "switch.<name>". Past the
+  // facade's fabric-size threshold per-instance registration is skipped —
+  // registry names alone are O(switches) memory — and the fabric-wide
+  // streaming accumulators (obs/streaming.hpp) carry these classes instead.
   auto& reg = sim_.metrics();
   const std::string prefix = "switch." + name();
-  reg.register_reader(prefix + ".queue_drops", obs::MetricKind::Counter,
-                      [this] { return queue_drops(); });
-  reg.register_reader(prefix + ".forwarding_drops", obs::MetricKind::Counter,
-                      [this] { return fwd_drops_; });
-  reg.register_reader(prefix + ".ttl_drops", obs::MetricKind::Counter,
-                      [this] { return ttl_drops_; });
-  notif_->register_metrics(reg, prefix + ".notif");
+  if (options_.per_instance_metrics) {
+    reg.register_reader(prefix + ".queue_drops", obs::MetricKind::Counter,
+                        [this] { return queue_drops(); });
+    reg.register_reader(prefix + ".forwarding_drops", obs::MetricKind::Counter,
+                        [this] { return fwd_drops_; });
+    reg.register_reader(prefix + ".ttl_drops", obs::MetricKind::Counter,
+                        [this] { return ttl_drops_; });
+    notif_->register_metrics(reg, prefix + ".notif");
+  }
   notif_->attach_observability(&sim_.tracer(), obs::notif_track(id()));
 
   if (!options_.snapshot_enabled) return;
 
-  for (auto& port : ports_) {
-    port->ingress.build_dataplane();
-    port->egress.build_dataplane();
-    port->ingress.dataplane()->attach_observability(&sim_.tracer());
-    port->egress.dataplane()->attach_observability(&sim_.tracer());
-    // Queue-depth gauge for the egress unit.
-    CosQueueSet* q = &port->queue;
-    port->egress.counters().set_queue_depth_gauge(
+  // The snapshot state machines themselves materialize lazily on first
+  // touch; only the (cheap, inline) queue-depth gauge is wired eagerly so
+  // a unit materialized mid-run reads the right occupancy immediately.
+  for (std::size_t i = 0; i < ports_.size(); ++i) {
+    Port& port = ports_[i];
+    CosQueueSet* q = &port.queue;
+    port.egress.counters().set_queue_depth_gauge(
         [q]() { return static_cast<std::uint64_t>(q->size()); });
   }
-  // Aggregate snapshot-state-machine activity across all units.
-  reg.register_reader(prefix + ".snap.captures", obs::MetricKind::Counter,
-                      [this] {
-                        std::uint64_t total = 0;
-                        for (const auto& p : ports_) {
-                          total += p->ingress.dataplane()->captures();
-                          total += p->egress.dataplane()->captures();
-                        }
-                        return total;
-                      });
-  reg.register_reader(prefix + ".snap.notifications", obs::MetricKind::Counter,
-                      [this] {
-                        std::uint64_t total = 0;
-                        for (const auto& p : ports_) {
-                          total += p->ingress.dataplane()->notifications_sent();
-                          total += p->egress.dataplane()->notifications_sent();
-                        }
-                        return total;
-                      });
+  if (options_.per_instance_metrics) {
+    // Aggregate snapshot-state-machine activity across all units.
+    reg.register_reader(prefix + ".snap.captures", obs::MetricKind::Counter,
+                        [this] { return snapshot_captures(); });
+    reg.register_reader(prefix + ".snap.notifications",
+                        obs::MetricKind::Counter,
+                        [this] { return snapshot_notifications(); });
+  }
 
   // Register units with the control plane: ingress units first (initiation
-  // dispatch order), then egress.
-  for (auto& port : ports_) {
-    std::vector<bool> mask(port->ingress.num_channels(), false);
+  // dispatch order), then egress. Channel geometry comes from the options,
+  // so masks are sized without materializing any state machine.
+  for (std::size_t i = 0; i < ports_.size(); ++i) {
+    Port& port = ports_[i];
+    std::vector<bool> mask(port.ingress.num_channels(), false);
     // The external channel gates completion only when the upstream device
     // speaks the protocol (Section 6 / Section 10) and the port is wired
     // at all.
     mask[kIngressExternalChannel] =
-        port->ingress_neighbor_enabled && port->link != nullptr;
-    cp_->add_unit(&port->ingress, std::move(mask));
+        port.ingress_neighbor_enabled && port.link != nullptr;
+    cp_->add_unit(&port.ingress, std::move(mask));
   }
-  for (auto& port : ports_) {
+  for (std::size_t i = 0; i < ports_.size(); ++i) {
+    Port& port = ports_[i];
     // Every internal (ingress, class) sub-channel can carry markers:
     // initiations reach all ingress units and probes flood all channels.
-    std::vector<bool> mask(port->egress.num_channels(), true);
-    cp_->add_unit(&port->egress, std::move(mask));
+    std::vector<bool> mask(port.egress.num_channels(), true);
+    cp_->add_unit(&port.egress, std::move(mask));
   }
 }
 
@@ -238,7 +267,7 @@ std::size_t Switch::classify(const net::Packet& pkt) const {
 void Switch::receive(net::PooledPacket pkt, net::PortId in_port) {
   assert(finalized_ && "switch used before finalize()");
   sim::det::DataPathScope datapath;  // Per-packet extent: no allocations.
-  Port& port = *ports_.at(in_port);
+  Port& port = ports_.at(in_port);
   const sim::SimTime now = sim_.now();
 
   // --- Ingress processing unit (Figure 4) ---------------------------------
@@ -249,15 +278,16 @@ void Switch::receive(net::PooledPacket pkt, net::PortId in_port) {
     view.counts_for_metrics = pkt->counts_for_metrics();
     view.has_marker = pkt->snap.present;
     view.wire_sid = pkt->snap.wire_sid;
+    snap::DataplaneUnit& dp = port.ingress.ensure_dataplane();
     const snap::WireSid stamped =
-        port.ingress.dataplane()->on_packet(view, kIngressExternalChannel, now);
+        dp.on_packet(view, kIngressExternalChannel, now);
     if (!pkt->snap.present) {
       // First snapshot-enabled router on the path: add the header.
       pkt->snap.present = true;
       pkt->snap.kind = net::PacketKind::Data;
     }
     pkt->snap.wire_sid = stamped;
-    pkt->audit_virtual_sid = port.ingress.dataplane()->virtual_sid();
+    pkt->audit_virtual_sid = dp.virtual_sid();
   }
   // Counter update strictly after the snapshot logic (see header comment).
   port.ingress.counters().on_packet(*pkt, now);
@@ -280,7 +310,8 @@ void Switch::receive(net::PooledPacket pkt, net::PortId in_port) {
   }
   --pkt->ttl;
   pkt->meta_ingress_port = in_port;
-  const auto& candidates = routing_.lookup(pkt->dst_host);
+  const std::span<const net::PortId> candidates =
+      routing_.lookup(pkt->dst_host);
   if (candidates.empty()) {
     ++fwd_drops_;
     return;
@@ -309,7 +340,7 @@ void Switch::receive(net::PooledPacket pkt, net::PortId in_port) {
 void Switch::enqueue(net::PortId out, net::PooledPacket pkt,
                      std::size_t forced_class) {
   sim::det::DataPathScope datapath;  // Queue admission: no allocations.
-  Port& port = *ports_.at(out);
+  Port& port = ports_.at(out);
   const std::size_t cls =
       forced_class == kClassifyByPacket ? classify(*pkt) : forced_class;
   if (!port.queue.push(std::move(pkt), cls)) {
@@ -324,7 +355,7 @@ void Switch::enqueue(net::PortId out, net::PooledPacket pkt,
 
 void Switch::start_transmission(net::PortId out) {
   sim::det::DataPathScope datapath;  // Dequeue + egress unit: no allocations.
-  Port& port = *ports_.at(out);
+  Port& port = ports_.at(out);
   auto popped = port.queue.pop();
   if (!popped) {
     port.transmitting = false;
@@ -350,7 +381,7 @@ void Switch::start_transmission(net::PortId out) {
 
 void Switch::process_egress(net::PortId out, net::Packet& pkt,
                             std::size_t cls) {
-  Port& port = *ports_.at(out);
+  Port& port = ports_.at(out);
   const sim::SimTime now = sim_.now();
   if (options_.snapshot_enabled && pkt.snap.present) {
     snap::PacketView view;
@@ -360,9 +391,10 @@ void Switch::process_egress(net::PortId out, net::Packet& pkt,
     view.has_marker = true;
     view.wire_sid = pkt.snap.wire_sid;
     const std::uint16_t channel = egress_channel(pkt.meta_ingress_port, cls);
-    pkt.snap.wire_sid = port.egress.dataplane()->on_packet(view, channel, now);
+    snap::DataplaneUnit& dp = port.egress.ensure_dataplane();
+    pkt.snap.wire_sid = dp.on_packet(view, channel, now);
     pkt.snap.channel = 0;  // Switched Ethernet: one upstream per ingress.
-    pkt.audit_virtual_sid = port.egress.dataplane()->virtual_sid();
+    pkt.audit_virtual_sid = dp.virtual_sid();
   }
   port.egress.counters().on_packet(pkt, now);
 
@@ -384,7 +416,7 @@ void Switch::process_egress(net::PortId out, net::Packet& pkt,
 
 void Switch::transmit(net::PortId out, net::PooledPacket pkt) {
   sim::det::DataPathScope datapath;  // Wire handoff: no allocations.
-  Port& port = *ports_.at(out);
+  Port& port = ports_.at(out);
   if (!port.link) return;  // Unconnected port: blackhole (packet recycled).
   if (port.to_host) {
     if (pkt->is_probe()) return;  // Probes never reach applications.
@@ -403,14 +435,13 @@ void Switch::do_inject_initiation(net::PortId port_id, snap::WireSid sid) {
   // bypasses the output queue; it travels on the CPU pseudo-channel so
   // per-channel FIFO id monotonicity is preserved for data channels.
   sim_.after(timing_.cpu_to_dataplane_latency, [this, port_id, sid]() {
-    Port& port = *ports_.at(port_id);
-    if (!port.ingress.dataplane()) return;
+    if (!options_.snapshot_enabled) return;
+    Port& port = ports_.at(port_id);
     const snap::WireSid stamped =
-        port.ingress.dataplane()->on_initiation(sid, sim_.now());
+        port.ingress.ensure_dataplane().on_initiation(sid, sim_.now());
     sim_.after(options_.fabric_delay, [this, port_id, stamped]() {
-      Port& p = *ports_.at(port_id);
-      if (!p.egress.dataplane()) return;
-      p.egress.dataplane()->on_initiation(stamped, sim_.now());
+      Port& p = ports_.at(port_id);
+      p.egress.ensure_dataplane().on_initiation(stamped, sim_.now());
       // The initiation is dropped after processing.
     });
   });
@@ -421,13 +452,14 @@ void Switch::do_inject_probe(net::PortId port_id) {
   // port, refreshing markers on all internal sub-channels and on the links
   // to direct neighbors (Section 6, liveness without traffic).
   sim_.after(timing_.cpu_to_dataplane_latency, [this, port_id]() {
-    Port& port = *ports_.at(port_id);
-    if (!port.ingress.dataplane()) return;
+    if (!options_.snapshot_enabled) return;
+    Port& port = ports_.at(port_id);
     snap::PacketView view;
     view.has_marker = false;  // Stamp only; do not move the ingress state.
     view.counts_for_metrics = false;
-    const snap::WireSid stamped = port.ingress.dataplane()->on_packet(
-        view, kIngressCpuChannel, sim_.now());
+    snap::DataplaneUnit& dp = port.ingress.ensure_dataplane();
+    const snap::WireSid stamped =
+        dp.on_packet(view, kIngressCpuChannel, sim_.now());
 
     net::PooledPacket probe = net::PooledPacket::make();
     probe->id = (static_cast<std::uint64_t>(id()) << 40) |
@@ -437,7 +469,7 @@ void Switch::do_inject_probe(net::PortId port_id) {
     probe->snap.kind = net::PacketKind::Probe;
     probe->snap.wire_sid = stamped;
     probe->meta_ingress_port = port_id;
-    probe->audit_virtual_sid = port.ingress.dataplane()->virtual_sid();
+    probe->audit_virtual_sid = dp.virtual_sid();
 
     // Flood every egress port — including unconnected ones, whose egress
     // units still participate in snapshots and need their internal
@@ -459,25 +491,55 @@ void Switch::do_inject_probe(net::PortId port_id) {
 }
 
 snap::UnitHandle* Switch::unit(net::PortId port, net::Direction dir) {
-  Port& p = *ports_.at(port);
+  Port& p = ports_.at(port);
   return dir == net::Direction::Ingress ? static_cast<snap::UnitHandle*>(&p.ingress)
                                         : static_cast<snap::UnitHandle*>(&p.egress);
 }
 
 const CounterSet& Switch::counters(net::PortId port, net::Direction dir) const {
-  const Port& p = *ports_.at(port);
+  const Port& p = ports_.at(port);
   return dir == net::Direction::Ingress ? p.ingress.counters()
                                         : p.egress.counters();
 }
 
 std::size_t Switch::queue_depth(net::PortId port) const {
-  return ports_.at(port)->queue.size();
+  return ports_.at(port).queue.size();
 }
 
 std::uint64_t Switch::queue_drops() const {
   std::uint64_t total = 0;
-  for (const auto& p : ports_) total += p->queue.drops();
+  for (std::size_t i = 0; i < ports_.size(); ++i) total += ports_[i].queue.drops();
   return total;
+}
+
+std::uint64_t Switch::snapshot_captures() const {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < ports_.size(); ++i) {
+    const Port& p = ports_[i];
+    total += p.ingress.captures() + p.egress.captures();
+  }
+  return total;
+}
+
+std::uint64_t Switch::snapshot_notifications() const {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < ports_.size(); ++i) {
+    const Port& p = ports_[i];
+    total += p.ingress.notifications_sent() + p.egress.notifications_sent();
+  }
+  return total;
+}
+
+std::size_t Switch::materialized_ports() const {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < ports_.size(); ++i) {
+    const Port& p = ports_[i];
+    if (p.ingress.has_dataplane() || p.egress.has_dataplane() ||
+        p.queue.materialized()) {
+      ++n;
+    }
+  }
+  return n;
 }
 
 }  // namespace speedlight::sw

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "net/arena.hpp"
 #include "net/link.hpp"
 #include "net/node.hpp"
 #include "net/packet.hpp"
@@ -97,6 +98,14 @@ struct SwitchOptions {
   /// queue exceeds this many packets at dequeue time. 0 disables.
   std::size_t ecn_threshold = 0;
 
+  /// Register this switch's named per-instance counters (drops, notif
+  /// transport, snapshot activity) with the flight recorder's registry.
+  /// The facade turns this off past a fabric-size threshold and exposes
+  /// fixed-cardinality fabric-wide streaming accumulators instead
+  /// (obs/streaming.hpp) — per-instance registry entries are O(switches)
+  /// memory for names alone at production scale.
+  bool per_instance_metrics = true;
+
   snap::ControlPlane::Options control;
 };
 
@@ -138,6 +147,14 @@ class Switch final : public net::Node {
   [[nodiscard]] std::uint64_t queue_drops() const;
   [[nodiscard]] std::uint64_t forwarding_drops() const { return fwd_drops_; }
   [[nodiscard]] std::uint64_t ttl_drops() const { return ttl_drops_; }
+  /// Aggregate snapshot captures / notifications over materialized units.
+  [[nodiscard]] std::uint64_t snapshot_captures() const;
+  [[nodiscard]] std::uint64_t snapshot_notifications() const;
+
+  /// Ports whose snapshot state machines or queue rings have materialized.
+  /// Untouched ports of a large fabric cost ~0 bytes beyond the port record
+  /// itself; this probe is what the scale tests assert O(ports-touched) on.
+  [[nodiscard]] std::size_t materialized_ports() const;
 
   void set_audit(SwitchAudit* audit) { audit_ = audit; }
 
@@ -189,7 +206,10 @@ class Switch final : public net::Node {
   sim::Rng rng_;
   bool finalized_ = false;
 
-  std::vector<std::unique_ptr<Port>> ports_;
+  /// Contiguous id-indexed port records (one arena allocation, no
+  /// per-entity heap objects); the heavyweight per-port state inside each
+  /// record (snapshot register files, queue rings) materializes lazily.
+  net::ObjectArena<Port> ports_;
   RoutingTable routing_;
   std::unique_ptr<LoadBalancer> lb_;
   std::unique_ptr<snap::ControlPlane> cp_;

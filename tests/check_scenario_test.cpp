@@ -76,5 +76,62 @@ TEST(Scenario, ParserAcceptsCommentsAndBlankLines) {
   EXPECT_EQ(check::scenario_to_string(parsed), check::scenario_to_string(s));
 }
 
+TEST(Scenario, MixTokenRoundTripsAndDefaultsOff) {
+  // Non-default mixes serialize as a trailing token on the workload line;
+  // the default (all_to_all) is omitted so pre-mix files stay
+  // byte-identical through a round trip.
+  check::Scenario s = check::generate_scenario(9);
+  s.workload.mix = check::MixKind::Shuffle;
+  const std::string text = check::scenario_to_string(s);
+  EXPECT_NE(text.find(" shuffle\n"), std::string::npos);
+  const auto parsed = check::scenario_from_string(text);
+  EXPECT_EQ(parsed.workload.mix, check::MixKind::Shuffle);
+  EXPECT_EQ(check::scenario_to_string(parsed), text);
+
+  s.workload.mix = check::MixKind::AllToAll;
+  const std::string plain = check::scenario_to_string(s);
+  EXPECT_EQ(plain.find("all_to_all"), std::string::npos);
+  EXPECT_EQ(check::scenario_from_string(plain).workload.mix,
+            check::MixKind::AllToAll);
+}
+
+TEST(Scenario, ParserRejectsUnknownMix) {
+  const std::string text =
+      "scenario v1\nworkload 4 40000 1000 carrier_pigeon\n";
+  EXPECT_THROW((void)check::scenario_from_string(text),
+               std::invalid_argument);
+}
+
+TEST(Scenario, BudgetedGenerationIsDeterministicAndBounded) {
+  const check::ScenarioBudget budget;
+  bool saw_k16 = false;
+  bool saw_mix = false;
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    const auto a = check::generate_scenario(seed, budget);
+    const auto b = check::generate_scenario(seed, budget);
+    EXPECT_EQ(check::scenario_to_string(a), check::scenario_to_string(b));
+    EXPECT_LE(a.topology().switches.size(), budget.max_switches);
+    EXPECT_LE(a.snapshots, budget.max_snapshots);
+    // Budgeted scenarios must replay through the file format too.
+    EXPECT_EQ(check::scenario_to_string(
+                  check::scenario_from_string(check::scenario_to_string(a))),
+              check::scenario_to_string(a));
+    saw_k16 |= a.topo == check::TopoKind::FatTree && a.size_a == 16;
+    saw_mix |= a.workload.mix != check::MixKind::AllToAll;
+  }
+  // The sampler actually reaches production scale and the new mixes.
+  EXPECT_TRUE(saw_k16);
+  EXPECT_TRUE(saw_mix);
+}
+
+TEST(Scenario, BudgetExcludesOversizedFabrics) {
+  check::ScenarioBudget tight;
+  tight.max_switches = 100;  // Excludes fat-tree k=16 (320 switches).
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    const auto s = check::generate_scenario(seed, tight);
+    EXPECT_LE(s.topology().switches.size(), tight.max_switches);
+  }
+}
+
 }  // namespace
 }  // namespace speedlight

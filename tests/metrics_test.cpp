@@ -1,0 +1,116 @@
+// Streaming-metrics contract (obs/streaming.hpp + the core::Network
+// facade): past NetworkOptions::per_instance_metrics_limit the registry
+// holds one fixed set of fabric-wide accumulators instead of per-switch
+// series, so its cardinality is constant in fabric size — and the
+// accumulated totals must equal the per-switch sums they replace.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/network.hpp"
+#include "net/topology.hpp"
+#include "obs/streaming.hpp"
+#include "test_topologies.hpp"
+#include "workload/basic.hpp"
+
+namespace speedlight {
+namespace {
+
+using core::Network;
+using core::NetworkOptions;
+
+std::size_t registry_size(std::size_t switches, std::size_t limit) {
+  NetworkOptions opt;
+  opt.seed = 11;
+  opt.per_instance_metrics_limit = limit;
+  Network net(net::make_line(switches), opt);
+  return net.simulator().metrics().size();
+}
+
+double fabric_sample(Network& net, const std::string& name) {
+  for (const auto& s : net.simulator().metrics().collect()) {
+    if (s.name == name) return s.value;
+  }
+  ADD_FAILURE() << "no registry sample named " << name;
+  return -1;
+}
+
+TEST(StreamingMetrics, RegistryCardinalityConstantAcrossFabricSize) {
+  // Streaming mode (limit 0): growing the fabric 10x must not add a single
+  // registry entry — the whole point of the O(1)-memory accumulators.
+  const std::size_t small = registry_size(4, 0);
+  const std::size_t large = registry_size(40, 0);
+  EXPECT_EQ(small, large);
+
+  // The per-instance path (the small-fabric default) keeps its per-switch
+  // series, so it does grow — that contrast is the gate.
+  const std::size_t small_pi = registry_size(4, 64);
+  const std::size_t large_pi = registry_size(40, 64);
+  EXPECT_GT(large_pi, small_pi);
+  EXPECT_GT(large_pi, large);
+}
+
+TEST(StreamingMetrics, RegistersExactlyOneReaderPerClass) {
+  obs::MetricsRegistry reg;
+  obs::StreamingMetrics sm;
+  const std::size_t before = reg.size();
+  sm.register_views(reg, "fabric");
+  EXPECT_EQ(reg.size() - before, obs::stream_class_count());
+}
+
+TEST(StreamingMetrics, RefreshRunsOnRead) {
+  obs::StreamingMetrics sm;
+  int refreshes = 0;
+  sm.set_refresh([&refreshes](obs::StreamingMetrics& m) {
+    ++refreshes;
+    m.clear();
+    m.set(obs::StreamClass::QueueDrops, 17);
+  });
+  EXPECT_EQ(sm.refreshed_value(obs::StreamClass::QueueDrops), 17u);
+  EXPECT_EQ(sm.refreshed_value(obs::StreamClass::QueueDrops), 17u);
+  EXPECT_EQ(refreshes, 2);
+}
+
+TEST(StreamingMetrics, TotalsMatchPerSwitchSums) {
+  // Force streaming mode on a small fabric, run traffic plus a snapshot,
+  // and check the fabric-wide readers against the ground-truth per-switch
+  // counters the facade re-sums.
+  NetworkOptions opt;
+  opt.seed = 77;
+  opt.per_instance_metrics_limit = 0;
+  Network net(check::make_topo(check::TopoKind::LeafSpine, 3, 2, 2), opt);
+
+  std::vector<std::unique_ptr<wl::Generator>> gens;
+  for (std::size_t h = 0; h < net.num_hosts(); ++h) {
+    auto g = std::make_unique<wl::PoissonGenerator>(
+        net.simulator(), net.host(h),
+        std::vector<net::NodeId>{net.host_id((h + 1) % net.num_hosts())},
+        50000, 1000, sim::Rng(77 + h));
+    g->start(net.now());
+    gens.push_back(std::move(g));
+  }
+  net.run_for(sim::msec(2));
+  const auto* snap = net.take_snapshot();
+  ASSERT_NE(snap, nullptr);
+
+  std::uint64_t captures = 0;
+  std::uint64_t notifications = 0;
+  std::uint64_t queue_drops = 0;
+  for (std::size_t s = 0; s < net.num_switches(); ++s) {
+    captures += net.switch_at(s).snapshot_captures();
+    notifications += net.switch_at(s).snapshot_notifications();
+    queue_drops += net.switch_at(s).queue_drops();
+  }
+  EXPECT_GT(captures, 0u);
+  EXPECT_EQ(fabric_sample(net, "fabric.snap.captures"),
+            static_cast<double>(captures));
+  EXPECT_EQ(fabric_sample(net, "fabric.snap.notifications"),
+            static_cast<double>(notifications));
+  EXPECT_EQ(fabric_sample(net, "fabric.queue_drops"),
+            static_cast<double>(queue_drops));
+}
+
+}  // namespace
+}  // namespace speedlight

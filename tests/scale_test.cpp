@@ -7,6 +7,7 @@
 #include "core/experiment.hpp"
 #include "core/network.hpp"
 #include "net/topology.hpp"
+#include "obs/process_stats.hpp"
 #include "test_topologies.hpp"
 #include "polling/int_telemetry.hpp"
 #include "polling/sampling.hpp"
@@ -149,6 +150,77 @@ TEST(FeatureInteraction, EverythingOnAtOnce) {
   // The side-channels all saw traffic too.
   EXPECT_GT(sampler.total_samples(), 50u);
   EXPECT_GT(int_collector.telemetry_packets(), 100u);
+}
+
+TEST(Scale, FatTree16LazyMaterialization) {
+  // k=16: 320 switches, 1,024 hosts, 5,120 switch ports. The SoA core must
+  // construct it without materializing a single port unit, inside a hard
+  // RSS ceiling, and traffic must materialize only the ports it touches.
+  const std::int64_t rss_before =
+      static_cast<std::int64_t>(obs::current_rss_kb());
+  NetworkOptions opt;
+  opt.seed = 1616;
+  Network net(net::make_fat_tree(16), opt);
+  ASSERT_EQ(net.num_switches(), 320u);
+  ASSERT_EQ(net.num_hosts(), 1024u);
+  EXPECT_EQ(net.materialized_ports(), 0u);
+  const std::int64_t rss_built =
+      static_cast<std::int64_t>(obs::current_rss_kb());
+  if (rss_before > 0) {
+    // Measured ~5.5 MB of growth for the whole fabric; the ceiling leaves
+    // headroom for allocator noise but forbids any per-port eager build
+    // (eager dataplane units alone would cost tens of MB).
+    EXPECT_LT(rss_built - rss_before, 40 * 1024)
+        << "construction RSS growth (KiB) exceeds the k=16 ceiling";
+  }
+
+  // One flow between two hosts on the same edge switch: only that switch's
+  // two access ports are on the path, and only they may materialize.
+  wl::CbrGenerator gen(net.simulator(), net.host(0), net.host_id(1),
+                       /*flow=*/1, /*rate_bps=*/1e9, /*packet_size=*/1000);
+  gen.start(net.now());
+  net.run_for(sim::usec(200));
+  gen.stop();
+  const std::size_t touched = net.materialized_ports();
+  EXPECT_GT(touched, 0u);
+  EXPECT_LE(touched, 4u) << "materialization must be O(ports touched), "
+                            "not O(total ports)";
+}
+
+TEST(Scale, FatTree32SnapshotRoundUnderMemoryBudget) {
+  // The acceptance fabric: fat-tree k=32 — 1,280 switches, 8,192 hosts,
+  // 40,960 switch ports. It must construct and complete a full snapshot
+  // round inside the documented memory budget (DESIGN.md §14: < 128 MB to
+  // construct, < 512 MB through a probe-flood round).
+  const std::int64_t rss_before =
+      static_cast<std::int64_t>(obs::current_rss_kb());
+  NetworkOptions opt;
+  opt.seed = 3232;
+  Network net(net::make_fat_tree(32), opt);
+  ASSERT_EQ(net.num_switches(), 1280u);
+  ASSERT_EQ(net.num_hosts(), 8192u);
+  EXPECT_EQ(net.materialized_ports(), 0u);
+  const std::int64_t rss_built =
+      static_cast<std::int64_t>(obs::current_rss_kb());
+  if (rss_before > 0) {
+    EXPECT_LT(rss_built - rss_before, 128 * 1024)
+        << "construction RSS growth (KiB) exceeds the k=32 budget";
+  }
+
+  const auto* snap = net.take_snapshot(sim::msec(1), sim::msec(400));
+  ASSERT_NE(snap, nullptr);
+  EXPECT_TRUE(snap->complete);
+  EXPECT_TRUE(snap->excluded_devices.empty());
+  // 1,280 switches x 32 ports x 2 directions.
+  EXPECT_EQ(snap->reports.size(), 81920u);
+  // The probe flood touches every switch port — and is allowed to.
+  EXPECT_EQ(net.materialized_ports(), 40960u);
+  const std::int64_t rss_after =
+      static_cast<std::int64_t>(obs::current_rss_kb());
+  if (rss_before > 0) {
+    EXPECT_LT(rss_after - rss_before, 512 * 1024)
+        << "RSS growth (KiB) through a snapshot round exceeds the budget";
+  }
 }
 
 }  // namespace

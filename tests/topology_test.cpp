@@ -3,7 +3,9 @@
 
 #include <algorithm>
 #include <set>
+#include <vector>
 
+#include "net/soa.hpp"
 #include "net/topology.hpp"
 
 namespace speedlight::net {
@@ -137,6 +139,42 @@ TEST(Topology, RoutesNeverUseHostPortsForTransit) {
       }
     }
   }
+}
+
+TEST(CompactRoutes, MatchesEcmpRoutesEverywhere) {
+  // The interned SoA route table must agree with the reference per-entity
+  // computation for every (switch, host) pair — same ports, same order —
+  // across every topology family (the pinned equivalence the RoutingTable
+  // compact base relies on).
+  const TopologySpec specs[] = {
+      make_leaf_spine(3, 2, 4), make_fat_tree(4), make_ring(5),
+      make_line(4),             make_star(3),
+  };
+  for (const TopologySpec& spec : specs) {
+    SCOPED_TRACE(spec.switches.size());
+    const EcmpRoutes ref = compute_ecmp_routes(spec);
+    const CompactRoutes compact = compute_compact_routes(spec);
+    for (std::size_t s = 0; s < spec.switches.size(); ++s) {
+      std::uint64_t routable = 0;
+      for (std::size_t h = 0; h < spec.hosts.size(); ++h) {
+        const auto span = compact.lookup(s, h);
+        const std::vector<PortId> got(span.begin(), span.end());
+        EXPECT_EQ(got, ref[s][h]) << "s=" << s << " h=" << h;
+        if (!ref[s][h].empty()) ++routable;
+      }
+      EXPECT_EQ(compact.routable_destinations(s), routable) << "s=" << s;
+    }
+  }
+}
+
+TEST(CompactRoutes, InternsSharedNextHopSets) {
+  // In a leaf-spine every leaf shares one uplink set toward all remote
+  // hosts: the pool must hold far fewer sets than (switches x hosts)
+  // route entries — the memory win the SoA core exists for.
+  const TopologySpec spec = make_leaf_spine(4, 3, 4);
+  const CompactRoutes compact = compute_compact_routes(spec);
+  EXPECT_LT(compact.num_sets(),
+            spec.switches.size() * spec.hosts.size() / 4);
 }
 
 }  // namespace
