@@ -1,0 +1,143 @@
+// Clang thread-safety capability annotations (DESIGN.md section 15).
+//
+// The parallel engine's correctness story has two kinds of shared state:
+//
+//   1. Mutex-guarded state — the Threads-mode clock vector, in-flight floor
+//      matrix, and termination flag all live under one engine mutex. The
+//      SPEEDLIGHT_GUARDED_BY / SPEEDLIGHT_REQUIRES annotations make that
+//      discipline machine-checked: clang's -Wthread-safety analysis
+//      (enabled by -DSPEEDLIGHT_THREAD_SAFETY=ON, promoted to an error in
+//      the CI lint job) rejects any access that does not provably hold the
+//      capability.
+//
+//   2. Role-owned state — the SPSC rings and channel spill backlogs are
+//      lock-free by construction: each member is touched by exactly one
+//      side (producer shard or consumer shard). That contract has no
+//      runtime object to lock, so we express it as a *phantom capability*
+//      (ThreadRole): acquiring the role compiles to nothing, but every
+//      access site must still declare which role it relies on, and the
+//      analysis proves the declarations line up.
+//
+// Under non-clang compilers every macro expands to nothing and the wrapper
+// types collapse to their underlying std primitives.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define SPEEDLIGHT_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define SPEEDLIGHT_THREAD_ANNOTATION(x)  // no-op
+#endif
+
+#define SPEEDLIGHT_CAPABILITY(x) SPEEDLIGHT_THREAD_ANNOTATION(capability(x))
+
+#define SPEEDLIGHT_SCOPED_CAPABILITY \
+  SPEEDLIGHT_THREAD_ANNOTATION(scoped_lockable)
+
+#define SPEEDLIGHT_GUARDED_BY(x) SPEEDLIGHT_THREAD_ANNOTATION(guarded_by(x))
+
+#define SPEEDLIGHT_PT_GUARDED_BY(x) \
+  SPEEDLIGHT_THREAD_ANNOTATION(pt_guarded_by(x))
+
+#define SPEEDLIGHT_REQUIRES(...) \
+  SPEEDLIGHT_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+#define SPEEDLIGHT_ACQUIRE(...) \
+  SPEEDLIGHT_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+#define SPEEDLIGHT_RELEASE(...) \
+  SPEEDLIGHT_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+#define SPEEDLIGHT_EXCLUDES(...) \
+  SPEEDLIGHT_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+#define SPEEDLIGHT_ASSERT_CAPABILITY(x) \
+  SPEEDLIGHT_THREAD_ANNOTATION(assert_capability(x))
+
+#define SPEEDLIGHT_RETURN_CAPABILITY(x) \
+  SPEEDLIGHT_THREAD_ANNOTATION(lock_returned(x))
+
+#define SPEEDLIGHT_NO_THREAD_SAFETY_ANALYSIS \
+  SPEEDLIGHT_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace speedlight::core {
+
+/// std::mutex with the capability attribute attached, so members can be
+/// SPEEDLIGHT_GUARDED_BY(mu_) and functions SPEEDLIGHT_REQUIRES(mu_).
+/// native() exists for std::condition_variable, which needs the raw mutex.
+class SPEEDLIGHT_CAPABILITY("mutex") AnnotatedMutex {
+ public:
+  AnnotatedMutex() = default;
+  AnnotatedMutex(const AnnotatedMutex&) = delete;
+  AnnotatedMutex& operator=(const AnnotatedMutex&) = delete;
+
+  void lock() SPEEDLIGHT_ACQUIRE() { mu_.lock(); }
+  void unlock() SPEEDLIGHT_RELEASE() { mu_.unlock(); }
+
+  /// The raw mutex, for std::condition_variable::wait only.
+  [[nodiscard]] std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// std::unique_lock over an AnnotatedMutex, with the scoped-capability
+/// attribute so the analysis tracks the manual unlock()/lock() the engine
+/// does around window execution. native() feeds condition_variable::wait.
+class SPEEDLIGHT_SCOPED_CAPABILITY SyncLock {
+ public:
+  explicit SyncLock(AnnotatedMutex& mu) SPEEDLIGHT_ACQUIRE(mu)
+      : lk_(mu.native()) {}
+  ~SyncLock() SPEEDLIGHT_RELEASE() = default;
+  SyncLock(const SyncLock&) = delete;
+  SyncLock& operator=(const SyncLock&) = delete;
+
+  void unlock() SPEEDLIGHT_RELEASE() { lk_.unlock(); }
+  void lock() SPEEDLIGHT_ACQUIRE() { lk_.lock(); }
+
+  /// The raw lock, for std::condition_variable::wait only — wait()
+  /// releases and re-acquires it, which the analysis cannot see; the
+  /// caller is responsible for treating the capability as continuously
+  /// held across the wait (true on return).
+  [[nodiscard]] std::unique_lock<std::mutex>& native() { return lk_; }
+
+ private:
+  std::unique_lock<std::mutex> lk_;
+};
+
+/// Phantom capability for lock-free ownership disciplines ("only the
+/// producer thread touches this member"). There is nothing to lock at
+/// runtime — acquiring a role compiles to zero instructions — but members
+/// can be SPEEDLIGHT_GUARDED_BY(role) and functions
+/// SPEEDLIGHT_REQUIRES(role), so the analysis proves every access site
+/// *declares* the protocol fact it relies on. The declarations are the
+/// audit trail: grep for ThreadRoleGuard to see exactly where each
+/// single-writer contract is assumed.
+class SPEEDLIGHT_CAPABILITY("role") ThreadRole {
+ public:
+  ThreadRole() = default;
+  ThreadRole(const ThreadRole&) = delete;
+  ThreadRole& operator=(const ThreadRole&) = delete;
+
+  /// Assert the calling thread holds this role by protocol (no-op at
+  /// runtime). Prefer ThreadRoleGuard; this exists for odd control flow.
+  void assert_held() const SPEEDLIGHT_ASSERT_CAPABILITY(this) {}
+};
+
+/// Scoped assumption of a ThreadRole. Constructing one states "this thread
+/// is the role's designated owner for this scope" — a protocol fact the
+/// surrounding code must justify (e.g. the engine worker loop runs on the
+/// shard's own thread by construction).
+class SPEEDLIGHT_SCOPED_CAPABILITY ThreadRoleGuard {
+ public:
+  explicit ThreadRoleGuard(const ThreadRole& role) SPEEDLIGHT_ACQUIRE(role) {
+    (void)role;
+  }
+  ~ThreadRoleGuard() SPEEDLIGHT_RELEASE() = default;
+  ThreadRoleGuard(const ThreadRoleGuard&) = delete;
+  ThreadRoleGuard& operator=(const ThreadRoleGuard&) = delete;
+};
+
+}  // namespace speedlight::core

@@ -19,6 +19,9 @@ const char* binding_name(Binding b) {
 
 void ShardProfiler::configure(std::uint32_t shard, std::size_t num_shards,
                               std::size_t capacity) {
+  // Single-threaded setup: the configuring thread owns the log until the
+  // engine hands it to the shard's worker.
+  core::ThreadRoleGuard owner(owner_role_);
   shard_ = shard;
   capacity_ = capacity;
   head_ = 0;

@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "core/thread_annotations.hpp"
 #include "sim/time.hpp"
 
 namespace speedlight::obs {
@@ -74,9 +75,20 @@ static_assert(sizeof(RoundRecord) <= 64, "round records must stay compact");
 
 /// One shard's bounded round log plus exact aggregates. Written only by
 /// the shard's own thread while the engine runs; read after it stops.
+/// That single-writer contract is a phantom capability (owner_role):
+/// record_round requires it, writers acquire it via ThreadRoleGuard at the
+/// engine call sites, and the quiescent read accessors opt out of the
+/// analysis with a documented after-the-run contract.
 /// alignas keeps neighbouring shards' hot counters off a shared line.
 class alignas(64) ShardProfiler {
  public:
+  /// Capability of the one thread that feeds this shard's log (the shard's
+  /// worker in Threads mode; the engine thread in Inline mode).
+  [[nodiscard]] const core::ThreadRole& owner_role() const
+      SPEEDLIGHT_RETURN_CAPABILITY(owner_role_) {
+    return owner_role_;
+  }
+
   /// Pre-size the ring and the per-producer attribution arrays.
   void configure(std::uint32_t shard, std::size_t num_shards,
                  std::size_t capacity);
@@ -87,7 +99,7 @@ class alignas(64) ShardProfiler {
   /// binding coalesce into the retained tail record (aggregates still
   /// count every round), keeping dense scenarios' ring traffic — and the
   /// profiling overhead — proportional to *episodes*, not sweeps.
-  void record_round(const RoundRecord& r) {
+  void record_round(const RoundRecord& r) SPEEDLIGHT_REQUIRES(owner_role_) {
     drained_ += r.drained;
     wait_ns_ += r.wait_ns;
     if (r.ran) {
@@ -118,43 +130,70 @@ class alignas(64) ShardProfiler {
     push(r);
   }
 
+  // --- Quiescent reads (after run_until returns; the writer is gone) --------
   [[nodiscard]] std::uint32_t shard() const { return shard_; }
-  [[nodiscard]] std::size_t size() const { return ring_.size(); }
+  [[nodiscard]] std::size_t size() const SPEEDLIGHT_NO_THREAD_SAFETY_ANALYSIS {
+    return ring_.size();
+  }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
-  [[nodiscard]] std::uint64_t overwritten() const { return overwritten_; }
+  [[nodiscard]] std::uint64_t overwritten() const
+      SPEEDLIGHT_NO_THREAD_SAFETY_ANALYSIS {
+    return overwritten_;
+  }
 
-  // --- Exact aggregates (independent of ring wrap) --------------------------
-  [[nodiscard]] std::uint64_t windows() const { return windows_; }
-  [[nodiscard]] std::uint64_t stalls() const { return stalls_; }
-  [[nodiscard]] std::uint64_t self_stalls() const { return self_stalls_; }
-  [[nodiscard]] std::uint64_t executed() const { return executed_; }
-  [[nodiscard]] std::uint64_t drained() const { return drained_; }
-  [[nodiscard]] std::uint64_t wait_ns() const { return wait_ns_; }
+  // --- Exact aggregates (independent of ring wrap; quiescent reads) ---------
+  [[nodiscard]] std::uint64_t windows() const
+      SPEEDLIGHT_NO_THREAD_SAFETY_ANALYSIS {
+    return windows_;
+  }
+  [[nodiscard]] std::uint64_t stalls() const
+      SPEEDLIGHT_NO_THREAD_SAFETY_ANALYSIS {
+    return stalls_;
+  }
+  [[nodiscard]] std::uint64_t self_stalls() const
+      SPEEDLIGHT_NO_THREAD_SAFETY_ANALYSIS {
+    return self_stalls_;
+  }
+  [[nodiscard]] std::uint64_t executed() const
+      SPEEDLIGHT_NO_THREAD_SAFETY_ANALYSIS {
+    return executed_;
+  }
+  [[nodiscard]] std::uint64_t drained() const
+      SPEEDLIGHT_NO_THREAD_SAFETY_ANALYSIS {
+    return drained_;
+  }
+  [[nodiscard]] std::uint64_t wait_ns() const
+      SPEEDLIGHT_NO_THREAD_SAFETY_ANALYSIS {
+    return wait_ns_;
+  }
   /// Stall rounds attributed to each producer shard (self index counts the
   /// SelfCycle stalls — i's own echo bound, not a peer).
-  [[nodiscard]] const std::vector<std::uint64_t>& stalls_by_producer() const {
+  [[nodiscard]] const std::vector<std::uint64_t>& stalls_by_producer() const
+      SPEEDLIGHT_NO_THREAD_SAFETY_ANALYSIS {
     return stall_rounds_by_producer_;
   }
   /// Sum of sim-time gaps (m - horizon) per binding producer.
-  [[nodiscard]] const std::vector<std::uint64_t>& gap_by_producer() const {
+  [[nodiscard]] const std::vector<std::uint64_t>& gap_by_producer() const
+      SPEEDLIGHT_NO_THREAD_SAFETY_ANALYSIS {
     return stall_gap_by_producer_;
   }
 
-  /// Visit retained records oldest-to-newest.
+  /// Visit retained records oldest-to-newest (quiescent read).
   template <typename Fn>
-  void for_each(Fn&& fn) const {
+  void for_each(Fn&& fn) const SPEEDLIGHT_NO_THREAD_SAFETY_ANALYSIS {
     const std::size_t n = ring_.size();
     for (std::size_t i = 0; i < n; ++i) fn(ring_[(head_ + i) % n]);
   }
 
  private:
   /// Index of the newest retained record (ring_ must be non-empty).
-  [[nodiscard]] std::size_t tail_index() const {
+  [[nodiscard]] std::size_t tail_index() const
+      SPEEDLIGHT_REQUIRES(owner_role_) {
     if (ring_.size() < capacity_) return ring_.size() - 1;
     return head_ == 0 ? capacity_ - 1 : head_ - 1;
   }
 
-  void push(const RoundRecord& r) {
+  void push(const RoundRecord& r) SPEEDLIGHT_REQUIRES(owner_role_) {
     if (ring_.size() < capacity_) {
       ring_.push_back(r);
     } else {
@@ -168,17 +207,21 @@ class alignas(64) ShardProfiler {
 
   std::uint32_t shard_ = 0;
   std::size_t capacity_ = 0;
-  std::size_t head_ = 0;
-  std::uint64_t overwritten_ = 0;
-  std::uint64_t windows_ = 0;
-  std::uint64_t stalls_ = 0;
-  std::uint64_t self_stalls_ = 0;
-  std::uint64_t executed_ = 0;
-  std::uint64_t drained_ = 0;
-  std::uint64_t wait_ns_ = 0;
-  std::vector<RoundRecord> ring_;
-  std::vector<std::uint64_t> stall_rounds_by_producer_;
-  std::vector<std::uint64_t> stall_gap_by_producer_;
+  std::size_t head_ SPEEDLIGHT_GUARDED_BY(owner_role_) = 0;
+  std::uint64_t overwritten_ SPEEDLIGHT_GUARDED_BY(owner_role_) = 0;
+  std::uint64_t windows_ SPEEDLIGHT_GUARDED_BY(owner_role_) = 0;
+  std::uint64_t stalls_ SPEEDLIGHT_GUARDED_BY(owner_role_) = 0;
+  std::uint64_t self_stalls_ SPEEDLIGHT_GUARDED_BY(owner_role_) = 0;
+  std::uint64_t executed_ SPEEDLIGHT_GUARDED_BY(owner_role_) = 0;
+  std::uint64_t drained_ SPEEDLIGHT_GUARDED_BY(owner_role_) = 0;
+  std::uint64_t wait_ns_ SPEEDLIGHT_GUARDED_BY(owner_role_) = 0;
+  std::vector<RoundRecord> ring_ SPEEDLIGHT_GUARDED_BY(owner_role_);
+  std::vector<std::uint64_t> stall_rounds_by_producer_
+      SPEEDLIGHT_GUARDED_BY(owner_role_);
+  std::vector<std::uint64_t> stall_gap_by_producer_
+      SPEEDLIGHT_GUARDED_BY(owner_role_);
+
+  core::ThreadRole owner_role_;
 };
 
 /// The engine-wide profiler: one ShardProfiler per shard plus the

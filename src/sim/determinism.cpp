@@ -34,21 +34,29 @@ thread_local Auditor* current_auditor = nullptr;
 #endif
 
 std::uint64_t datapath_allocs() {
+  // Independent statistics counters: no reader infers other memory from
+  // them, so plain coherence is all the audit needs.
+  // speedlight-lint: allow(bare-memory-order) standalone stats counter
   return g_datapath_allocs.load(std::memory_order_relaxed);
 }
 std::uint64_t datapath_alloc_bytes() {
+  // speedlight-lint: allow(bare-memory-order) standalone stats counter
   return g_datapath_alloc_bytes.load(std::memory_order_relaxed);
 }
 
 void reset_datapath_allocs() {
+  // speedlight-lint: allow(bare-memory-order) standalone stats counter
   g_datapath_allocs.store(0, std::memory_order_relaxed);
+  // speedlight-lint: allow(bare-memory-order) standalone stats counter
   g_datapath_alloc_bytes.store(0, std::memory_order_relaxed);
 }
 
 void note_allocation(std::size_t size) noexcept {
 #ifdef SPEEDLIGHT_CHECK_DETERMINISM
   if (internal::datapath_depth > 0 && internal::allow_depth == 0) {
+    // speedlight-lint: allow(bare-memory-order) standalone stats counter
     g_datapath_allocs.fetch_add(1, std::memory_order_relaxed);
+    // speedlight-lint: allow(bare-memory-order) standalone stats counter
     g_datapath_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
   }
 #else

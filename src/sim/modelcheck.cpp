@@ -1,0 +1,285 @@
+#include "sim/modelcheck.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <sstream>
+
+namespace speedlight::sim::mc {
+
+namespace {
+
+constexpr SimTime kNever = std::numeric_limits<SimTime>::max();
+constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+
+/// splitmix64: tiny, seedable, platform-independent — schedule choices
+/// must be byte-identical across hosts for golden traces.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+const char* policy_name(Policy p) {
+  switch (p) {
+    case Policy::RoundRobin:     return "round-robin";
+    case Policy::RandomWalk:     return "random-walk";
+    case Policy::PreemptBounded: return "preempt-bounded";
+  }
+  return "?";
+}
+
+const char* verdict_name(Verdict v) {
+  switch (v) {
+    case Verdict::Ok:            return "ok";
+    case Verdict::FloorUnsound:  return "floor-unsound";
+    case Verdict::GvtRegression: return "gvt-regression";
+    case Verdict::Deadlock:      return "deadlock";
+    case Verdict::LostEvent:     return "lost-event";
+    case Verdict::StepBudget:    return "step-budget";
+  }
+  return "?";
+}
+
+VirtualRun::VirtualRun(ParallelEngine& engine, const Options& opts)
+    : eng_(engine), opts_(opts), rng_state_(opts.seed ^ 0xD1B54A32D192ED03ULL),
+      last_gvt_(0) {}
+
+std::uint64_t VirtualRun::next_rand() { return splitmix64(rng_state_); }
+
+bool VirtualRun::worker_runnable(const Worker& w,
+                                 const ThreadsSyncState& ss) const {
+  switch (w.state) {
+    case WState::Plan:
+    case WState::Execute:
+      return true;
+    case WState::Waiting:
+      // Exactly the real wake predicate: epoch moved or termination.
+      // speedlight-lint: allow(bare-memory-order) single-threaded explorer
+      return ss.epoch.load(std::memory_order_relaxed) != w.seen || ss.done;
+    case WState::Finished:
+      return false;
+  }
+  return false;
+}
+
+void VirtualRun::do_plan(std::size_t i, ThreadsSyncState& ss, Result& res) {
+  Worker& w = workers_[i];
+  SimContext::Scoped ctx(eng_.context(i));
+  core::SyncLock lk(ss.mu);
+  const PlanDecision d = eng_.plan_shard(i, ss, opts_.until);
+  if (d.done) {
+    eng_.collect_stragglers(i);
+    w.state = WState::Finished;
+    res.trace += 'F';
+  } else if (d.runnable) {
+    w.state = WState::Execute;
+    w.horizon = d.horizon;
+    res.trace += 'P';
+  } else {
+    // Park on the epoch, snapshotting it under the same lock as the plan —
+    // identical to the worker capturing `seen` before its spin/cv wait.
+    // speedlight-lint: allow(bare-memory-order) single-threaded explorer
+    w.seen = ss.epoch.load(std::memory_order_relaxed);
+    w.state = WState::Waiting;
+    res.trace += 'W';
+  }
+  res.trace += std::to_string(i);
+  res.trace += ' ';
+}
+
+void VirtualRun::advance(std::size_t i, ThreadsSyncState& ss, Result& res) {
+  Worker& w = workers_[i];
+  assert(w.state != WState::Finished && "scheduled a finished worker");
+  if (w.state == WState::Execute) {
+    Simulator& sim = *eng_.shards_[i];
+    if (sim.next_event_time() < w.horizon) {
+      // One event, outside the lock — the yield granularity that lets
+      // other workers' plans cut into the middle of this window.
+      SimContext::Scoped ctx(eng_.context(i));
+      (void)sim.step();
+      res.trace += 'E';
+      res.trace += std::to_string(i);
+      res.trace += ' ';
+      if (sim.next_event_time() >= w.horizon) w.state = WState::Plan;
+      return;
+    }
+    w.state = WState::Plan;
+  }
+  do_plan(i, ss, res);
+}
+
+void VirtualRun::check_invariants(ThreadsSyncState& ss, Result& res) {
+  const std::size_t n = eng_.num_shards();
+  core::SyncLock lk(ss.mu);
+  SimTime gvt = kNever;
+  for (std::size_t f = 0; f < n; ++f) {
+    gvt = std::min(gvt, ss.clock[f]);
+    for (std::size_t t = 0; t < n; ++t) {
+      gvt = std::min(gvt, ss.floor[f * n + t]);
+      const ShardChannel* ch = eng_.channels_[f * n + t].get();
+      if (ch == nullptr) continue;
+      // I1 floor soundness: every message in flight on f -> t must sit at
+      // or above the protocol's published lower bound for that channel.
+      const SimTime ground = ch->inflight_floor();
+      const SimTime bound = std::min(ss.clock[f], ss.floor[f * n + t]);
+      if (ground < bound) {
+        res.verdict = Verdict::FloorUnsound;
+        std::ostringstream os;
+        os << "channel " << f << "->" << t << ": in-flight message at t="
+           << ground << " below protocol bound " << bound << " (clock["
+           << f << "]=" << ss.clock[f] << ", floor=" << ss.floor[f * n + t]
+           << ")";
+        res.detail = os.str();
+        return;
+      }
+    }
+  }
+  // I2 GVT monotonicity: the protocol's global minimum may only advance.
+  if (gvt < last_gvt_) {
+    res.verdict = Verdict::GvtRegression;
+    std::ostringstream os;
+    os << "global clock/floor minimum regressed from " << last_gvt_
+       << " to " << gvt;
+    res.detail = os.str();
+    return;
+  }
+  last_gvt_ = gvt;
+}
+
+void VirtualRun::check_final(Result& res) {
+  const std::size_t n = eng_.num_shards();
+  // The engine's post-join sweep: park surviving spill backlogs (all
+  // legitimately beyond `until`) in their destination queues.
+  for (std::size_t i = 0; i < n; ++i) {
+    SimContext::Scoped ctx(eng_.context(i));
+    eng_.drain_incoming(i);
+  }
+  // I3 no lost event: termination must leave nothing at or before `until`
+  // anywhere — an event found here was dropped, never executed.
+  for (std::size_t i = 0; i < n; ++i) {
+    const SimTime next = eng_.shards_[i]->next_event_time();
+    if (next <= opts_.until) {
+      res.verdict = Verdict::LostEvent;
+      std::ostringstream os;
+      os << "shard " << i << " still holds work at t=" << next
+         << " <= until=" << opts_.until << " after termination";
+      res.detail = os.str();
+      return;
+    }
+  }
+  if (opts_.have_reference && res.executed != opts_.reference_executed) {
+    res.verdict = Verdict::LostEvent;
+    std::ostringstream os;
+    os << "executed " << res.executed << " events, Inline reference ran "
+       << opts_.reference_executed;
+    res.detail = os.str();
+  }
+}
+
+std::size_t VirtualRun::pick_next(const ThreadsSyncState& ss) {
+  const std::size_t n = workers_.size();
+  std::vector<std::size_t> runnable;
+  runnable.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (worker_runnable(workers_[i], ss)) runnable.push_back(i);
+  }
+  if (runnable.empty()) return kNone;
+  switch (opts_.policy) {
+    case Policy::RoundRobin: {
+      for (std::size_t off = 0; off < n; ++off) {
+        const std::size_t i = (cursor_ + off) % n;
+        if (worker_runnable(workers_[i], ss)) {
+          cursor_ = i + 1;
+          return i;
+        }
+      }
+      return kNone;
+    }
+    case Policy::RandomWalk:
+      return runnable[next_rand() % runnable.size()];
+    case Policy::PreemptBounded: {
+      const std::size_t cur = cursor_ % n;
+      const bool cur_runnable = worker_runnable(workers_[cur], ss);
+      if (cur_runnable && runnable.size() > 1 &&
+          preemptions_ < opts_.preemption_bound && next_rand() % 4 == 0) {
+        // Seeded preemption: context-switch away from a runnable worker.
+        ++preemptions_;
+        std::size_t pick;
+        do {
+          pick = runnable[next_rand() % runnable.size()];
+        } while (pick == cur);
+        cursor_ = pick;
+        return pick;
+      }
+      if (cur_runnable) return cur;
+      // Blocked: forced switch (costs no preemption budget).
+      const std::size_t pick = runnable[next_rand() % runnable.size()];
+      cursor_ = pick;
+      return pick;
+    }
+  }
+  return kNone;
+}
+
+Result VirtualRun::run() {
+  Result res;
+  const std::size_t n = eng_.num_shards();
+  assert(n >= 2 && "exploration needs a sharded fabric");
+  eng_.prepare_run();
+  executed_before_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    executed_before_[i] = eng_.shards_[i]->stats().executed;
+  }
+  workers_.assign(n, Worker{});
+
+  ThreadsSyncState ss;
+  if (!eng_.init_threads_state(ss, opts_.until)) {
+    // Nothing at or before until anywhere: the real engine starts no
+    // workers at all. Fall through to the final checks.
+    for (Worker& w : workers_) w.state = WState::Finished;
+  }
+  last_gvt_ = 0;
+  res.trace.reserve(256);
+
+  for (;;) {
+    std::size_t finished = 0;
+    for (const Worker& w : workers_) {
+      if (w.state == WState::Finished) ++finished;
+    }
+    if (finished == n) break;
+    const std::size_t i = pick_next(ss);
+    if (i == kNone) {
+      // I4: live workers, none runnable — the real engine is asleep on
+      // the condition variable with no wakeup ever coming.
+      res.verdict = Verdict::Deadlock;
+      std::ostringstream os;
+      os << "deadlock: " << (n - finished)
+         << " unfinished worker(s), none runnable (epoch stuck)";
+      res.detail = os.str();
+      break;
+    }
+    ++res.steps;
+    if (res.steps > opts_.max_steps) {
+      res.verdict = Verdict::StepBudget;
+      res.detail = "schedule exceeded max_steps (livelock?)";
+      break;
+    }
+    advance(i, ss, res);
+    if (res.verdict != Verdict::Ok) break;
+    check_invariants(ss, res);
+    if (res.verdict != Verdict::Ok) break;
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    res.executed += eng_.shards_[i]->stats().executed - executed_before_[i];
+  }
+  if (res.verdict == Verdict::Ok) check_final(res);
+  return res;
+}
+
+}  // namespace speedlight::sim::mc

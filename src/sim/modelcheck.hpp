@@ -1,0 +1,154 @@
+// Deterministic interleaving explorer for the Threads-mode sync protocol.
+//
+// TSan proved structurally blind to the two hard PR 6 bugs: both were
+// protocol/liveness errors (premature termination dropping spilled events;
+// a consumer stalled forever after a silent spill flush) with no data race
+// anywhere. What decides correctness is the *order of protocol steps* —
+// plan, window execution, epoch wait — across workers, and the real
+// scheduler explores a vanishingly thin slice of those orders.
+//
+// VirtualRun replays the engine's own protocol code (plan_shard, straggler
+// collection — the exact functions the worker threads run, via friendship,
+// not a model of them) on virtual workers multiplexed over one real
+// thread, with a seedable scheduler choosing which worker advances at
+// every yield point:
+//
+//   Plan     one locked protocol step (plan_shard): flush + fold floors,
+//            drain rings, refresh clock, horizon, termination, epoch bump;
+//   Execute  ONE simulator event of the planned window — window execution
+//            happens outside the lock in the real engine, so other
+//            workers' plans legally interleave mid-window, and per-event
+//            granularity exposes every such cut;
+//   Waiting  parked on the epoch (runnable again exactly when the real
+//            futex/spin hybrid would wake: epoch moved or done);
+//   Finished terminated after draining stragglers.
+//
+// After every step the explorer asserts the protocol's safety invariants
+// against ground truth it can see because everything is single-threaded
+// (DESIGN.md section 15):
+//
+//   I1 floor soundness   min(clock_j, F[j][i]) never exceeds the true
+//                        minimum timestamp in flight on channel j -> i;
+//   I2 GVT monotonicity  min over all clocks and floors never regresses;
+//   I3 no lost event     at termination nothing <= until is parked in any
+//                        queue, ring, or spill — and the executed count
+//                        matches the Inline reference when provided;
+//   I4 liveness          some worker is always runnable until all finish,
+//                        within a step budget (deadlock/livelock oracle).
+//
+// `--inject-bug floor-reset` trips I1 (then I3); `--inject-bug
+// silent-flush` trips I4 — the explorer's CI self-test proves it still
+// rediscovers both real bugs. Exploration is fully deterministic: the
+// same scenario, policy, and seed produce byte-identical schedule traces.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/parallel.hpp"
+#include "sim/time.hpp"
+
+namespace speedlight::sim::mc {
+
+/// How the virtual scheduler picks the next worker at each yield point.
+enum class Policy : std::uint8_t {
+  RoundRobin,      ///< Cyclic over runnable workers (canonical trace).
+  RandomWalk,      ///< Uniform over runnable workers per step.
+  PreemptBounded,  ///< Run one worker until it blocks; at most
+                   ///< `preemption_bound` seeded preemptions elsewhere.
+};
+
+[[nodiscard]] const char* policy_name(Policy p);
+
+/// Exploration outcome, most severe first. Ok means every invariant held
+/// on the explored schedule.
+enum class Verdict : std::uint8_t {
+  Ok,
+  FloorUnsound,   ///< I1: a channel held a message below the protocol bound.
+  GvtRegression,  ///< I2: the global clock/floor minimum moved backwards.
+  Deadlock,       ///< I4: unfinished workers, none runnable.
+  LostEvent,      ///< I3: work <= until survived termination (or executed
+                  ///< count diverged from the Inline reference).
+  StepBudget,     ///< I4: schedule exceeded max_steps (livelock oracle).
+};
+
+[[nodiscard]] const char* verdict_name(Verdict v);
+
+struct Options {
+  SimTime until = 0;
+  Policy policy = Policy::RoundRobin;
+  std::uint64_t seed = 0;
+  /// Scheduler steps before declaring livelock. Scenarios are small
+  /// (tens of events); the default is orders of magnitude above any
+  /// legitimate schedule length.
+  std::size_t max_steps = 100000;
+  /// PreemptBounded only: seeded preemptions of a runnable worker.
+  std::size_t preemption_bound = 2;
+  /// Events the same scenario executes under the Inline engine (from a
+  /// twin fabric); checked at termination when `have_reference`.
+  std::uint64_t reference_executed = 0;
+  bool have_reference = false;
+};
+
+struct Result {
+  Verdict verdict = Verdict::Ok;
+  std::string detail;         ///< Human-readable violation description.
+  std::uint64_t steps = 0;    ///< Scheduler steps taken.
+  std::uint64_t executed = 0; ///< Events executed across shards.
+  /// Compact schedule trace: one token per scheduler step (P2 = shard 2
+  /// planned, E0 = shard 0 ran one event, W1 = shard 1 parked on the
+  /// epoch, F3 = shard 3 terminated). On a violation the trace ends at
+  /// the offending step — it IS the minimal reproducing schedule prefix.
+  std::string trace;
+};
+
+/// One exploration of one schedule over an engine's Threads protocol.
+/// The engine must be freshly built (events scheduled, endpoints wired,
+/// run_until never called); a run consumes it. Construct a new fabric per
+/// schedule — scenario factories in tools/modelcheck do exactly that.
+class VirtualRun {
+ public:
+  VirtualRun(ParallelEngine& engine, const Options& opts);
+
+  /// Explore one complete schedule (or stop at the first violation).
+  [[nodiscard]] Result run();
+
+ private:
+  enum class WState : std::uint8_t { Plan, Execute, Waiting, Finished };
+
+  struct Worker {
+    WState state = WState::Plan;
+    SimTime horizon = 0;      ///< Valid in Execute.
+    std::uint64_t seen = 0;   ///< Epoch snapshot while Waiting.
+  };
+
+  /// The real wake predicate (epoch moved or done). Reads `done` the way
+  /// the cv predicate does — single-threaded here, so unanalyzed.
+  [[nodiscard]] bool worker_runnable(const Worker& w,
+                                     const ThreadsSyncState& ss) const
+      SPEEDLIGHT_NO_THREAD_SAFETY_ANALYSIS;
+  /// Advance worker `i` by one atomic protocol action; appends the trace
+  /// token and updates the worker state machine.
+  void advance(std::size_t i, ThreadsSyncState& ss, Result& res);
+  /// Locked plan step (shared path of Plan / woken Waiting / exhausted
+  /// Execute).
+  void do_plan(std::size_t i, ThreadsSyncState& ss, Result& res);
+  /// Invariant checks I1 + I2 against ground truth (takes the lock).
+  void check_invariants(ThreadsSyncState& ss, Result& res);
+  /// Termination checks (I3) after all workers finished.
+  void check_final(Result& res);
+  [[nodiscard]] std::size_t pick_next(const ThreadsSyncState& ss);
+  [[nodiscard]] std::uint64_t next_rand();
+
+  ParallelEngine& eng_;
+  Options opts_;
+  std::vector<Worker> workers_;
+  std::vector<std::uint64_t> executed_before_;
+  std::uint64_t rng_state_;
+  SimTime last_gvt_;
+  std::size_t cursor_ = 0;       ///< RoundRobin / PreemptBounded position.
+  std::size_t preemptions_ = 0;  ///< PreemptBounded budget spent.
+};
+
+}  // namespace speedlight::sim::mc

@@ -76,7 +76,10 @@ class SimContext {
 
   template <typename T>
   [[nodiscard]] static std::size_t slot_index() noexcept {
+    // Unique-id allocation: the value is the payload, nothing else is
+    // published through it, so the RMW's atomicity alone suffices.
     static const std::size_t idx =
+        // speedlight-lint: allow(bare-memory-order) id allocation only
         next_slot_.fetch_add(1, std::memory_order_relaxed);
     assert(idx < kMaxSlots && "raise SimContext::kMaxSlots");
     return idx;

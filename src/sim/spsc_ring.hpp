@@ -9,6 +9,15 @@
 // side's index so the common case touches a single shared atomic per
 // operation.
 //
+// The single-writer contracts are expressed as phantom capabilities
+// (core/thread_annotations.hpp): try_push requires the producer role,
+// try_pop/drain the consumer role, and the side-local index caches are
+// GUARDED_BY their side's role, so clang's -Wthread-safety analysis proves
+// every access site declares the ownership it relies on. The happens-before
+// argument for each memory order is recorded in DESIGN.md section 15; every
+// weak (relaxed) order carries an inline justification pragma, enforced by
+// the `bare-memory-order` lint rule.
+//
 // Capacity is fixed at construction (rounded up to a power of two) and
 // try_push simply fails when full — the caller, not the ring, decides how
 // to handle backpressure. ShardChannel spills to a producer-local vector,
@@ -21,6 +30,8 @@
 #include <cstddef>
 #include <utility>
 #include <vector>
+
+#include "core/thread_annotations.hpp"
 
 namespace speedlight::sim {
 
@@ -35,8 +46,22 @@ class SpscRing {
   SpscRing(const SpscRing&) = delete;
   SpscRing& operator=(const SpscRing&) = delete;
 
+  /// The producer-side ownership capability: exactly one thread may push.
+  [[nodiscard]] const core::ThreadRole& producer_role() const
+      SPEEDLIGHT_RETURN_CAPABILITY(producer_role_) {
+    return producer_role_;
+  }
+  /// The consumer-side ownership capability: exactly one thread may pop.
+  [[nodiscard]] const core::ThreadRole& consumer_role() const
+      SPEEDLIGHT_RETURN_CAPABILITY(consumer_role_) {
+    return consumer_role_;
+  }
+
   /// Producer side. Returns false (leaving `v` untouched) when full.
-  [[nodiscard]] bool try_push(T&& v) {
+  [[nodiscard]] bool try_push(T&& v)
+      SPEEDLIGHT_REQUIRES(producer_role_) {
+    // speedlight-lint: allow(bare-memory-order) tail_ is producer-owned;
+    // this thread wrote every prior value, so program order suffices.
     const std::size_t t = tail_.load(std::memory_order_relaxed);
     if (t - head_cache_ > mask_) {
       head_cache_ = head_.load(std::memory_order_acquire);
@@ -48,7 +73,10 @@ class SpscRing {
   }
 
   /// Consumer side. Returns false when empty.
-  [[nodiscard]] bool try_pop(T& out) {
+  [[nodiscard]] bool try_pop(T& out)
+      SPEEDLIGHT_REQUIRES(consumer_role_) {
+    // speedlight-lint: allow(bare-memory-order) head_ is consumer-owned;
+    // this thread wrote every prior value, so program order suffices.
     const std::size_t h = head_.load(std::memory_order_relaxed);
     if (h == tail_cache_) {
       tail_cache_ = tail_.load(std::memory_order_acquire);
@@ -66,13 +94,26 @@ class SpscRing {
   /// Elements pushed while the drain runs are left for the next call.
   /// Returns the number of elements passed to `fn`.
   template <typename Fn>
-  std::size_t drain(Fn&& fn) {
+  std::size_t drain(Fn&& fn) SPEEDLIGHT_REQUIRES(consumer_role_) {
+    // speedlight-lint: allow(bare-memory-order) head_ is consumer-owned;
+    // the acquire below is on tail_, the producer-published index.
     const std::size_t h = head_.load(std::memory_order_relaxed);
     const std::size_t t = tail_.load(std::memory_order_acquire);
     tail_cache_ = t;
     for (std::size_t i = h; i != t; ++i) fn(std::move(buf_[i & mask_]));
     if (t != h) head_.store(t, std::memory_order_release);
     return t - h;
+  }
+
+  /// Quiescent inspection for the model checker's ground-truth invariant
+  /// probes: visit every element currently parked in the ring without
+  /// consuming it. Only valid when neither side is concurrently active
+  /// (the virtual-thread explorer is single-threaded by construction).
+  template <typename Fn>
+  void peek(Fn&& fn) const SPEEDLIGHT_NO_THREAD_SAFETY_ANALYSIS {
+    const std::size_t h = head_.load(std::memory_order_acquire);
+    const std::size_t t = tail_.load(std::memory_order_acquire);
+    for (std::size_t i = h; i != t; ++i) fn(buf_[i & mask_]);
   }
 
   /// Slots the ring can hold (the rounded-up power of two).
@@ -87,16 +128,23 @@ class SpscRing {
   [[nodiscard]] bool empty() const { return size() == 0; }
 
  private:
+  // Slots are handed producer -> consumer by the tail_/head_
+  // acquire-release protocol, not by either role alone.
+  // speedlight-lint: allow(unannotated-shared-member) slot array crosses
+  // roles under the index handoff protocol (DESIGN.md section 15).
   std::vector<T> buf_;
   const std::size_t mask_;
 
   static constexpr std::size_t kCacheLine = 64;
   // Consumer-owned index + the consumer's cached view of tail_.
   alignas(kCacheLine) std::atomic<std::size_t> head_{0};
-  std::size_t tail_cache_ = 0;
+  std::size_t tail_cache_ SPEEDLIGHT_GUARDED_BY(consumer_role_) = 0;
   // Producer-owned index + the producer's cached view of head_.
   alignas(kCacheLine) std::atomic<std::size_t> tail_{0};
-  std::size_t head_cache_ = 0;
+  std::size_t head_cache_ SPEEDLIGHT_GUARDED_BY(producer_role_) = 0;
+
+  core::ThreadRole producer_role_;
+  core::ThreadRole consumer_role_;
 };
 
 }  // namespace speedlight::sim

@@ -1,0 +1,47 @@
+// Fixture: weak atomic orderings in a concurrency-scope file (sim_* maps
+// to src/sim/) must carry an adjacent allow pragma with a happens-before
+// justification; bare ones are flagged.
+#include <atomic>
+
+namespace fixture {
+
+std::atomic<unsigned> counter{0};
+std::atomic<int*> slot{nullptr};
+
+unsigned bare_load() {
+  return counter.load(std::memory_order_relaxed);  // LINT-EXPECT: bare-memory-order
+}
+
+void bare_store(unsigned v) {
+  counter.store(v, std::memory_order_relaxed);  // LINT-EXPECT: bare-memory-order
+}
+
+int* bare_consume() {
+  return slot.load(std::memory_order_consume);  // LINT-EXPECT: bare-memory-order
+}
+
+unsigned justified_same_line() {
+  // speedlight-lint: allow(bare-memory-order) standalone counter, no payload
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+unsigned justified_comment_block() {
+  // The pragma may sit anywhere in the contiguous comment block directly
+  // above the access — multi-line justifications are the common case.
+  // speedlight-lint: allow(bare-memory-order) value is the whole payload;
+  // nothing else is published through this load.
+  return counter.load(std::memory_order_relaxed);
+}
+
+unsigned acquire_needs_no_pragma() {
+  // Safe-default orderings are never flagged.
+  return counter.load(std::memory_order_acquire);
+}
+
+unsigned detached_pragma() {
+  // speedlight-lint: allow(bare-memory-order) blank line breaks adjacency
+
+  return counter.load(std::memory_order_relaxed);  // LINT-EXPECT: bare-memory-order
+}
+
+}  // namespace fixture

@@ -1,0 +1,47 @@
+// Fixture: classes that own a synchronization primitive (mutex /
+// condition_variable / atomic) must annotate every plain mutable data
+// member with a capability (GUARDED_BY / thread role) — an unguarded
+// member sitting next to a lock is where data races hide.
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#define SPEEDLIGHT_GUARDED_BY(x)
+
+namespace fixture {
+
+class LockOwner {
+ public:
+  void touch();
+
+ private:
+  std::mutex mu_;
+  std::vector<int> guarded_ SPEEDLIGHT_GUARDED_BY(mu_);
+  std::size_t bare_count_ = 0;  // LINT-EXPECT: unannotated-shared-member
+  bool bare_flag_ = false;  // LINT-EXPECT: unannotated-shared-member
+  const std::size_t capacity_ = 8;
+  static constexpr int kClassWide = 1;
+};
+
+struct AtomicOwner {
+  std::atomic<unsigned> published{0};
+  unsigned staging = 0;  // LINT-EXPECT: unannotated-shared-member
+  unsigned annotated SPEEDLIGHT_GUARDED_BY(published) = 0;
+};
+
+// No synchronization member: plain members are fine, this class is
+// single-threaded by construction.
+struct PlainAggregate {
+  std::size_t width = 0;
+  std::size_t height = 0;
+};
+
+struct SuppressedOwner {
+  std::mutex mu;
+  // speedlight-lint: allow(unannotated-shared-member) latch set before the
+  // worker starts, read after it joins; ordering via thread start/join
+  int handoff = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,244 @@
+// speedlight_modelcheck: deterministic interleaving explorer for the
+// Threads-mode synchronization protocol (sim/modelcheck.hpp, DESIGN.md
+// section 15). Each schedule builds a fresh small fabric, multiplexes the
+// engine's real protocol code over virtual workers, drives them with a
+// seedable scheduler, and asserts floor soundness, GVT monotonicity,
+// no-lost-event (against an Inline twin), and liveness after every step.
+//
+// Usage:
+//   speedlight_modelcheck [--scenario NAME|all] [--shards N]
+//                         [--schedules K] [--policy rr|random|preempt|mix]
+//                         [--seed S] [--capacity C] [--until T]
+//                         [--max-steps M] [--preempt-bound B]
+//                         [--inject-bug floor-reset|silent-flush]
+//                         [--stress N] [--trace-out FILE] [--print-trace]
+//
+//   --scenario NAME   pingpong, ring, fanin, burst, or all (default all).
+//   --shards N        Fabric width for ring/fanin, clamped to 2..4
+//                     (default 3; pingpong/burst are pairwise).
+//   --schedules K     Schedules explored per scenario (default 250).
+//                     Schedule k uses seed S+k and, under --policy mix,
+//                     cycles round-robin / random-walk / preempt-bounded.
+//   --seed S          Base seed (default 1).
+//   --capacity C      Channel ring capacity (default 2 — small enough
+//                     that every burst scenario exercises the spill path).
+//   --until T         Override the scenario's horizon (default: scenario
+//                     chooses one covering its whole workload).
+//   --max-steps M     Per-schedule step budget / livelock bound.
+//   --preempt-bound B Max seeded preemptions per preempt-bounded schedule.
+//   --inject-bug X    Re-inject a PR 6 protocol bug (floor-reset or
+//                     silent-flush) into every engine. The explorer is
+//                     expected to find a violation; CI asserts the
+//                     nonzero exit. The printed trace is the minimal
+//                     reproducing schedule prefix.
+//   --stress N        Instead of exploring, run the real Threads engine N
+//                     times per scenario and compare executed counts with
+//                     the Inline twin — the TSan carrier workload.
+//   --trace-out FILE  Write the first schedule's full trace to FILE
+//                     (golden-trace determinism fixture).
+//   --print-trace     Echo every violating schedule's trace to stdout.
+//
+// Exit status: 0 all schedules clean, 1 violation found, 2 usage error.
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "modelcheck/scenarios.hpp"
+#include "sim/modelcheck.hpp"
+
+namespace {
+
+using namespace speedlight;
+namespace smc = sim::mc;
+
+struct Args {
+  std::string scenario = "all";
+  std::size_t shards = 3;
+  std::size_t schedules = 250;
+  std::string policy = "mix";
+  std::uint64_t seed = 1;
+  std::size_t capacity = 2;
+  sim::SimTime until = 0;  // 0 = scenario default.
+  std::size_t max_steps = 100000;
+  std::size_t preempt_bound = 2;
+  std::string inject;
+  std::size_t stress = 0;
+  std::string trace_out;
+  bool print_trace = false;
+};
+
+Args parse(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << flag << " requires a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--scenario") == 0) {
+      a.scenario = next("--scenario");
+    } else if (std::strcmp(argv[i], "--shards") == 0) {
+      a.shards = std::strtoull(next("--shards"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--schedules") == 0) {
+      a.schedules = std::strtoull(next("--schedules"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--policy") == 0) {
+      a.policy = next("--policy");
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      a.seed = std::strtoull(next("--seed"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--capacity") == 0) {
+      a.capacity = std::strtoull(next("--capacity"), nullptr, 10);
+      if (a.capacity == 0) a.capacity = 1;
+    } else if (std::strcmp(argv[i], "--until") == 0) {
+      a.until = std::strtoull(next("--until"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--max-steps") == 0) {
+      a.max_steps = std::strtoull(next("--max-steps"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--preempt-bound") == 0) {
+      a.preempt_bound = std::strtoull(next("--preempt-bound"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--inject-bug") == 0) {
+      a.inject = next("--inject-bug");
+      if (a.inject != "floor-reset" && a.inject != "silent-flush") {
+        std::cerr << "--inject-bug takes floor-reset or silent-flush\n";
+        std::exit(2);
+      }
+    } else if (std::strcmp(argv[i], "--stress") == 0) {
+      a.stress = std::strtoull(next("--stress"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--trace-out") == 0) {
+      a.trace_out = next("--trace-out");
+    } else if (std::strcmp(argv[i], "--print-trace") == 0) {
+      a.print_trace = true;
+    } else {
+      std::cerr << "unknown flag: " << argv[i] << "\n";
+      std::exit(2);
+    }
+  }
+  return a;
+}
+
+smc::Policy policy_for(const Args& a, std::size_t k) {
+  if (a.policy == "rr") return smc::Policy::RoundRobin;
+  if (a.policy == "random") return smc::Policy::RandomWalk;
+  if (a.policy == "preempt") return smc::Policy::PreemptBounded;
+  if (a.policy != "mix") {
+    std::cerr << "--policy takes rr, random, preempt, or mix\n";
+    std::exit(2);
+  }
+  switch (k % 3) {
+    case 0:  return smc::Policy::RoundRobin;
+    case 1:  return smc::Policy::RandomWalk;
+    default: return smc::Policy::PreemptBounded;
+  }
+}
+
+sim::ProtocolFaults faults_for(const Args& a) {
+  sim::ProtocolFaults f;
+  f.floor_reset = a.inject == "floor-reset";
+  f.silent_flush = a.inject == "silent-flush";
+  return f;
+}
+
+/// Explore `schedules` interleavings of one scenario. Returns the number
+/// of violating schedules (stops at the first, which is also the minimal
+/// trace we report).
+int explore_scenario(const Args& a, const std::string& name) {
+  const std::uint64_t reference =
+      tools::mc::inline_reference(name, a.shards, a.capacity);
+  std::uint64_t steps = 0;
+  for (std::size_t k = 0; k < a.schedules; ++k) {
+    auto fabric = tools::mc::make_fabric(
+        name, a.shards, sim::ParallelEngine::Mode::Threads, a.capacity);
+    fabric->engine->inject_protocol_faults(faults_for(a));
+    smc::Options opts;
+    opts.until = a.until != 0 ? a.until : fabric->until;
+    opts.policy = policy_for(a, k);
+    opts.seed = a.seed + k;
+    opts.max_steps = a.max_steps;
+    opts.preemption_bound = a.preempt_bound;
+    opts.reference_executed = reference;
+    // The horizon override changes how much of the workload runs, so the
+    // Inline twin's count only applies at the scenario's own horizon.
+    opts.have_reference = a.until == 0;
+    smc::VirtualRun run(*fabric->engine, opts);
+    const smc::Result res = run.run();
+    steps += res.steps;
+
+    if (k == 0 && !a.trace_out.empty()) {
+      std::ofstream out(a.trace_out);
+      out << "# speedlight_modelcheck scenario=" << name
+          << " policy=" << smc::policy_name(opts.policy)
+          << " seed=" << opts.seed << " until=" << opts.until
+          << " capacity=" << a.capacity << "\n"
+          << res.trace << "\n";
+    }
+    if (res.verdict != smc::Verdict::Ok) {
+      std::cout << "VIOLATION scenario=" << name << " schedule=" << k
+                << " policy=" << smc::policy_name(opts.policy)
+                << " seed=" << opts.seed << " verdict="
+                << smc::verdict_name(res.verdict) << "\n  " << res.detail
+                << "\n  minimal schedule prefix (" << res.steps
+                << " steps): " << res.trace << "\n";
+      return 1;
+    }
+    if (a.print_trace && k == 0) {
+      std::cout << "trace scenario=" << name << " seed=" << opts.seed
+                << ": " << res.trace << "\n";
+    }
+  }
+  std::cout << "scenario=" << name << " schedules=" << a.schedules
+            << " policy=" << a.policy << " steps=" << steps
+            << " reference=" << reference << " verdict=ok\n";
+  return 0;
+}
+
+/// Run the real Threads engine repeatedly (the TSan workload) and check
+/// event-count parity with the Inline twin.
+int stress_scenario(const Args& a, const std::string& name) {
+  const std::uint64_t reference =
+      tools::mc::inline_reference(name, a.shards, a.capacity);
+  for (std::size_t k = 0; k < a.stress; ++k) {
+    auto fabric = tools::mc::make_fabric(
+        name, a.shards, sim::ParallelEngine::Mode::Threads, a.capacity);
+    fabric->engine->inject_protocol_faults(faults_for(a));
+    const std::uint64_t executed = fabric->engine->run_until(fabric->until);
+    if (executed != reference) {
+      std::cout << "STRESS MISMATCH scenario=" << name << " run=" << k
+                << ": executed " << executed << ", Inline reference "
+                << reference << "\n";
+      return 1;
+    }
+  }
+  std::cout << "scenario=" << name << " stress-runs=" << a.stress
+            << " reference=" << reference << " verdict=ok\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args a = parse(argc, argv);
+  std::vector<std::string> names;
+  if (a.scenario == "all") {
+    names = tools::mc::scenario_names();
+  } else {
+    names.push_back(a.scenario);
+  }
+  int failures = 0;
+  for (const std::string& name : names) {
+    try {
+      failures +=
+          a.stress > 0 ? stress_scenario(a, name) : explore_scenario(a, name);
+    } catch (const std::exception& e) {
+      std::cerr << e.what() << "\n";
+      return 2;
+    }
+  }
+  if (failures != 0) {
+    std::cout << failures << " scenario(s) violated the protocol\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,170 @@
+#include "modelcheck/scenarios.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace speedlight::tools::mc {
+
+namespace {
+
+/// Token circulating shard-to-shard: each hop executes on the receiving
+/// shard and forwards to the next endpoint until `remaining` runs out.
+/// Shared by pingpong (2 nodes) and ring (N nodes).
+struct Token : Workload {
+  struct Node {
+    sim::Simulator* self = nullptr;
+    sim::Endpoint out;
+    Node* next = nullptr;
+    sim::SimTime hop = 0;
+
+    void bounce(int remaining) {
+      if (remaining <= 0) return;
+      Node* peer = next;
+      out.post(self->now() + hop,
+               [peer, remaining] { peer->bounce(remaining - 1); });
+    }
+  };
+  std::vector<Node> nodes;
+};
+
+/// Producer that fires waves of messages into one channel, deliberately
+/// overflowing the ring so the spill/flush path (where both PR 6 bugs
+/// live) runs on every wave.
+struct BurstSource : Workload {
+  sim::Simulator* self = nullptr;
+  sim::Endpoint out;
+  sim::SimTime gap = 5;
+  int per_wave = 6;
+
+  void fire() {
+    for (int k = 0; k < per_wave; ++k) {
+      out.post(self->now() + gap + static_cast<sim::SimTime>(k), [] {});
+    }
+  }
+};
+
+std::size_t clamp_shards(std::size_t shards) {
+  return std::min<std::size_t>(4, std::max<std::size_t>(2, shards));
+}
+
+void build_pingpong(Fabric& f) {
+  // Two shards, one token each direction, strict alternation: the
+  // smallest fabric where horizons genuinely depend on the peer.
+  auto tok = std::make_unique<Token>();
+  tok->nodes.resize(2);
+  for (std::size_t i = 0; i < 2; ++i) {
+    Token::Node& n = tok->nodes[i];
+    n.self = f.sims[i].get();
+    n.out = sim::Endpoint::remote(f.engine->channel(i, 1 - i), 1);
+    n.next = &tok->nodes[1 - i];
+    n.hop = 10;
+  }
+  Token* t = tok.get();
+  f.sims[0]->at(0, [t] { t->nodes[0].bounce(12); });
+  f.sims[1]->at(3, [t] { t->nodes[1].bounce(12); });
+  f.until = 300;
+  f.workloads.push_back(std::move(tok));
+}
+
+void build_ring(Fabric& f) {
+  // N shards in a directed cycle, two staggered tokens doing three laps:
+  // exercises the min-plus closure (transitive lookahead) on every plan.
+  const std::size_t n = f.sims.size();
+  auto tok = std::make_unique<Token>();
+  tok->nodes.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Token::Node& node = tok->nodes[i];
+    node.self = f.sims[i].get();
+    node.out = sim::Endpoint::remote(f.engine->channel(i, (i + 1) % n), 1);
+    node.next = &tok->nodes[(i + 1) % n];
+    node.hop = 10;
+  }
+  Token* t = tok.get();
+  const int hops = static_cast<int>(3 * n);
+  f.sims[0]->at(0, [t, hops] { t->nodes[0].bounce(hops); });
+  const std::size_t mid = n / 2;
+  f.sims[mid]->at(4, [t, mid, hops] { t->nodes[mid].bounce(hops); });
+  f.until = 20 + static_cast<sim::SimTime>(hops) * 10;
+  f.workloads.push_back(std::move(tok));
+}
+
+void build_fanin(Fabric& f) {
+  // Shards 1..N-1 each burst into shard 0 in overlapping windows: the
+  // convergence point folds several producers' floors at once, and every
+  // producer's ring overflows (capacity 2 against 6-message waves).
+  const std::size_t n = f.sims.size();
+  for (std::size_t j = 1; j < n; ++j) {
+    auto src = std::make_unique<BurstSource>();
+    src->self = f.sims[j].get();
+    src->out = sim::Endpoint::remote(f.engine->channel(j, 0), 1);
+    BurstSource* s = src.get();
+    f.sims[j]->at(static_cast<sim::SimTime>(2 * j), [s] { s->fire(); });
+    f.sims[j]->at(static_cast<sim::SimTime>(30 + 2 * j), [s] { s->fire(); });
+    f.workloads.push_back(std::move(src));
+  }
+  f.until = 120;
+}
+
+void build_burst(Fabric& f) {
+  // The PR 6 reproducer shape: one producer, one consumer, waves that
+  // overflow the ring so progress depends on flush_spill + floor folding.
+  // floor-reset drops the tail of a wave; silent-flush parks the consumer
+  // below the folded floor forever.
+  auto src = std::make_unique<BurstSource>();
+  src->self = f.sims[0].get();
+  src->out = sim::Endpoint::remote(f.engine->channel(0, 1), 1);
+  BurstSource* s = src.get();
+  f.sims[0]->at(5, [s] { s->fire(); });
+  f.sims[0]->at(40, [s] { s->fire(); });
+  f.until = 100;
+  f.workloads.push_back(std::move(src));
+}
+
+}  // namespace
+
+const std::vector<std::string>& scenario_names() {
+  static const std::vector<std::string> kNames = {"pingpong", "ring", "fanin",
+                                                  "burst"};
+  return kNames;
+}
+
+std::unique_ptr<Fabric> make_fabric(const std::string& scenario,
+                                    std::size_t shards,
+                                    sim::ParallelEngine::Mode mode,
+                                    std::size_t channel_capacity) {
+  auto f = std::make_unique<Fabric>();
+  f->scenario = scenario;
+  const std::size_t n =
+      (scenario == "pingpong" || scenario == "burst") ? 2 : clamp_shards(shards);
+  std::vector<sim::Simulator*> raw;
+  raw.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    f->sims.push_back(std::make_unique<sim::Simulator>(1));
+    raw.push_back(f->sims.back().get());
+  }
+  f->engine =
+      std::make_unique<sim::ParallelEngine>(raw, mode, channel_capacity);
+  f->engine->note_cross_latency(5);
+
+  if (scenario == "pingpong") {
+    build_pingpong(*f);
+  } else if (scenario == "ring") {
+    build_ring(*f);
+  } else if (scenario == "fanin") {
+    build_fanin(*f);
+  } else if (scenario == "burst") {
+    build_burst(*f);
+  } else {
+    throw std::runtime_error("unknown scenario: " + scenario);
+  }
+  return f;
+}
+
+std::uint64_t inline_reference(const std::string& scenario, std::size_t shards,
+                               std::size_t channel_capacity) {
+  auto twin = make_fabric(scenario, shards, sim::ParallelEngine::Mode::Inline,
+                          channel_capacity);
+  return twin->engine->run_until(twin->until);
+}
+
+}  // namespace speedlight::tools::mc

@@ -1,0 +1,53 @@
+// Small cross-shard fabrics for the interleaving explorer: each scenario
+// builds raw Simulators wired through ShardChannels/Endpoints (no topology
+// layer — the unit under test is the sync protocol, not routing) with ring
+// capacities tiny enough that spill backlogs, the hard part of the
+// protocol, occur constantly. Every fabric is built fresh per schedule
+// (exploration consumes it) and has an Inline twin for the no-lost-event
+// reference count.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/parallel.hpp"
+#include "sim/simulator.hpp"
+
+namespace speedlight::tools::mc {
+
+/// Scenario workload state: callbacks capture pointers into it, so it
+/// lives in the fabric, pinned, until the run is done.
+struct Workload {
+  virtual ~Workload() = default;
+};
+
+struct Fabric {
+  std::string scenario;
+  sim::SimTime until = 0;
+  std::vector<std::unique_ptr<sim::Simulator>> sims;
+  std::unique_ptr<sim::ParallelEngine> engine;
+  std::vector<std::unique_ptr<Workload>> workloads;
+};
+
+/// Names accepted by make_fabric, in canonical order: pingpong (2 shards,
+/// strict alternation), ring (token laps over all shards), fanin (bursty
+/// many-to-one convergence), burst (over-capacity waves that force the
+/// spill/flush machinery — the PR 6 bug trigger).
+[[nodiscard]] const std::vector<std::string>& scenario_names();
+
+/// Build one fabric. `shards` is clamped to each scenario's natural range
+/// (pingpong/burst are pairwise; ring/fanin use 2..4). `channel_capacity`
+/// should stay tiny (2) so backpressure paths run.
+[[nodiscard]] std::unique_ptr<Fabric> make_fabric(
+    const std::string& scenario, std::size_t shards,
+    sim::ParallelEngine::Mode mode, std::size_t channel_capacity);
+
+/// Events the scenario executes under the Inline engine (fresh twin
+/// fabric) — the I3 reference count.
+[[nodiscard]] std::uint64_t inline_reference(const std::string& scenario,
+                                             std::size_t shards,
+                                             std::size_t channel_capacity);
+
+}  // namespace speedlight::tools::mc
