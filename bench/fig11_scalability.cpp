@@ -128,11 +128,19 @@ double full_sim_sync_us(std::size_t routers, std::size_t snapshots,
 //     advance) vs assembly tail (last advance -> observer completion),
 //   * memory accounting from the SoA/lazy-port core: RSS growth across
 //     construction, process peak RSS, and how many ports a workload-free
-//     snapshot round actually materializes.
+//     snapshot round actually materializes,
+//   * streaming-assembly accounting (DESIGN.md section 16.4): the observer
+//     folds unit reports into per-device digests as they arrive, so a
+//     round's assembly state is one entry per switch and the assembly tail
+//     stays flat as the fabric grows.
 struct FatTreeRound {
   double spread_us = 0;
+  double assemble_us = 0;
   std::size_t completed = 0;
   std::size_t mat_before = 0;
+  std::size_t switches = 0;
+  std::size_t units = 0;                     ///< Snapshot units in the fabric.
+  std::size_t assembly_entries_per_round = 0;  ///< Observer digest entries.
 };
 
 FatTreeRound fat_tree_round(std::size_t k, std::size_t snapshots,
@@ -143,6 +151,13 @@ FatTreeRound fat_tree_round(std::size_t k, std::size_t snapshots,
   core::NetworkOptions opt;
   opt.seed = 818;
   opt.shards = shards;
+  // Production posture (DESIGN.md section 16): wire fast path + streaming
+  // digest-only assembly. A round's observer state is O(devices) — the raw
+  // unit reports are never retained — and every aggregate below reads the
+  // digests.
+  opt.wire_fast_path = true;
+  opt.observer.retain_unit_reports = false;
+  opt.observer.assembly_shards = static_cast<std::uint32_t>(shards);
   core::Network net(net::make_fat_tree(k), opt);
 
   const std::uint64_t rss_built = obs::current_rss_kb();
@@ -153,20 +168,26 @@ FatTreeRound fat_tree_round(std::size_t k, std::size_t snapshots,
       core::run_snapshot_campaign(net, snapshots, sim::msec(2));
 
   stats::Summary spread, capture, assemble;
+  std::size_t assembly_entries = 0;
   for (const auto* snap : campaign.results(net)) {
     spread.add(sim::to_usec(snap->advance_span()));
-    sim::SimTime last_advance = snap->scheduled_at;
-    for (const auto& [unit, r] : snap->reports) {
-      last_advance = std::max(last_advance, r.advance_time);
-    }
+    const sim::SimTime last_advance =
+        std::max(snap->scheduled_at, snap->latest_advance());
     capture.add(sim::to_usec(last_advance - snap->scheduled_at));
     assemble.add(sim::to_usec(snap->completed_at - last_advance));
+    for (const auto& shard : snap->digests) assembly_entries += shard.size();
     ++out.completed;
   }
   out.spread_us = spread.mean();
+  out.assemble_us = assemble.mean();
+  out.switches = net.spec().switches.size();
+  if (out.completed > 0) {
+    out.assembly_entries_per_round = assembly_entries / out.completed;
+  }
 
   std::size_t total_ports = 0;
   for (const auto& sw : net.spec().switches) total_ports += sw.num_ports;
+  out.units = 2 * total_ports;
 
   report.metric(prefix + ".switches",
                 static_cast<double>(net.spec().switches.size()));
@@ -184,6 +205,13 @@ FatTreeRound fat_tree_round(std::size_t k, std::size_t snapshots,
                 static_cast<double>(out.mat_before));
   report.metric(prefix + ".materialized_ports_after",
                 static_cast<double>(net.materialized_ports()));
+  // Streaming assembly: per-round observer state is one digest per device
+  // (units fold in and are dropped), so entries == switches x rounds.
+  report.metric(prefix + ".assembly_entries_per_round",
+                out.completed == 0
+                    ? 0.0
+                    : static_cast<double>(assembly_entries) /
+                          static_cast<double>(out.completed));
   if (const sim::ParallelEngine* eng = net.engine()) {
     report.metric(prefix + ".rounds",
                   static_cast<double>(eng->last_run().rounds));
@@ -273,6 +301,24 @@ int main(int argc, char** argv) {
     bench::check(ft[i].spread_us > 0.0 && ft[i].spread_us < 500.0,
                  "k=" + std::to_string(ks[i]) +
                      ": full-fabric spread positive and under 500us");
+    bench::check(ft[i].assembly_entries_per_round == ft[i].switches,
+                 "k=" + std::to_string(ks[i]) +
+                     ": assembly state is O(devices) per round (one digest "
+                     "per switch, no retained unit reports)");
+  }
+  // Streaming completion is O(1) per report: the assembly tail (last unit
+  // advance -> observer completion) must grow far slower than the unit
+  // count across fabric sizes.
+  if (ft.size() >= 2) {
+    const auto& lo = ft.front();
+    const auto& hi = ft.back();
+    const double unit_ratio =
+        static_cast<double>(hi.units) / static_cast<double>(lo.units);
+    const double assemble_ratio = hi.assemble_us / std::max(lo.assemble_us, 1.0);
+    bench::check(assemble_ratio < unit_ratio / 2.0,
+                 "assembly tail grows sublinearly in unit count (" +
+                     std::to_string(assemble_ratio) + "x tail vs " +
+                     std::to_string(unit_ratio) + "x units)");
   }
 
   return bench::finish(report);

@@ -17,11 +17,16 @@
 //   --replay FILE     Run one saved .scenario instead of fuzzing; exit 1
 //                     if it violates any invariant.
 //   --no-oracle       Skip the idealized twin run (halves the cost).
-//   --digest          Determinism backstop: run every seed twice and demand
-//                     bit-identical end-state digests and (under
+//   --digest          Determinism + codec backstop: run every seed twice and
+//                     demand bit-identical end-state digests and (under
 //                     SPEEDLIGHT_CHECK_DETERMINISM) tie-break fingerprints.
-//                     Any divergence or guarded data-path allocation fails
-//                     the whole run. Doubles the cost.
+//                     The primary run ships control-plane traffic as
+//                     delta-encoded compact-timestamp v2 frames and the twin
+//                     as full v2 frames (both uncharged), so every seed is
+//                     also an encode/decode equivalence check across the
+//                     whole fault schedule. Any divergence or guarded
+//                     data-path allocation fails the whole run. Doubles the
+//                     cost.
 //   --shards N        Run scenarios on an N-shard parallel network. With
 //                     --digest the twin run keeps N while the primary runs
 //                     serial, so every seed becomes a serial-vs-parallel
@@ -211,16 +216,23 @@ int main(int argc, char** argv) {
       const std::size_t primary_shards =
           (args.digest && args.shards > 1) ? 1 : args.shards;
       const check::RunResult r = check::run_scenario(
-          s, {.with_oracle = args.with_oracle, .shards = primary_shards});
+          s, {.with_oracle = args.with_oracle,
+              .wire = args.digest ? check::WireMode::DeltaCompact
+                                  : check::WireMode::Legacy,
+              .shards = primary_shards});
       stats.account(r);
 
       if (args.digest) {
         // Determinism backstop: the same scenario run twice must land on
         // the exact same observable end state. This catches nondeterminism
         // (unordered-container iteration leaking into behavior, racy event
-        // tie-breaks) that the invariants alone would never notice.
+        // tie-breaks) that the invariants alone would never notice. The
+        // twin flips the wire encoding (delta+compact vs full frames), so
+        // a divergence also convicts a lossy codec round-trip.
         const check::RunResult twin = check::run_scenario(
-            s, {.with_oracle = args.with_oracle, .shards = args.shards});
+            s, {.with_oracle = args.with_oracle,
+                .wire = check::WireMode::FullV2,
+                .shards = args.shards});
         ++stats.digest_runs;
         const bool same_mode = primary_shards == args.shards;
         if (twin.digest != r.digest ||

@@ -17,11 +17,29 @@
 
 namespace speedlight::check {
 
+/// Control-plane report/notification shipping model for a scenario run.
+/// `Legacy` is the v1 struct-shipping path (the pinned-corpus default).
+/// The wire modes enable the v2 fast path (DESIGN.md section 16) with
+/// byte-charging *off*, so the event timeline — and therefore the run
+/// digest — must be identical to Legacy except around observer restarts,
+/// where the wire session protocol drops stale in-flight frames that the
+/// legacy path would still accept. The two wire modes always agree with
+/// each other: `speedlight_fuzz --digest` twin-runs DeltaCompact against
+/// FullV2 as the codec-equivalence oracle.
+enum class WireMode : std::uint8_t {
+  Legacy,        ///< v1 struct shipping.
+  DeltaCompact,  ///< v2 DeltaV2 + compact timestamps, uncharged.
+  FullV2,        ///< v2 fixed-size frames, full timestamps, uncharged.
+};
+
 struct RunOptions {
   /// Run an idealized (hardware_faithful = false) twin of the same seeded
   /// event stream and require mutually consistent reports to match exactly.
   /// Doubles the cost of a run.
   bool with_oracle = true;
+
+  /// Shipping model for the network under test (see WireMode).
+  WireMode wire = WireMode::Legacy;
 
   /// Self-test: deliberately break the conservation checker (drop the
   /// channel-state term) to prove the find-and-shrink loop works.

@@ -87,6 +87,15 @@ Network::Network(const net::TopologySpec& spec, NetworkOptions options)
 
   sim::Rng master = sims_[0]->rng().fork("network");
 
+  if (options_.wire_fast_path) {
+    // One accounting instance per shard: encoders and transports write only
+    // their own shard's copy; the `wire.*` readers sum when the sim is idle.
+    wire_stats_.reserve(nsh);
+    for (std::size_t i = 0; i < nsh; ++i) {
+      wire_stats_.push_back(std::make_unique<snap::WireStats>());
+    }
+  }
+
   // Liveness default: channel-state snapshots stall on traffic-less
   // channels, so re-initiation rounds flood probes (Section 6).
   if (options_.snapshot.channel_state && options_.force_probe_liveness) {
@@ -118,6 +127,11 @@ Network::Network(const net::TopologySpec& spec, NetworkOptions options)
     so.per_instance_metrics = s <= options_.per_instance_metrics_limit;
     so.control = options_.control;
     const std::size_t sh = switch_shard(i);
+    if (options_.wire_fast_path) {
+      so.wire_enabled = true;
+      so.wire = options_.wire;
+      so.wire_stats = wire_stats_[sh].get();
+    }
     switches_.emplace_back(*sims_[sh], static_cast<net::NodeId>(i),
                            spec_.switches[i].name, *shard_timing_[sh], so,
                            master.fork("switch" + std::to_string(i)));
@@ -233,12 +247,19 @@ Network::Network(const net::TopologySpec& spec, NetworkOptions options)
   // clock's correction loop runs on its device's shard.
   ptp_ = std::make_unique<snap::PtpService>(*sims_[0], *shard_timing_[0],
                                             master.fork("ptp"));
-  // The observer's snapshot config always mirrors the data plane's; only
-  // the completion timeout is taken from the caller's observer options.
-  observer_ = std::make_unique<snap::Observer>(
-      *sims_[0], *shard_timing_[0],
-      snap::Observer::Options{options_.snapshot,
-                              options_.observer.completion_timeout});
+  // The observer's snapshot config always mirrors the data plane's, and
+  // its wire setup mirrors the network-level fast-path switches; the rest
+  // (completion timeout, report retention, assembly shards) is taken from
+  // the caller's observer options.
+  snap::Observer::Options obs_options = options_.observer;
+  obs_options.snapshot = options_.snapshot;
+  if (options_.wire_fast_path) {
+    obs_options.wire_reports = true;
+    obs_options.wire = options_.wire;
+    obs_options.wire_stats = wire_stats_[0].get();
+  }
+  observer_ = std::make_unique<snap::Observer>(*sims_[0], *shard_timing_[0],
+                                               std::move(obs_options));
   poller_ = std::make_unique<poll::PollingObserver>(
       *sims_[0], *shard_timing_[0], master.fork("poller"));
 
@@ -248,7 +269,9 @@ Network::Network(const net::TopologySpec& spec, NetworkOptions options)
     const std::size_t sh = switch_shard(i);
     snap::ControlPlane& cp = swch.control_plane();
     cp.set_report_endpoint(make_endpoint(sh, 0, next_key_++));
-    observer_->register_device(&cp, make_endpoint(0, sh, next_key_++));
+    observer_->register_device(
+        &cp, make_endpoint(0, sh, next_key_++),
+        options_.wire_fast_path ? wire_stats_[sh].get() : nullptr);
     if (engine_ != nullptr && sh != 0) {
       // Both RPC directions (requests out, reports/notifications back)
       // travel at observer_rpc_latency; see mutate_timing_at() for the
@@ -264,6 +287,52 @@ Network::Network(const net::TopologySpec& spec, NetworkOptions options)
     }
   }
   if (options_.start_ptp) ptp_->start();
+
+  if (options_.wire_fast_path) {
+    // Fabric-wide wire accounting (satellite of the v2 fast path): byte
+    // counters split by frame family plus the fallback/drop diagnostics.
+    using obs::MetricKind;
+    auto& reg = sims_[0]->metrics();
+    const auto sum = [this](std::uint64_t snap::WireStats::* field) {
+      std::uint64_t total = 0;
+      for (const auto& ws : wire_stats_) total += (*ws).*field;
+      return total;
+    };
+    reg.register_reader("wire.notification_bytes", MetricKind::Counter,
+                        [sum] { return sum(&snap::WireStats::notification_bytes); });
+    reg.register_reader("wire.report_bytes", MetricKind::Counter,
+                        [sum] { return sum(&snap::WireStats::report_bytes); });
+    reg.register_reader("wire.keyframe_bytes", MetricKind::Counter,
+                        [sum] { return sum(&snap::WireStats::keyframe_bytes); });
+    reg.register_reader("wire.delta_bytes", MetricKind::Counter,
+                        [sum] { return sum(&snap::WireStats::delta_bytes); });
+    reg.register_reader("wire.notifications_encoded", MetricKind::Counter,
+                        [sum] { return sum(&snap::WireStats::notifications_encoded); });
+    reg.register_reader("wire.reports_encoded", MetricKind::Counter,
+                        [sum] { return sum(&snap::WireStats::reports_encoded); });
+    reg.register_reader("wire.ts_fallbacks", MetricKind::Counter,
+                        [sum] { return sum(&snap::WireStats::ts_fallbacks); });
+    reg.register_reader("wire.stale_session_drops", MetricKind::Counter,
+                        [sum] { return sum(&snap::WireStats::stale_session_drops); });
+    reg.register_reader("wire.decode_failures", MetricKind::Counter,
+                        [sum] { return sum(&snap::WireStats::decode_failures); });
+  }
+}
+
+snap::WireStats Network::wire_stats_total() const {
+  snap::WireStats total;
+  for (const auto& ws : wire_stats_) {
+    total.notification_bytes += ws->notification_bytes;
+    total.report_bytes += ws->report_bytes;
+    total.keyframe_bytes += ws->keyframe_bytes;
+    total.delta_bytes += ws->delta_bytes;
+    total.notifications_encoded += ws->notifications_encoded;
+    total.reports_encoded += ws->reports_encoded;
+    total.ts_fallbacks += ws->ts_fallbacks;
+    total.stale_session_drops += ws->stale_session_drops;
+    total.decode_failures += ws->decode_failures;
+  }
+  return total;
 }
 
 Network::~Network() = default;

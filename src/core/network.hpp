@@ -55,6 +55,17 @@ struct NetworkOptions {
   std::size_t queue_capacity = 4096;
   sim::Duration fabric_delay = sim::nsec(400);
   snap::NotificationMode notification_mode = snap::NotificationMode::RawSocket;
+
+  /// Control-plane wire fast path (DESIGN.md section 16): notifications and
+  /// unit reports cross process boundaries as v2-encoded frames, service
+  /// time scales with frame size, and the observer assembles from per-link
+  /// decoders. Off (default) preserves the exact v1 struct-shipping model.
+  bool wire_fast_path = false;
+  /// Wire encoding knobs, meaningful with wire_fast_path. The `wire.*`
+  /// metrics series (notification/report/keyframe/delta bytes, fallback and
+  /// drop counters) register on the control shard when the fast path is on.
+  snap::WireOptions wire;
+
   /// Enable In-band Network Telemetry on all switches.
   bool int_enabled = false;
   /// ECN marking threshold in packets (0 = off), applied on all switches.
@@ -206,6 +217,10 @@ class Network {
   [[nodiscard]] snap::PtpService& ptp() { return *ptp_; }
   [[nodiscard]] const NetworkOptions& options() const { return options_; }
 
+  /// Fabric-wide wire accounting summed across shards (all zeros unless
+  /// wire_fast_path). Collect while the simulation is not running.
+  [[nodiscard]] snap::WireStats wire_stats_total() const;
+
   /// Mutable view of the live timing model (the control shard's copy;
   /// with 1 shard it is the only copy, and every component holds a
   /// reference into it, so mutation takes effect immediately — the
@@ -296,6 +311,10 @@ class Network {
 
   /// Fabric-wide O(1)-memory metric accumulators (large fabrics).
   obs::StreamingMetrics streaming_;
+
+  /// Wire accounting, one instance per shard at a stable address (each is
+  /// written only by its shard; readers sum across shards when idle).
+  std::vector<std::unique_ptr<snap::WireStats>> wire_stats_;
 
   std::unique_ptr<snap::PtpService> ptp_;
   std::unique_ptr<snap::Observer> observer_;

@@ -13,6 +13,7 @@
 // log2 layout, no allocation per sample) and are recorded into directly.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <functional>
@@ -32,8 +33,9 @@ enum class MetricKind : std::uint8_t {
 /// Fixed-footprint log2-bucket histogram of non-negative integer samples
 /// (latencies in ns, depths in entries). Bucket i holds values in
 /// [2^(i-1), 2^i); percentile() returns the upper bound of the matched
-/// bucket — a <=2x overestimate, which is fine for the dashboards and
-/// shape checks this feeds.
+/// bucket clamped to the observed [min, max] — still a <=2x overestimate
+/// within the range, which is fine for the dashboards and shape checks
+/// this feeds, but never an impossible value above the recorded maximum.
 class Histogram {
  public:
   void record(std::uint64_t v) {
@@ -51,7 +53,9 @@ class Histogram {
     return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
                   : 0.0;
   }
-  /// p in [0, 1].
+  /// p in [0, 1]. The bucket upper bound is clamped to the observed
+  /// [min, max] so a percentile can never exceed the true maximum (a
+  /// log2 bucket's bound is up to 2x above any sample in it).
   [[nodiscard]] std::uint64_t percentile(double p) const {
     if (count_ == 0) return 0;
     const auto target = static_cast<std::uint64_t>(
@@ -59,7 +63,9 @@ class Histogram {
     std::uint64_t seen = 0;
     for (std::size_t i = 0; i < buckets_.size(); ++i) {
       seen += buckets_[i];
-      if (seen > target) return upper_bound(i);
+      if (seen > target) {
+        return std::clamp(upper_bound(i), min_, max_);
+      }
     }
     return max_;
   }

@@ -42,6 +42,7 @@ void ControlPlane::add_unit(UnitHandle* unit, std::vector<bool> completion_mask)
   state.completion_mask = std::move(completion_mask);
   unit_index_[unit->unit_id()] = units_.size();
   units_.push_back(std::move(state));
+  if (frame_fn_ != nullptr) report_enc_.add_unit(unit->unit_id());
 }
 
 std::vector<net::UnitId> ControlPlane::unit_ids() const {
@@ -314,10 +315,67 @@ void ControlPlane::report_inconsistent(UnitState& u, VirtualSid sid) {
   ship(r);
 }
 
+void ControlPlane::set_report_link(void* ctx, ReportFrameFn fn,
+                                   std::uint16_t dev_index,
+                                   const WireOptions& opts, WireStats* stats) {
+  frame_ctx_ = ctx;
+  frame_fn_ = fn;
+  frame_dev_index_ = dev_index;
+  report_enc_.configure(opts, timing_.observer_rpc_latency, stats);
+  // Pre-create every baseline slot so encoding never allocates on the ship
+  // path (the data-path allocation guard watches it).
+  for (const auto& u : units_) report_enc_.add_unit(u.handle->unit_id());
+}
+
+void ControlPlane::set_report_scope(std::vector<bool> relevant) {
+  scope_ = std::move(relevant);
+  // Membership changes are keyframe events: the observer's decoder may have
+  // lost delta chains for units that just (re)entered the scope.
+  report_enc_.force_keyframes();
+}
+
+void ControlPlane::on_observer_session(std::uint8_t session) {
+  report_enc_.begin_session(session);
+}
+
 void ControlPlane::ship(const UnitReport& r) {
+  if (!scope_.empty()) {
+    const auto it = unit_index_.find(r.unit);
+    if (it != unit_index_.end() &&
+        (it->second >= scope_.size() || !scope_[it->second])) {
+      // Outside the observer's sync group: never crosses the report RPC.
+      ++reports_filtered_;
+      return;
+    }
+  }
   ++reports_sent_;
   sim_.tracer().instant(obs::Category::ControlPlane, obs::EventName::CpReport,
                         track_, sim_.now(), r.sid, obs::pack_unit(r.unit));
+  if (frame_fn_ != nullptr) {
+    // v2 link: encode here (the encoder is stateful per link), ship bytes.
+    // The closure is sized to the inline event capture: fn(8) + ctx(8) +
+    // dev(2) + len(1) + frame(45) = 64 bytes.
+    struct Shipment {
+      ReportFrameFn fn;
+      void* ctx;
+      std::uint16_t dev;
+      std::uint8_t len;
+      std::array<std::uint8_t, kMaxReportFrameBytes> bytes;
+      void operator()() const { fn(ctx, dev, bytes.data(), len); }
+    };
+    Shipment s;
+    s.fn = frame_fn_;
+    s.ctx = frame_ctx_;
+    s.dev = frame_dev_index_;
+    s.len = static_cast<std::uint8_t>(
+        report_enc_.encode(r, sim_.now(), s.bytes.data()));
+    if (report_ep_.wired()) {
+      report_ep_.post(sim_.now() + timing_.observer_rpc_latency, s);
+    } else {
+      sim_.after(timing_.observer_rpc_latency, s);
+    }
+    return;
+  }
   if (!report_) return;
   if (report_ep_.wired()) {
     // The sink closure runs on the observer's shard; `report_` itself is

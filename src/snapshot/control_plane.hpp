@@ -28,6 +28,7 @@
 #include "snapshot/config.hpp"
 #include "snapshot/report.hpp"
 #include "snapshot/unit_handle.hpp"
+#include "snapshot/wire.hpp"
 
 namespace speedlight::snap {
 
@@ -73,6 +74,30 @@ class ControlPlane {
 
   void set_report_sink(ReportSink sink) { report_ = std::move(sink); }
 
+  /// Receiver of encoded report frames (the observer side of the report
+  /// RPC). A plain function pointer + context keeps the shipped closure
+  /// within the inline event capture.
+  using ReportFrameFn = void (*)(void* ctx, std::uint16_t dev_index,
+                                 const std::uint8_t* bytes, std::uint8_t len);
+
+  /// Wire-format v2 report link (DESIGN.md section 16): ship() encodes each
+  /// report through a stateful per-link delta encoder and posts the byte
+  /// frame to `fn` instead of the legacy struct sink. `dev_index` is the
+  /// observer's dense index for this device (frames do not carry node ids).
+  /// Replaces the set_report_sink() path entirely once set.
+  void set_report_link(void* ctx, ReportFrameFn fn, std::uint16_t dev_index,
+                       const WireOptions& opts, WireStats* stats);
+
+  /// Sync-group membership (per local unit index, unit_ids() order): ship()
+  /// drops reports for units outside the observer's scope. An empty vector
+  /// (the default) means every unit is relevant. The change also forces
+  /// keyframes so the observer's next frame per unit carries absolutes.
+  void set_report_scope(std::vector<bool> relevant);
+
+  /// Observer restart announcement: adopt the new report-link session and
+  /// re-keyframe every unit (the restarted decoder starts empty).
+  void on_observer_session(std::uint8_t session);
+
   /// Route shipped reports through a keyed endpoint to the observer's
   /// shard (the report RPC). Unwired (default): the report event stays an
   /// unkeyed local event, the pre-sharding behaviour. Either way the sink
@@ -112,6 +137,9 @@ class ControlPlane {
   [[nodiscard]] std::uint64_t initiations_sent() const { return initiations_sent_; }
   [[nodiscard]] std::uint64_t reinitiation_rounds() const { return reinit_rounds_; }
   [[nodiscard]] std::uint64_t reports_sent() const { return reports_sent_; }
+  [[nodiscard]] std::uint64_t reports_filtered() const {
+    return reports_filtered_;
+  }
 
  private:
   struct UnitState {
@@ -153,11 +181,20 @@ class ControlPlane {
   ReportSink report_;
   sim::Endpoint report_ep_;
 
+  // --- v2 report link (null fn = legacy struct sink) -----------------------
+  ReportFrameFn frame_fn_ = nullptr;
+  void* frame_ctx_ = nullptr;
+  std::uint16_t frame_dev_index_ = 0;
+  ReportEncoder report_enc_;
+  /// Sync-group relevancy by local unit index; empty = all relevant.
+  std::vector<bool> scope_;
+
   VirtualSid latest_initiated_ = 0;
   std::uint64_t track_ = 0;  ///< Flight-recorder lane (obs::cpu_track).
   std::uint64_t initiations_sent_ = 0;
   std::uint64_t reinit_rounds_ = 0;
   std::uint64_t reports_sent_ = 0;
+  std::uint64_t reports_filtered_ = 0;
   bool poll_running_ = false;
   std::function<std::size_t()> in_flight_;  ///< Transport quiescence probe.
 };

@@ -13,6 +13,30 @@ std::size_t DigestChannel::backlog() const {
   return total;
 }
 
+void DigestChannel::configure_wire(net::NodeId device, const WireOptions& opts,
+                                   WireStats* stats) {
+  wire_on_ = true;
+  wire_device_ = device;
+  wire_opts_ = opts;
+  wire_stats_ = stats;
+  // Digest entries are timestamped at accumulation time, so the compact
+  // recovery reference has zero transit skew.
+  codec_ = NotificationCodec(opts, /*transit_latency=*/0);
+}
+
+sim::Duration DigestChannel::cost_of(const Digest& digest) const {
+  sim::Duration cost = timing_.digest_batch_overhead;
+  if (wire_on_ && wire_opts_.charge_bytes) {
+    for (const auto& e : digest) {
+      cost += wire_service_cost(timing_.digest_per_entry_cost, e.len);
+    }
+  } else {
+    cost += static_cast<sim::Duration>(digest.size()) *
+            timing_.digest_per_entry_cost;
+  }
+  return cost;
+}
+
 void DigestChannel::push(const Notification& n) {
   if (timing_.notification_drop_probability > 0.0 &&
       rng_.chance(timing_.notification_drop_probability)) {
@@ -30,7 +54,27 @@ void DigestChannel::push(const Notification& n) {
     accumulating_.reserve(std::max<std::size_t>(
         accumulating_.capacity() * 2, timing_.digest_batch_size));
   }
-  accumulating_.push_back(n);
+  Entry e;
+  if (wire_on_) {
+    // Round-trip through the wire codec so what the control plane sees is
+    // what the bytes carry (the digest stream batches frames that were
+    // already stamped on accumulation, so recovery reference = now).
+    std::uint8_t frame[kMaxNotificationFrameBytes];
+    e.len = static_cast<std::uint8_t>(codec_.encode(n, frame));
+    if (wire_stats_) {
+      wire_stats_->notification_bytes += e.len;
+      ++wire_stats_->notifications_encoded;
+    }
+    const auto decoded = codec_.decode({frame, e.len}, wire_device_, sim_.now());
+    if (!decoded) {
+      if (wire_stats_) ++wire_stats_->decode_failures;
+      return;
+    }
+    e.n = *decoded;
+  } else {
+    e.n = n;
+  }
+  accumulating_.push_back(e);
   ++pending_;
   max_backlog_ = std::max(max_backlog_, backlog());
   if (accumulating_.size() >= timing_.digest_batch_size) {
@@ -52,7 +96,7 @@ void DigestChannel::flush() {
   if (accumulating_.empty()) return;
   ++digests_;
   if (digest_batch_) digest_batch_->record(accumulating_.size());
-  std::vector<Notification> digest = std::move(accumulating_);
+  Digest digest = std::move(accumulating_);
   accumulating_ = std::move(spare_);  // recycled storage keeps its capacity
   accumulating_.clear();
   sim_.after(timing_.notification_pcie_latency,
@@ -74,43 +118,34 @@ void DigestChannel::flush() {
                max_backlog_ = std::max(max_backlog_, backlog());
                if (!draining_) {
                  draining_ = true;
-                 const auto cost =
-                     timing_.digest_batch_overhead +
-                     static_cast<sim::Duration>(cpu_queue_.back().size()) *
-                         timing_.digest_per_entry_cost;
-                 sim_.after(cost, [this]() { drain(); });
+                 sim_.after(cost_of(cpu_queue_.back()), [this]() { drain(); });
                }
              });
 }
 
 void DigestChannel::drain() {
   if (!cpu_queue_.empty()) {
-    std::vector<Notification> digest = std::move(cpu_queue_.front());
+    Digest digest = std::move(cpu_queue_.front());
     cpu_queue_.pop_front();
     pending_ -= digest.size();
     delivered_ += digest.size();
     if (tracer_) {
       // One span per serviced digest, covering its driver processing cost.
-      const auto cost = timing_.digest_batch_overhead +
-                        static_cast<sim::Duration>(digest.size()) *
-                            timing_.digest_per_entry_cost;
+      const auto cost = cost_of(digest);
       tracer_->complete(obs::Category::NotifChannel,
                         obs::EventName::NotifService, track_,
                         sim_.now() - cost, cost,
-                        digest.empty() ? 0 : digest.front().new_sid,
+                        digest.empty() ? 0 : digest.front().n.new_sid,
                         digest.size());
     }
-    for (const auto& n : digest) sink_(n);
+    for (const auto& e : digest) sink_(e.n);
     if (digest.capacity() > spare_.capacity()) {
       digest.clear();
       spare_ = std::move(digest);
     }
   }
   if (!cpu_queue_.empty()) {
-    const auto cost = timing_.digest_batch_overhead +
-                      static_cast<sim::Duration>(cpu_queue_.front().size()) *
-                          timing_.digest_per_entry_cost;
-    sim_.after(cost, [this]() { drain(); });
+    sim_.after(cost_of(cpu_queue_.front()), [this]() { drain(); });
   } else {
     draining_ = false;
   }

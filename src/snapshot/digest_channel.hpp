@@ -18,6 +18,7 @@
 #include "sim/simulator.hpp"
 #include "sim/timing_model.hpp"
 #include "snapshot/notification_transport.hpp"
+#include "snapshot/wire.hpp"
 
 namespace speedlight::snap {
 
@@ -56,27 +57,49 @@ class DigestChannel final : public NotificationTransport {
   void register_metrics(obs::MetricsRegistry& reg,
                         const std::string& prefix) override;
 
+  /// Wire format v2 on the digest stream: each entry is encoded at push
+  /// (bytes counted against `stats`), reconstructed through the codec, and
+  /// — when charging bytes — its share of the per-entry driver cost scales
+  /// with the encoded size.
+  void configure_wire(net::NodeId device, const WireOptions& opts,
+                      WireStats* stats) override;
+
   [[nodiscard]] std::uint64_t digests_flushed() const { return digests_; }
 
  private:
+  /// One accumulated notification; `len` is its encoded v2 frame size
+  /// (0 in the legacy fixed-cost model).
+  struct Entry {
+    Notification n;
+    std::uint8_t len = 0;
+  };
+  using Digest = std::vector<Entry>;
+
   void flush();
   void drain();
+  [[nodiscard]] sim::Duration cost_of(const Digest& digest) const;
 
   sim::Simulator& sim_;
   const sim::TimingModel& timing_;
   sim::Rng rng_;
   Sink sink_;
 
-  std::vector<Notification> accumulating_;
+  bool wire_on_ = false;
+  net::NodeId wire_device_ = net::kInvalidNode;
+  WireOptions wire_opts_;
+  WireStats* wire_stats_ = nullptr;
+  NotificationCodec codec_;
+
+  Digest accumulating_;
   /// Storage recycled from drained digests: flush() hands accumulating_'s
   /// buffer to the in-flight digest and takes this one, so the ASIC-side
   /// accumulation never reallocates in steady state (push() runs on the
   /// data path; see sim/determinism.hpp).
-  std::vector<Notification> spare_;
+  Digest spare_;
   sim::EventId flush_timer_ = 0;
   bool flush_armed_ = false;
 
-  std::deque<std::vector<Notification>> cpu_queue_;
+  std::deque<Digest> cpu_queue_;
   std::size_t pending_ = 0;  ///< push()ed, not yet delivered or dropped.
   bool draining_ = false;
 

@@ -6,8 +6,16 @@
 // buffer one notification at a time, each taking `notification_service_time`
 // (the bottleneck behind Figure 10). Overflow and random loss drop
 // notifications — the protocol must tolerate this (Section 6, liveness).
+//
+// With configure_wire() the channel additionally models the v2 wire format
+// (DESIGN.md section 16): push() encodes the notification into a byte frame,
+// the frame crosses PCIe and queues in the socket buffer, drain() decodes it
+// (compact timestamps recover against the buffered arrival time), and — when
+// charging bytes — the per-notification service cost scales with the frame
+// size, which is where the delta encoding's Figure 10 rate win comes from.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -17,6 +25,7 @@
 #include "sim/timing_model.hpp"
 #include "snapshot/notification.hpp"
 #include "snapshot/notification_transport.hpp"
+#include "snapshot/wire.hpp"
 
 namespace speedlight::snap {
 
@@ -56,21 +65,43 @@ class NotificationChannel final : public NotificationTransport {
   void register_metrics(obs::MetricsRegistry& reg,
                         const std::string& prefix) override;
 
+  void configure_wire(net::NodeId device, const WireOptions& opts,
+                      WireStats* stats) override;
+
  private:
   /// A buffered notification plus its socket-buffer arrival time, so
-  /// delivery can record how long it waited (queue delay + service).
+  /// delivery can record how long it waited (queue delay + service). Wire
+  /// mode buffers the encoded frame instead of the struct; `arrived` doubles
+  /// as the compact-timestamp recovery reference (the kernel's arrival
+  /// timestamp on the raw socket).
   struct Queued {
     Notification n;
     sim::SimTime arrived = 0;
+    std::uint8_t len = 0;
+    std::array<std::uint8_t, kMaxNotificationFrameBytes> frame;
+  };
+
+  /// An encoded frame in PCIe flight (fits the inline event capture).
+  struct Frame {
+    std::array<std::uint8_t, kMaxNotificationFrameBytes> bytes;
+    std::uint8_t len = 0;
   };
 
   void arrive(const Notification& n);
+  void arrive_frame(const Frame& f);
   void drain();
+  [[nodiscard]] sim::Duration service_of(const Queued& q) const;
 
   sim::Simulator& sim_;
   const sim::TimingModel& timing_;
   sim::Rng rng_;
   Sink sink_;
+
+  bool wire_on_ = false;
+  net::NodeId wire_device_ = net::kInvalidNode;
+  WireOptions wire_opts_;
+  WireStats* wire_stats_ = nullptr;
+  NotificationCodec codec_;
 
   std::deque<Queued> buffer_;
   std::size_t pending_ = 0;  ///< push()ed, not yet delivered or dropped.

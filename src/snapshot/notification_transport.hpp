@@ -14,9 +14,11 @@
 #include <functional>
 #include <string>
 
+#include "net/types.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "snapshot/notification.hpp"
+#include "snapshot/wire.hpp"
 
 namespace speedlight::snap {
 
@@ -79,6 +81,19 @@ class NotificationTransport {
   void attach_observability(obs::Tracer* tracer, std::uint64_t track) {
     tracer_ = tracer;
     track_ = track;
+  }
+
+  /// Switch the transport to the v2 wire model (DESIGN.md section 16):
+  /// notifications are encoded at push, cross as byte frames, are decoded
+  /// on delivery, and — when `opts.charge_bytes` — service time scales with
+  /// frame size. Unconfigured transports keep the exact v1 fixed-cost
+  /// behaviour (unit-test fixtures rely on it). `device` owns the channel
+  /// (frames do not carry the node id); `stats` may be null.
+  virtual void configure_wire(net::NodeId device, const WireOptions& opts,
+                              WireStats* stats) {
+    (void)device;
+    (void)opts;
+    (void)stats;
   }
 
  protected:

@@ -2,63 +2,109 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 namespace speedlight::snap {
 
+namespace {
+/// Fold a nonzero timestamp into a (min, max) pair where 0 means "empty".
+void fold_extrema(sim::SimTime t, sim::SimTime& lo, sim::SimTime& hi) {
+  if (t == 0) return;  // Never recorded (e.g. inconsistent report).
+  if (lo == 0 || t < lo) lo = t;
+  if (hi == 0 || t > hi) hi = t;
+}
+}  // namespace
+
+void DeviceDigest::fold(const UnitReport& r) {
+  ++received;
+  if (r.consistent) {
+    ++consistent;
+    local_sum += r.local_value;
+    channel_sum += r.channel_value;
+  }
+  if (r.inferred) ++inferred;
+  fold_extrema(r.advance_time, advance_min, advance_max);
+  fold_extrema(r.finalize_time, finalize_min, finalize_max);
+}
+
 bool GlobalSnapshot::all_consistent() const {
-  return std::all_of(reports.begin(), reports.end(),
-                     [](const auto& kv) { return kv.second.consistent; });
+  return consistent_count() == received_total;
 }
 
 std::size_t GlobalSnapshot::consistent_count() const {
-  return static_cast<std::size_t>(
-      std::count_if(reports.begin(), reports.end(),
-                    [](const auto& kv) { return kv.second.consistent; }));
+  std::size_t n = 0;
+  for (const auto& shard : digests) {
+    for (const auto& [device, d] : shard) {
+      (void)device;
+      n += d.consistent;
+    }
+  }
+  return n;
 }
 
 namespace {
 sim::Duration span_of(const GlobalSnapshot& snap,
-                      sim::SimTime UnitReport::* field) {
-  sim::SimTime lo = std::numeric_limits<sim::SimTime>::max();
-  sim::SimTime hi = std::numeric_limits<sim::SimTime>::min();
-  bool any = false;
-  for (const auto& [unit, r] : snap.reports) {
-    (void)unit;
-    const sim::SimTime t = r.*field;
-    if (t == 0) continue;  // Never recorded (e.g. inconsistent report).
-    lo = std::min(lo, t);
-    hi = std::max(hi, t);
-    any = true;
+                      sim::SimTime DeviceDigest::* lo_field,
+                      sim::SimTime DeviceDigest::* hi_field) {
+  sim::SimTime lo = 0;
+  sim::SimTime hi = 0;
+  for (const auto& shard : snap.digests) {
+    for (const auto& [device, d] : shard) {
+      (void)device;
+      fold_extrema(d.*lo_field, lo, hi);
+      fold_extrema(d.*hi_field, lo, hi);
+    }
   }
-  return any ? hi - lo : 0;
+  return hi - lo;  // Both zero when nothing was recorded.
 }
 }  // namespace
 
 sim::Duration GlobalSnapshot::advance_span() const {
-  return span_of(*this, &UnitReport::advance_time);
+  return span_of(*this, &DeviceDigest::advance_min, &DeviceDigest::advance_max);
 }
 
 sim::Duration GlobalSnapshot::finalize_span() const {
-  return span_of(*this, &UnitReport::finalize_time);
+  return span_of(*this, &DeviceDigest::finalize_min,
+                 &DeviceDigest::finalize_max);
+}
+
+sim::SimTime GlobalSnapshot::latest_advance() const {
+  sim::SimTime latest = 0;
+  for (const auto& shard : digests) {
+    for (const auto& [device, d] : shard) {
+      (void)device;
+      latest = std::max(latest, d.advance_max);
+    }
+  }
+  return latest;
 }
 
 std::uint64_t GlobalSnapshot::total_value(bool include_channel) const {
   std::uint64_t total = 0;
-  for (const auto& [unit, r] : reports) {
-    (void)unit;
-    if (!r.consistent) continue;
-    total += r.local_value;
-    if (include_channel) total += r.channel_value;
+  for (const auto& shard : digests) {
+    for (const auto& [device, d] : shard) {
+      (void)device;
+      total += d.local_sum;
+      if (include_channel) total += d.channel_sum;
+    }
   }
   return total;
+}
+
+const DeviceDigest* GlobalSnapshot::digest(net::NodeId device) const {
+  for (const auto& shard : digests) {
+    const auto it = shard.find(device);
+    if (it != shard.end()) return &it->second;
+  }
+  return nullptr;
 }
 
 Observer::Observer(sim::Simulator& sim, const sim::TimingModel& timing,
                    Options options)
     : sim_(sim),
       timing_(timing),
-      options_(options),
-      space_(options.snapshot.sid_space()) {
+      options_(std::move(options)),
+      space_(options_.snapshot.sid_space()) {
   using obs::MetricKind;
   auto& reg = sim_.metrics();
   reg.register_reader("observer.requested", MetricKind::Counter, [this] {
@@ -75,10 +121,35 @@ Observer::Observer(sim::Simulator& sim, const sim::TimingModel& timing,
   completion_latency_ = &reg.histogram("observer.completion_latency_ns");
 }
 
-void Observer::register_device(ControlPlane* cp, sim::Endpoint rpc) {
-  cp->set_report_sink([this](const UnitReport& r) { on_report(r); });
-  devices_.push_back({cp, cp->unit_ids(), rpc});
-  total_units_ += devices_.back().units.size();
+void Observer::report_frame_thunk(void* ctx, std::uint16_t dev_index,
+                                  const std::uint8_t* bytes,
+                                  std::uint8_t len) {
+  static_cast<Observer*>(ctx)->on_report_frame(dev_index, {bytes, len});
+}
+
+void Observer::register_device(ControlPlane* cp, sim::Endpoint rpc,
+                               WireStats* link_stats) {
+  Device dev;
+  dev.cp = cp;
+  dev.units = cp->unit_ids();
+  dev.rpc = rpc;
+  dev.first_unit_index = total_units_;
+  dev.relevant_units = dev.units.size();
+  const auto dev_index = static_cast<std::uint16_t>(devices_.size());
+  device_index_[cp->device()] = dev_index;
+  for (const auto& u : dev.units) unit_index_[u] = total_units_++;
+  if (options_.wire_reports) {
+    dev.decoder.configure(options_.wire, cp->device(), options_.wire_stats);
+    for (const auto& u : dev.units) dev.decoder.add_unit(u);
+    dev.decoder.begin_session(session_);
+    cp->set_report_link(this, &Observer::report_frame_thunk, dev_index,
+                        options_.wire,
+                        link_stats != nullptr ? link_stats
+                                              : options_.wire_stats);
+  } else {
+    cp->set_report_sink([this](const UnitReport& r) { on_report(r); });
+  }
+  devices_.push_back(std::move(dev));
 }
 
 VirtualSid Observer::lowest_outstanding() const {
@@ -101,10 +172,17 @@ std::optional<VirtualSid> Observer::request_snapshot(sim::SimTime when) {
   GlobalSnapshot& snap = snapshots_[id];
   snap.id = id;
   snap.scheduled_at = when;
-  // Pin the device set: late-attached devices are not part of this
-  // snapshot (Section 6, "Node attachment").
-  for (const auto& dev : devices_) {
-    snap.expected_devices[dev.cp->device()] = dev.units.size();
+  snap.digests.resize(std::max<std::uint32_t>(options_.assembly_shards, 1));
+  snap.seen.assign(total_units_, false);
+  // Pin the device set (and the sync-group membership): late-attached
+  // devices are not part of this snapshot (Section 6, "Node attachment").
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    const Device& dev = devices_[i];
+    snap.expected_devices[dev.cp->device()] = dev.relevant_units;
+    DeviceDigest d;
+    d.expected = dev.relevant_units;
+    snap.digests[i % snap.digests.size()].emplace(dev.cp->device(), d);
+    snap.expected_total += dev.relevant_units;
   }
 
   sim_.tracer().instant(obs::Category::Observer, obs::EventName::ObsRequest,
@@ -126,23 +204,109 @@ std::optional<VirtualSid> Observer::request_snapshot(sim::SimTime when) {
   return id;
 }
 
+void Observer::set_scope(const std::function<bool(const net::UnitId&)>& pred) {
+  if (pred) {
+    relevant_.assign(total_units_, true);
+  } else {
+    relevant_.clear();
+  }
+  for (auto& dev : devices_) {
+    std::vector<bool> mask;
+    if (pred) {
+      mask.assign(dev.units.size(), true);
+      std::size_t count = 0;
+      for (std::size_t i = 0; i < dev.units.size(); ++i) {
+        const bool rel = pred(dev.units[i]);
+        mask[i] = rel;
+        relevant_[dev.first_unit_index + i] = rel;
+        count += rel ? 1 : 0;
+      }
+      dev.relevant_units = count;
+    } else {
+      dev.relevant_units = dev.units.size();
+    }
+    // The mask rides the same keyed channel as snapshot requests, so any
+    // request made after this call is ordered behind it on every device.
+    ControlPlane* cp = dev.cp;
+    if (dev.rpc.wired()) {
+      dev.rpc.post(sim_.now() + timing_.observer_rpc_latency,
+                   [cp, mask]() { cp->set_report_scope(mask); });
+    } else {
+      sim_.after(timing_.observer_rpc_latency,
+                 [cp, mask]() { cp->set_report_scope(mask); });
+    }
+  }
+}
+
+void Observer::set_down(bool down) {
+  if (down_ && !down) {
+    // Restart: new wire session. The report-link decoders come back empty;
+    // every control plane is told to adopt the session and re-keyframe.
+    // In-flight frames from the old session are self-identifying and get
+    // dropped at decode — under every encoding alike.
+    ++session_;
+    if (options_.wire_reports) {
+      for (auto& dev : devices_) {
+        dev.decoder.begin_session(session_);
+        ControlPlane* cp = dev.cp;
+        const std::uint8_t s = session_;
+        if (dev.rpc.wired()) {
+          dev.rpc.post(sim_.now() + timing_.observer_rpc_latency,
+                       [cp, s]() { cp->on_observer_session(s); });
+        } else {
+          sim_.after(timing_.observer_rpc_latency,
+                     [cp, s]() { cp->on_observer_session(s); });
+        }
+      }
+    }
+  }
+  down_ = down;
+}
+
+void Observer::on_report_frame(std::uint16_t dev_index,
+                               std::span<const std::uint8_t> bytes) {
+  if (down_) {
+    // Dead socket: the frame is lost before it reaches the decoder, so the
+    // delta chain breaks — the restart session bump re-keyframes it.
+    ++reports_dropped_while_down_;
+    return;
+  }
+  if (dev_index >= devices_.size()) return;
+  const auto r = devices_[dev_index].decoder.decode(bytes, sim_.now());
+  if (!r) return;  // Stale session / malformed; counted by the decoder.
+  on_report(*r);
+}
+
 void Observer::on_report(const UnitReport& r) {
   if (down_) {
     ++reports_dropped_while_down_;
     return;
   }
+  const auto gi = unit_index_.find(r.unit);
+  if (gi == unit_index_.end()) return;
+  if (!relevant_.empty() &&
+      (gi->second >= relevant_.size() || !relevant_[gi->second])) {
+    return;  // Outside the sync group (control plane restarted mid-change).
+  }
   auto it = snapshots_.find(r.sid);
   if (it == snapshots_.end()) return;  // Spurious (e.g. newly attached node).
   GlobalSnapshot& snap = it->second;
   if (snap.complete) return;  // Device timed out; drop stragglers.
-  if (!snap.expected_devices.contains(r.device)) {
-    return;  // Attached after this snapshot was requested: spurious.
-  }
-  if (std::find(snap.excluded_devices.begin(), snap.excluded_devices.end(),
-                r.device) != snap.excluded_devices.end()) {
+  const auto di = device_index_.find(r.device);
+  if (di == device_index_.end()) return;
+  auto& shard = snap.digests[di->second % snap.digests.size()];
+  const auto dd = shard.find(r.device);
+  if (dd == shard.end()) {
+    // Attached after this snapshot was requested, or excluded: spurious.
     return;
   }
-  snap.reports.emplace(r.unit, r);  // Duplicates keep the first copy.
+  if (gi->second >= snap.seen.size() || snap.seen[gi->second]) {
+    return;  // Duplicate delivery keeps the first copy.
+  }
+  snap.seen[gi->second] = true;
+  dd->second.fold(r);
+  ++snap.received_total;
+  if (options_.retain_unit_reports) snap.reports.emplace(r.unit, r);
   sim_.tracer().instant(obs::Category::Observer, obs::EventName::ObsCollect,
                         obs::observer_track(), sim_.now(), r.sid,
                         obs::pack_unit(r.unit));
@@ -153,23 +317,16 @@ void Observer::check_complete(VirtualSid id) {
   auto it = snapshots_.find(id);
   if (it == snapshots_.end() || it->second.complete) return;
   GlobalSnapshot& snap = it->second;
-
-  std::size_t expected = 0;
-  for (const auto& [device, units] : snap.expected_devices) {
-    if (std::find(snap.excluded_devices.begin(), snap.excluded_devices.end(),
-                  device) != snap.excluded_devices.end()) {
-      continue;
-    }
-    expected += units;
-  }
-  if (snap.reports.size() < expected) return;
+  if (snap.received_total < snap.expected_total) return;
 
   snap.complete = true;
   snap.completed_at = sim_.now();
+  // The digests are the round's record now; the dedup bitset is dead weight.
+  std::vector<bool>().swap(snap.seen);
   ++completed_;
   sim_.tracer().instant(obs::Category::Observer, obs::EventName::ObsComplete,
                         obs::observer_track(), sim_.now(), id,
-                        snap.reports.size());
+                        snap.received_total);
   if (completion_latency_ && snap.completed_at >= snap.scheduled_at) {
     completion_latency_->record(
         static_cast<std::uint64_t>(snap.completed_at - snap.scheduled_at));
@@ -182,16 +339,20 @@ void Observer::timeout_snapshot(VirtualSid id) {
   if (it == snapshots_.end() || it->second.complete) return;
   GlobalSnapshot& snap = it->second;
 
-  // Exclude every expected device that has not delivered all its units.
+  // Exclude every expected device that has not delivered all its units:
+  // its digest (and any retained partial reports) leave the snapshot.
   for (const auto& dev : devices_) {
-    if (!snap.expected_devices.contains(dev.cp->device())) continue;
-    const bool all_in = std::all_of(
-        dev.units.begin(), dev.units.end(), [&snap](const net::UnitId& u) {
-          return snap.reports.contains(u);
-        });
-    if (!all_in) {
-      snap.excluded_devices.push_back(dev.cp->device());
-      // Drop any partial reports from the excluded device.
+    const auto di = device_index_.find(dev.cp->device());
+    if (di == device_index_.end()) continue;
+    auto& shard = snap.digests[di->second % snap.digests.size()];
+    const auto dd = shard.find(dev.cp->device());
+    if (dd == shard.end()) continue;  // Not part of this snapshot.
+    if (dd->second.received >= dd->second.expected) continue;
+    snap.excluded_devices.push_back(dev.cp->device());
+    snap.expected_total -= dd->second.expected;
+    snap.received_total -= dd->second.received;
+    shard.erase(dd);
+    if (options_.retain_unit_reports) {
       for (const auto& u : dev.units) snap.reports.erase(u);
     }
   }

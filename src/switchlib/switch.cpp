@@ -197,6 +197,9 @@ void Switch::finalize() {
         sim_, timing_, rng_.fork("notif"), sink);
   }
   cp_->set_in_flight_probe([this]() { return notif_->in_flight(); });
+  if (options_.wire_enabled) {
+    notif_->configure_wire(id(), options_.wire, options_.wire_stats);
+  }
 
   // Register this switch with the flight recorder: drop counters plus the
   // notification transport's surface, all under "switch.<name>". Past the

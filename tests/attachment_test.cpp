@@ -97,7 +97,10 @@ TEST(NodeAttachment, LateDeviceJoinsNextSnapshot) {
   sim::Simulator sim;
   sim::TimingModel timing;
   SnapshotConfig config;  // No channel state: completion on advance.
-  Observer observer(sim, timing, {config, sim::msec(100)});
+  Observer::Options obs_options;
+  obs_options.snapshot = config;
+  obs_options.completion_timeout = sim::msec(100);
+  Observer observer(sim, timing, obs_options);
 
   MiniDevice a(sim, timing, 1, config);
   observer.register_device(&a.cp());
@@ -139,7 +142,10 @@ TEST(NodeAttachment, OutstandingSnapshotUnaffectedByAttachment) {
   sim::Simulator sim;
   sim::TimingModel timing;
   SnapshotConfig config;
-  Observer observer(sim, timing, {config, sim::msec(100)});
+  Observer::Options obs_options;
+  obs_options.snapshot = config;
+  obs_options.completion_timeout = sim::msec(100);
+  Observer observer(sim, timing, obs_options);
   MiniDevice a(sim, timing, 1, config);
   observer.register_device(&a.cp());
 

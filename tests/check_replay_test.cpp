@@ -46,6 +46,41 @@ TEST(CorpusReplay, EveryScenarioReplaysClean) {
   }
 }
 
+TEST(CorpusReplay, WireTwinDigestsAgreeOnEveryScenario) {
+  // Codec-equivalence pin: every corpus scenario replayed with the wire
+  // fast path must reach the same observable end state under delta+compact
+  // and full-frame encodings. The compactts_* scenario makes this bite: its
+  // fault burst straddles the 2^24 ns truncated-timestamp boundary, so the
+  // 24-bit report timestamps only survive if epoch recovery is exact.
+  for (const auto& path : corpus_files()) {
+    SCOPED_TRACE(path);
+    const check::Scenario s = check::load_scenario(path);
+    const auto delta = check::run_scenario(
+        s, {.with_oracle = false, .wire = check::WireMode::DeltaCompact});
+    const auto full = check::run_scenario(
+        s, {.with_oracle = false, .wire = check::WireMode::FullV2});
+    EXPECT_TRUE(delta.violations.empty()) << s.label();
+    EXPECT_EQ(delta.digest, full.digest) << s.label();
+    EXPECT_GT(delta.completed, 0u) << s.label();
+  }
+}
+
+TEST(CorpusReplay, CompactTsCorpusStraddlesTheEpochBoundary) {
+  // At least one pinned scenario must keep a fault window open across the
+  // 16,777,216 ns mark, so the twin replay above provably exercises 24-bit
+  // timestamp recovery across an epoch rollover.
+  constexpr sim::SimTime kEpoch = sim::SimTime{1} << 24;
+  bool saw_straddle = false;
+  for (const auto& path : corpus_files()) {
+    const check::Scenario s = check::load_scenario(path);
+    for (const auto& f : s.faults) {
+      const sim::SimTime start = s.warmup + f.start;
+      saw_straddle |= start < kEpoch && start + f.duration > kEpoch;
+    }
+  }
+  EXPECT_TRUE(saw_straddle);
+}
+
 TEST(CorpusReplay, RolloverCorpusActuallyRollsOver) {
   // The corpus exists to pin wire-sid rollover behavior: at least one file
   // must use a small modulus and complete more snapshots than the wire

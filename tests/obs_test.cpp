@@ -119,6 +119,31 @@ TEST(MetricsRegistry, HistogramPercentilesAndFlattening) {
   EXPECT_NE(std::find(names.begin(), names.end(), "lat.p99"), names.end());
 }
 
+TEST(MetricsRegistry, HistogramPercentilesNeverExceedObservedRange) {
+  // Regression: a log2 bucket's upper bound can sit up to 2x above every
+  // sample in it, so an unclamped percentile() reported impossible values
+  // (fig10 registry dumps showed p50 > max). Percentiles must stay within
+  // the observed [min, max] for any sample distribution.
+  obs::Histogram h;
+  // All mass in one bucket, far from its upper bound: [2^23, 2^24) holds
+  // 14673982, but the bucket bound is 16777216.
+  h.record(14673982);
+  h.record(14673982);
+  h.record(9000000);
+  for (const double p : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_GE(h.percentile(p), h.min()) << "p=" << p;
+    EXPECT_LE(h.percentile(p), h.max()) << "p=" << p;
+  }
+  EXPECT_EQ(h.max(), 14673982u);
+  EXPECT_EQ(h.percentile(0.5), 14673982u);  // Clamped bucket bound.
+
+  // Single-sample histograms collapse every percentile to that sample.
+  obs::Histogram one;
+  one.record(12345);
+  EXPECT_EQ(one.percentile(0.5), 12345u);
+  EXPECT_EQ(one.percentile(0.99), 12345u);
+}
+
 // ---------------------------------------------------------------------------
 // Chrome trace-event export: schema-checked with a minimal JSON parser.
 // ---------------------------------------------------------------------------
